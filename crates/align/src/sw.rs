@@ -1,0 +1,240 @@
+//! Full Smith–Waterman local alignment with affine gaps.
+//!
+//! BLAST approximates this algorithm (paper Sec. II-A); the exact version
+//! is the ground truth for property tests: any heuristic ungapped or
+//! gapped score must be bounded by the Smith–Waterman optimum, and on
+//! sequences where the heuristics lose nothing the scores must coincide.
+//!
+//! Gap model matches the rest of the workspace: a gap of length `L` costs
+//! `open + L·extend`.
+
+use scoring::Matrix;
+
+/// Result of a Smith–Waterman alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwResult {
+    /// Optimal local score (≥ 0; 0 means no positive-scoring alignment).
+    pub score: i32,
+    /// Query range `[q_start, q_end)` of an optimal alignment.
+    pub q_start: u32,
+    pub q_end: u32,
+    /// Subject range `[s_start, s_end)`.
+    pub s_start: u32,
+    pub s_end: u32,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Compute the optimal local alignment score and one optimal range.
+///
+/// `O(m·n)` time, `O(n)` memory. Origins (start coordinates) are
+/// propagated through the DP so no traceback matrix is needed.
+///
+/// ```
+/// use align::smith_waterman;
+/// use bioseq::alphabet::encode_str;
+/// use scoring::BLOSUM62;
+///
+/// let q = encode_str("PPPWWWWW").unwrap();
+/// let s = encode_str("GGWWWWWGG").unwrap();
+/// let r = smith_waterman(&BLOSUM62, &q, &s, 11, 1);
+/// assert_eq!(r.score, 55); // five W-W pairs at 11 each
+/// assert_eq!((r.q_start, r.q_end), (3, 8));
+/// ```
+pub fn smith_waterman(matrix: &Matrix, q: &[u8], s: &[u8], open: i32, extend: i32) -> SwResult {
+    let n = s.len();
+    let mut best = SwResult { score: 0, q_start: 0, q_end: 0, s_start: 0, s_end: 0 };
+    if q.is_empty() || n == 0 {
+        return best;
+    }
+    // Per-column H and F values of the previous row plus the origin
+    // (start cell) of the best path reaching each cell.
+    let mut h_prev = vec![0i32; n + 1];
+    let mut h_org = vec![(0u32, 0u32); n + 1];
+    let mut f_prev = vec![NEG; n + 1];
+    let mut f_org = vec![(0u32, 0u32); n + 1];
+
+    for (i, &qc) in q.iter().enumerate() {
+        let row = matrix.row(qc);
+        let mut h_diag = h_prev[0]; // H(i-1, j-1)
+        let mut h_diag_org = h_org[0];
+        h_prev[0] = 0;
+        h_org[0] = (i as u32 + 1, 0);
+        let mut e = NEG;
+        let mut e_org = (0u32, 0u32);
+        for j in 1..=n {
+            // E: gap in query (consume subject).
+            let open_e = h_prev[j - 1] - (open + extend);
+            let ext_e = e - extend;
+            if open_e >= ext_e {
+                e = open_e;
+                e_org = h_org[j - 1];
+            } else {
+                e = ext_e;
+            }
+            // F: gap in subject (consume query).
+            let open_f = h_prev[j] - (open + extend);
+            let ext_f = f_prev[j] - extend;
+            if open_f >= ext_f {
+                f_prev[j] = open_f;
+                f_org[j] = h_org[j];
+            } else {
+                f_prev[j] = ext_f;
+            }
+            // M: aligned pair; a fresh start (score 0) is allowed.
+            let mut m = h_diag + row[s[j - 1] as usize] as i32;
+            let mut m_org = h_diag_org;
+            if h_diag <= 0 {
+                m = row[s[j - 1] as usize] as i32;
+                m_org = (i as u32, j as u32 - 1);
+            }
+            let (h, org) = {
+                if m >= e && m >= f_prev[j] {
+                    (m, m_org)
+                } else if e >= f_prev[j] {
+                    (e, e_org)
+                } else {
+                    (f_prev[j], f_org[j])
+                }
+            };
+            let (h, org) = if h < 0 { (0, (i as u32 + 1, j as u32)) } else { (h, org) };
+            h_diag = h_prev[j];
+            h_diag_org = h_org[j];
+            h_prev[j] = h;
+            h_org[j] = org;
+            if h > best.score {
+                best = SwResult {
+                    score: h,
+                    q_start: org.0,
+                    q_end: i as u32 + 1,
+                    s_start: org.1,
+                    s_end: j as u32,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Smith–Waterman with traceback: finds the optimal local alignment and
+/// re-aligns its rectangle corner to corner (the corner-anchored optimum
+/// over the optimal rectangle equals the local optimum — any better
+/// corner path would itself be a better local alignment).
+pub fn smith_waterman_traceback(
+    matrix: &Matrix,
+    q: &[u8],
+    s: &[u8],
+    open: i32,
+    extend: i32,
+) -> crate::types::GappedAlignment {
+    let best = smith_waterman(matrix, q, s, open, extend);
+    if best.score == 0 {
+        return crate::types::GappedAlignment {
+            q_start: 0,
+            q_end: 0,
+            s_start: 0,
+            s_end: 0,
+            score: 0,
+            ops: Vec::new(),
+        };
+    }
+    let (ops, score) = crate::gapped::global_align(
+        matrix,
+        &q[best.q_start as usize..best.q_end as usize],
+        &s[best.s_start as usize..best.s_end as usize],
+        open,
+        extend,
+    );
+    debug_assert_eq!(score, best.score, "rectangle optimum must equal SW optimum");
+    crate::types::GappedAlignment {
+        q_start: best.q_start,
+        q_end: best.q_end,
+        s_start: best.s_start,
+        s_end: best.s_end,
+        score,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::encode_str;
+    use scoring::BLOSUM62;
+
+    fn enc(s: &str) -> Vec<u8> {
+        encode_str(s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let q = enc("MARNDCQEGHILK");
+        let r = smith_waterman(&BLOSUM62, &q, &q, 11, 1);
+        let expect: i32 = q.iter().map(|&c| BLOSUM62.score(c, c)).sum();
+        assert_eq!(r.score, expect);
+        assert_eq!((r.q_start, r.q_end), (0, q.len() as u32));
+        assert_eq!((r.s_start, r.s_end), (0, q.len() as u32));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let q = enc("MAR");
+        assert_eq!(smith_waterman(&BLOSUM62, &q, &[], 11, 1).score, 0);
+        assert_eq!(smith_waterman(&BLOSUM62, &[], &q, 11, 1).score, 0);
+    }
+
+    #[test]
+    fn local_region_found_inside_noise() {
+        let q = enc("PPPPPWWWWWPPPPP");
+        let s = enc("GGGGGGGWWWWWGGGGGG");
+        let r = smith_waterman(&BLOSUM62, &q, &s, 11, 1);
+        assert_eq!(r.score, 55); // the 5-W core; P-vs-G flanks are negative
+        assert_eq!((r.q_start, r.q_end), (5, 10));
+        assert_eq!((r.s_start, r.s_end), (7, 12));
+    }
+
+    #[test]
+    fn gap_taken_when_profitable() {
+        let q = enc("WWWWWWWWWW");
+        let s = enc("WWWWWAAWWWWW");
+        let r = smith_waterman(&BLOSUM62, &q, &s, 11, 1);
+        // Either bridge the insertion (110 − 13 = 97) — the optimum.
+        assert_eq!(r.score, 97);
+    }
+
+    #[test]
+    fn no_positive_alignment_scores_zero() {
+        let q = enc("PPPP");
+        let s = enc("GGGG");
+        let r = smith_waterman(&BLOSUM62, &q, &s, 11, 1);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn traceback_reconstructs_the_optimum() {
+        let q = enc("PPPWWWWWWWWWWPPP");
+        let s = enc("GGWWWWWAAWWWWWGG");
+        let aln = smith_waterman_traceback(&BLOSUM62, &q, &s, 11, 1);
+        assert!(aln.validate());
+        assert_eq!(aln.score, smith_waterman(&BLOSUM62, &q, &s, 11, 1).score);
+        assert!(!aln.ops.is_empty());
+    }
+
+    #[test]
+    fn traceback_of_no_alignment_is_empty() {
+        let q = enc("PPPP");
+        let s = enc("GGGG");
+        let aln = smith_waterman_traceback(&BLOSUM62, &q, &s, 11, 1);
+        assert_eq!(aln.score, 0);
+        assert!(aln.ops.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_lengths() {
+        let q = enc("WWW");
+        let s = enc("AAAAAAAAAAWWWAAAAAAAAAA");
+        let r = smith_waterman(&BLOSUM62, &q, &s, 11, 1);
+        assert_eq!(r.score, 33);
+        assert_eq!((r.s_start, r.s_end), (10, 13));
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation of hit pre-filtering (paper Sec. IV-C): muBLASTP with the
+//! Alg. 2 pre-filter (sort only the ~4 % surviving pairs) vs the Alg. 1
+//! post-filter (buffer and sort *every* hit, filter afterwards).
+//!
+//! ```sh
+//! cargo bench -p bench --bench ablation_prefilter
+//! ```
+
+use bench::{default_index, neighbors, query_batch, sprot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{search_batch, EngineKind, SearchConfig};
+
+fn bench_prefilter(c: &mut Criterion) {
+    let db = sprot();
+    let index = default_index(db);
+    let mut group = c.benchmark_group("ablation_prefilter");
+    group.sample_size(10);
+    for qlen in [128usize, 512] {
+        let queries = query_batch(db, qlen, 4);
+        for (label, prefilter) in [("prefilter", true), ("postfilter", false)] {
+            group.bench_with_input(BenchmarkId::new(label, qlen), &qlen, |b, _| {
+                let mut config = SearchConfig::new(EngineKind::MuBlastp);
+                config.prefilter = prefilter;
+                b.iter(|| search_batch(db, Some(&index), neighbors(), &queries, &config));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefilter);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation of the intra-node schedule (paper Sec. IV-D1): OpenMP-style
+//! `schedule(dynamic)` vs `schedule(static)` over a *mixed-length* query
+//! batch, where BLAST's input sensitivity makes static partitioning
+//! load-imbalance.
+//!
+//! Note: the difference only materialises with real hardware parallelism;
+//! on a single-core machine both schedules serialise and tie.
+//!
+//! ```sh
+//! cargo bench -p bench --bench ablation_schedule
+//! ```
+
+use bench::{default_index, mixed_batch, neighbors, sprot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::kernels::{mublastp, null_ctx};
+use engine::results::StageCounts;
+use engine::scratch::Scratch;
+use engine::SortAlgo;
+use memsim::NullTracer;
+use parallel::{default_threads, parallel_for_dynamic, parallel_for_static};
+use scoring::SearchParams;
+
+fn bench_schedules(c: &mut Criterion) {
+    let db = sprot();
+    let index = default_index(db);
+    // Mixed lengths — the input sensitivity that motivates dynamic.
+    let queries = mixed_batch(db, 16);
+    let params = SearchParams::blastp_defaults();
+    let threads = default_threads().max(2);
+
+    let run_query = |scratch: &mut Scratch, qi: usize| {
+        let mut counts = StageCounts::default();
+        scratch.seeds.clear();
+        let mut nt = NullTracer;
+        let mut ctx = null_ctx(&mut nt);
+        for block in index.blocks() {
+            mublastp::search_block(
+                queries[qi].residues(),
+                block,
+                neighbors(),
+                &params,
+                scratch,
+                &mut counts,
+                &mut ctx,
+                SortAlgo::LsdRadix,
+                true,
+            );
+        }
+    };
+
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("dynamic", threads), &threads, |b, &t| {
+        b.iter(|| parallel_for_dynamic(t, queries.len(), 1, Scratch::new, |s, i| run_query(s, i)))
+    });
+    group.bench_with_input(BenchmarkId::new("static", threads), &threads, |b, &t| {
+        b.iter(|| parallel_for_static(t, queries.len(), Scratch::new, |s, i| run_query(s, i)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation of the hit-reordering sort (paper Sec. IV-B and the
+//! two-level-binning comparison of Sec. VI): LSD radix vs MSD radix vs
+//! merge sort vs two-level binning vs std stable sort, on a *real* hit
+//! buffer captured from a muBLASTP detection pass.
+//!
+//! ```sh
+//! cargo bench -p bench --bench ablation_sort
+//! ```
+
+use bench::{default_index, neighbors, query_batch, sprot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use engine::kernels::mublastp::{search_block, sort_pairs, ReorderAlgo};
+use engine::kernels::null_ctx;
+use engine::results::StageCounts;
+use engine::scratch::Scratch;
+use engine::HitPair;
+use memsim::NullTracer;
+use scoring::SearchParams;
+
+/// Capture the pre-filtered hit buffer of the biggest block for one query.
+fn capture_pairs() -> Vec<HitPair> {
+    let db = sprot();
+    let index = default_index(db);
+    let query = query_batch(db, 512, 1).pop().unwrap();
+    let params = SearchParams::blastp_defaults();
+    let mut best: Vec<HitPair> = Vec::new();
+    for block in index.blocks() {
+        let mut scratch = Scratch::new();
+        let mut counts = StageCounts::default();
+        let mut nt = NullTracer;
+        let mut ctx = null_ctx(&mut nt);
+        search_block(
+            query.residues(),
+            block,
+            neighbors(),
+            &params,
+            &mut scratch,
+            &mut counts,
+            &mut ctx,
+            ReorderAlgo::LsdRadix,
+            true,
+        );
+        if scratch.pairs.capacity() > 0 && scratch.pairs.len() > best.len() {
+            best = scratch.pairs.clone();
+        }
+    }
+    assert!(!best.is_empty(), "no hit pairs captured");
+    best
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    // The buffer as left by extension is sorted; shuffle it back to
+    // detection order deterministically by sorting on q_off (stable), which
+    // is the order hit detection produces per diagonal.
+    let mut pairs = capture_pairs();
+    pairs.sort_by_key(|p| p.q_off);
+
+    let mut group = c.benchmark_group("ablation_sort");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for algo in [
+        ReorderAlgo::LsdRadix,
+        ReorderAlgo::MsdRadix,
+        ReorderAlgo::Merge,
+        ReorderAlgo::Binning,
+        ReorderAlgo::Std,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("reorder", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                b.iter_batched(
+                    || pairs.clone(),
+                    |mut p| {
+                        sort_pairs(&mut p, algo);
+                        p
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind the paper's Fig. 8: wall time of NCBI-db and
+//! muBLASTP across index block sizes.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig8_blocksize
+//! ```
+
+use bench::{index_with_block, neighbors, query_batch, sprot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{search_batch, EngineKind, SearchConfig};
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let db = sprot();
+    let queries = query_batch(db, 256, 4);
+    let mut group = c.benchmark_group("fig8_blocksize");
+    group.sample_size(10);
+    for block_kb in [128usize, 512, 2048] {
+        let index = index_with_block(db, block_kb << 10);
+        for kind in [EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), format!("{block_kb}K")),
+                &block_kb,
+                |b, _| {
+                    let config = SearchConfig::new(kind);
+                    b.iter(|| search_batch(db, Some(&index), neighbors(), &queries, &config));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

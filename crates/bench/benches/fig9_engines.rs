@@ -1,0 +1,36 @@
+//! Criterion bench behind the paper's Fig. 9: the three engines on the
+//! uniprot_sprot stand-in at query lengths 128 / 256 / 512.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig9_engines
+//! ```
+
+use bench::{default_index, neighbors, query_batch, sprot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{search_batch, EngineKind, SearchConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let db = sprot();
+    let index = default_index(db);
+    let mut group = c.benchmark_group("fig9_engines");
+    group.sample_size(10);
+    for qlen in [128usize, 256, 512] {
+        let queries = query_batch(db, qlen, 4);
+        for kind in
+            [EngineKind::QueryIndexed, EngineKind::DbInterleaved, EngineKind::MuBlastp]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), qlen),
+                &qlen,
+                |b, _| {
+                    let config = SearchConfig::new(kind);
+                    b.iter(|| search_batch(db, Some(&index), neighbors(), &queries, &config));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

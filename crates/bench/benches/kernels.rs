@@ -1,0 +1,84 @@
+//! Microbenchmarks of the computational kernels: ungapped extension,
+//! gapped extension, Smith–Waterman, neighbor-table build, query-index
+//! build and database-index build.
+//!
+//! ```sh
+//! cargo bench -p bench --bench kernels
+//! ```
+
+use align::{extend_two_hit, gapped_extend_score, smith_waterman};
+use bench::{neighbors, query_batch, sprot};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dbindex::{DbIndex, IndexConfig};
+use memsim::NullTracer;
+use qindex::QueryIndex;
+use scoring::{NeighborTable, BLOSUM62};
+
+fn bench_alignment_kernels(c: &mut Criterion) {
+    let db = sprot();
+    let query = query_batch(db, 512, 1).pop().unwrap();
+    // A homologous subject: the query's source sequence.
+    let subject = db
+        .sequences()
+        .iter()
+        .find(|s| s.len() >= 512 && s.residues().windows(64).any(|w| w == &query.residues()[..64]))
+        .expect("query source present")
+        .clone();
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("ungapped_extension_512", |b| {
+        b.iter(|| {
+            extend_two_hit(
+                &BLOSUM62,
+                query.residues(),
+                subject.residues(),
+                Some(10),
+                criterion::black_box(64),
+                criterion::black_box(64),
+                16,
+                &mut NullTracer,
+                0,
+                0,
+            )
+        })
+    });
+    group.bench_function("gapped_extension_512", |b| {
+        b.iter(|| {
+            gapped_extend_score(
+                &BLOSUM62,
+                query.residues(),
+                subject.residues(),
+                criterion::black_box(256),
+                criterion::black_box(256),
+                11,
+                1,
+                39,
+            )
+        })
+    });
+    group.bench_function("smith_waterman_512", |b| {
+        b.iter(|| smith_waterman(&BLOSUM62, query.residues(), subject.residues(), 11, 1))
+    });
+    group.finish();
+}
+
+fn bench_build_kernels(c: &mut Criterion) {
+    let db = sprot();
+    let query = query_batch(db, 512, 1).pop().unwrap();
+    let mut group = c.benchmark_group("builds");
+    group.sample_size(10);
+    group.bench_function("neighbor_table_T11", |b| {
+        b.iter(|| NeighborTable::build(&BLOSUM62, 11))
+    });
+    group.bench_function("query_index_512", |b| {
+        b.iter(|| QueryIndex::build(query.residues(), neighbors()))
+    });
+    group.throughput(Throughput::Bytes(db.total_residues() as u64));
+    group.bench_function("db_index_build", |b| {
+        b.iter(|| DbIndex::build(db, &IndexConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment_kernels, bench_build_kernels);
+criterion_main!(benches);

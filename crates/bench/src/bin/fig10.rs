@@ -1,0 +1,102 @@
+//! **Figure 10** — multi-node execution time and speedup of muBLASTP vs
+//! mpiBLAST on env_nr, 1–128 nodes (16 cores each).
+//!
+//! Three parts (DESIGN.md substitution #4):
+//! 1. the *real* distributed algorithm runs on thread-backed ranks and
+//!    its merged output is verified against a single-node search;
+//! 2. per-work compute costs are calibrated from measured single-thread
+//!    runs of the muBLASTP engine (for muBLASTP-MPI) and the
+//!    query-indexed engine (for mpiBLAST, which wraps NCBI-BLAST);
+//! 3. a discrete-event model extrapolates both designs to 128 nodes at
+//!    the paper's full env_nr scale.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig10
+//! ```
+
+use bench::{batch_size, default_index, env_nr, neighbors, query_batch};
+use cluster::{
+    distributed_search, simulate_mpiblast, simulate_mublastp, CalibratedCost, ClusterParams,
+};
+use dbindex::IndexConfig;
+use engine::{results_identical, search_batch, EngineKind, SearchConfig};
+
+fn main() {
+    let db = env_nr();
+    let queries = query_batch(db, 256, batch_size());
+
+    // --- Part 1: correctness of the distributed algorithm --------------
+    println!("Verifying the distributed algorithm on 4 thread-backed ranks ...");
+    let config = SearchConfig::new(EngineKind::MuBlastp);
+    let dist = distributed_search(db, &queries, neighbors(), &IndexConfig::default(), &config, 4);
+    let sorted = db.sorted_by_length();
+    let sorted_index = default_index(Box::leak(Box::new(sorted.clone())));
+    let reference = search_batch(&sorted, Some(&sorted_index), neighbors(), &queries, &config);
+    results_identical(&reference, &dist.results).expect("distributed output diverged");
+    println!("  merged output identical to single-node search ✓\n");
+
+    // --- Part 2: calibration -------------------------------------------
+    println!("Calibrating compute costs from measured engine runs ...");
+    let calib_queries = query_batch(db, 256, 4);
+    let cost_mu = CalibratedCost::calibrate(
+        &sorted,
+        &sorted_index,
+        neighbors(),
+        &calib_queries,
+        &SearchConfig::new(EngineKind::MuBlastp),
+    );
+    let cost_mpib = CalibratedCost::calibrate(
+        &sorted,
+        &sorted_index,
+        neighbors(),
+        &calib_queries,
+        &SearchConfig::new(EngineKind::QueryIndexed),
+    );
+    println!(
+        "  muBLASTP k = {:.3e}, mpiBLAST (query-indexed) k = {:.3e} s/(q·res)\n",
+        cost_mu.k, cost_mpib.k
+    );
+
+    // --- Part 3: scaling to 128 nodes at paper scale --------------------
+    // The paper's env_nr: ~6 M sequences, 1.7 G residues; 128 queries.
+    let seq_lens: Vec<usize> = env_nr_like_lengths(6_000_000);
+    let query_lens = vec![256usize; 128];
+    let params = ClusterParams::default();
+    let one_mu = simulate_mublastp(&seq_lens, &query_lens, 1, 16, &cost_mu, &params);
+    let one_mpib = simulate_mpiblast(&seq_lens, &query_lens, 1, 16, &cost_mpib, &params);
+    println!(
+        "{:<7} {:>13} {:>13} {:>9} {:>9} {:>9}",
+        "nodes", "muBLASTP (s)", "mpiBLAST (s)", "eff mu", "eff mpib", "speedup"
+    );
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let mu = simulate_mublastp(&seq_lens, &query_lens, nodes, 16, &cost_mu, &params);
+        let mpib = simulate_mpiblast(&seq_lens, &query_lens, nodes, 16, &cost_mpib, &params);
+        println!(
+            "{:<7} {:>13.1} {:>13.1} {:>8.0}% {:>8.0}% {:>8.1}x",
+            nodes,
+            mu.makespan,
+            mpib.makespan,
+            100.0 * mu.efficiency_vs(&one_mu),
+            100.0 * mpib.efficiency_vs(&one_mpib),
+            mpib.makespan / mu.makespan
+        );
+    }
+    println!(
+        "\nPaper shape: muBLASTP holds 88-92% strong-scaling efficiency to 128\n\
+         nodes while mpiBLAST drops to 31-57%, yielding a 2.2-8.9x speedup."
+    );
+}
+
+/// Deterministic env_nr-like length list at the paper's sequence count
+/// (median ≈ 177) without materialising a 1.7 GB database.
+fn env_nr_like_lengths(n: usize) -> Vec<usize> {
+    (0..n)
+        .map(|i| {
+            let u = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40; // 24-bit hash
+            let z = (u as f64 / (1u64 << 24) as f64) * 2.0 - 1.0; // ~U(-1,1)
+            // crude log-normal-ish shape around the published stats
+            let len = (177.0 * (0.46 * 1.8 * z).exp()) as usize;
+            len.clamp(40, 5000)
+        })
+        .collect()
+}

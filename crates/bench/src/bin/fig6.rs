@@ -1,0 +1,41 @@
+//! **Figure 6** — percentage of hits remaining after pre-filtering, for
+//! query lengths 128, 256 and 512 against the uniprot_sprot database.
+//! The paper reports under 5 % across the board.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig6
+//! ```
+
+use bench::{batch_size, default_index, neighbors, query_batch, sprot};
+use engine::{search_batch, EngineKind, SearchConfig};
+
+fn main() {
+    let db = sprot();
+    println!(
+        "Fig. 6 — hits surviving the pre-filter, uniprot_sprot stand-in \
+         ({} sequences, {} residues), batch of {}\n",
+        db.len(),
+        db.total_residues(),
+        batch_size()
+    );
+    let index = default_index(db);
+    let config = SearchConfig::new(EngineKind::MuBlastp);
+    println!(
+        "{:>9} {:>16} {:>16} {:>10}",
+        "query len", "hits", "pairs kept", "survival"
+    );
+    for len in [128usize, 256, 512] {
+        let queries = query_batch(db, len, batch_size());
+        let results = search_batch(db, Some(&index), neighbors(), &queries, &config);
+        let hits: u64 = results.iter().map(|r| r.counts.hits).sum();
+        let pairs: u64 = results.iter().map(|r| r.counts.pairs).sum();
+        println!(
+            "{:>9} {:>16} {:>16} {:>9.2}%",
+            len,
+            hits,
+            pairs,
+            100.0 * pairs as f64 / hits as f64
+        );
+    }
+    println!("\nPaper shape: fewer than 5 % of hits survive at every query length.");
+}

@@ -1,0 +1,51 @@
+//! **Figure 7** — sequence-length distributions of the uniprot_sprot and
+//! env_nr stand-ins, as an ASCII histogram, plus the summary statistics
+//! the paper quotes (sprot: median 292 / mean 355; env_nr: median 177 /
+//! mean 197).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig7
+//! ```
+
+use bench::{env_nr, sprot};
+use bioseq::SequenceDb;
+
+fn print_histogram(name: &str, db: &SequenceDb) {
+    let s = db.stats();
+    println!(
+        "\n{name}: {} sequences, {} residues — median {} / mean {:.0} (paper: {})",
+        s.count,
+        s.total_residues,
+        s.median_len,
+        s.mean_len,
+        if name.contains("sprot") { "292 / 355" } else { "177 / 197" }
+    );
+    let hist = db.length_histogram(100);
+    let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    println!("{:>12} {:>8}  distribution", "length", "count");
+    for (start, count) in hist.iter().take(15) {
+        let bar = "#".repeat((count * 50).div_ceil(max));
+        println!("{:>5}-{:<5} {:>8}  {}", start, start + 99, count, bar);
+    }
+    let beyond: usize = hist.iter().filter(|&&(s, _)| s >= 1500).map(|&(_, c)| c).sum();
+    println!("{:>12} {:>8}", "1500+", beyond);
+    let in_range = db
+        .sequences()
+        .iter()
+        .filter(|s| (60..=1000).contains(&s.len()))
+        .count();
+    println!(
+        "fraction in the paper's 60–1000 range: {:.1} %",
+        100.0 * in_range as f64 / db.len() as f64
+    );
+}
+
+fn main() {
+    println!("Fig. 7 — sequence-length distributions of the two database stand-ins");
+    print_histogram("uniprot_sprot", sprot());
+    print_histogram("env_nr", env_nr());
+    println!(
+        "\nPaper shape: most sequences fall between 60 and 1000 residues;\n\
+         env_nr skews shorter than uniprot_sprot."
+    );
+}

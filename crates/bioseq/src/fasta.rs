@@ -1,0 +1,192 @@
+//! FASTA reading and writing.
+//!
+//! The reader is line-based, tolerant of CRLF endings and blank lines, folds
+//! unknown-but-plausible residues to `X` (see [`crate::alphabet`]) and
+//! reports a precise error (record index + byte) for anything else.
+
+use crate::alphabet::encode_residue;
+use crate::seq::Sequence;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data appeared before any `>` header line.
+    MissingHeader { line: usize },
+    /// A byte that cannot be a protein residue.
+    BadResidue { record: String, byte: u8 },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before first '>' header at line {line}")
+            }
+            FastaError::BadResidue { record, byte } => {
+                write!(f, "invalid residue byte 0x{byte:02x} in record '{record}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Read all FASTA records from `input`.
+///
+/// Headers are split at the first whitespace into `id` and `description`.
+pub fn read_fasta<R: BufRead>(mut input: R) -> Result<Vec<Sequence>, FastaError> {
+    let mut out: Vec<Sequence> = Vec::new();
+    let mut id = String::new();
+    let mut desc = String::new();
+    let mut residues: Vec<u8> = Vec::new();
+    let mut have_record = false;
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    let flush =
+        |id: &mut String, desc: &mut String, residues: &mut Vec<u8>, out: &mut Vec<Sequence>| {
+            let seq = Sequence::from_encoded(std::mem::take(id), std::mem::take(residues))
+                .with_description(std::mem::take(desc));
+            out.push(seq);
+        };
+
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if have_record {
+                flush(&mut id, &mut desc, &mut residues, &mut out);
+            }
+            have_record = true;
+            let mut parts = header.trim().splitn(2, char::is_whitespace);
+            id = parts.next().unwrap_or("").to_string();
+            desc = parts.next().unwrap_or("").trim().to_string();
+        } else {
+            if !have_record {
+                return Err(FastaError::MissingHeader { line: lineno });
+            }
+            for &b in trimmed.as_bytes() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                match encode_residue(b) {
+                    Some(code) => residues.push(code),
+                    None => {
+                        return Err(FastaError::BadResidue { record: id.clone(), byte: b })
+                    }
+                }
+            }
+        }
+    }
+    if have_record {
+        flush(&mut id, &mut desc, &mut residues, &mut out);
+    }
+    Ok(out)
+}
+
+/// Write sequences as FASTA with 70-column wrapping.
+pub fn write_fasta<W: Write>(mut out: W, seqs: &[Sequence]) -> io::Result<()> {
+    for s in seqs {
+        if s.description.is_empty() {
+            writeln!(out, ">{}", s.id)?;
+        } else {
+            writeln!(out, ">{} {}", s.id, s.description)?;
+        }
+        let ascii = s.to_ascii();
+        for chunk in ascii.as_bytes().chunks(70) {
+            out.write_all(chunk)?;
+            out.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_two_records() {
+        let input = ">sp|P1 first protein\nMARND\nCQEG\n\n>p2\nHILK\n";
+        let seqs = read_fasta(Cursor::new(input)).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id, "sp|P1");
+        assert_eq!(seqs[0].description, "first protein");
+        assert_eq!(seqs[0].to_ascii(), "MARNDCQEG");
+        assert_eq!(seqs[1].id, "p2");
+        assert_eq!(seqs[1].to_ascii(), "HILK");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_ok() {
+        let input = ">a\r\nMA\r\n\r\n>b\r\nRN\r\n";
+        let seqs = read_fasta(Cursor::new(input)).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].to_ascii(), "MA");
+        assert_eq!(seqs[1].to_ascii(), "RN");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let err = read_fasta(Cursor::new("MARND\n")).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn bad_residue_is_error() {
+        let err = read_fasta(Cursor::new(">a\nMA9\n")).unwrap_err();
+        match err {
+            FastaError::BadResidue { record, byte } => {
+                assert_eq!(record, "a");
+                assert_eq!(byte, b'9');
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let input = ">a desc here\nMARNDCQEGHILKMFPSTWYV\n>b\nBZX*\n";
+        let seqs = read_fasta(Cursor::new(input)).unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &seqs).unwrap();
+        let reparsed = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(seqs, reparsed);
+    }
+
+    #[test]
+    fn wrapping_at_70_columns() {
+        let long = "A".repeat(150);
+        let seq = Sequence::from_str_checked("long", &long).unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&seq)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let widths: Vec<usize> =
+            text.lines().skip(1).map(|l| l.len()).collect();
+        assert_eq!(widths, vec![70, 70, 10]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(read_fasta(Cursor::new("")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The muBLASTP inter-node algorithm, executed for real on the [`crate::mpi`]
+//! runtime (paper Sec. IV-D2/3).
+//!
+//! 1. The database is **sorted by sequence length** and distributed to the
+//!    ranks **round-robin**, so every partition holds nearly the same
+//!    number of sequences with the same length distribution — the paper's
+//!    load-balancing partitioner.
+//! 2. Queries are **replicated** to every rank (they are small).
+//! 3. Each rank builds its own index and searches the whole batch against
+//!    its partition, using the *global* database statistics for E-values
+//!    so partition results are comparable.
+//! 4. Results are merged **once per batch** (not per query — the paper's
+//!    skew-reducing choice) at rank 0, re-ranked, and truncated.
+
+use crate::mpi::{run_world, Comm};
+use bioseq::{Sequence, SequenceDb, SequenceId};
+use dbindex::{DbIndex, IndexConfig};
+use engine::{search_batch, Alignment, QueryResult, SearchConfig};
+use scoring::NeighborTable;
+
+/// Outcome of a distributed search.
+#[derive(Clone, Debug)]
+pub struct DistributedResult {
+    /// Merged per-query results with subjects in *global* (length-sorted
+    /// database) ids, best alignment first.
+    pub results: Vec<QueryResult>,
+    /// Number of ranks used.
+    pub ranks: usize,
+}
+
+/// Run a distributed search over `ranks` simulated nodes.
+///
+/// `db` is used as given (sort it beforehand; [`distributed_search`] does
+/// the length sort itself). `config.threads` is the per-rank thread count.
+pub fn distributed_search(
+    db: &SequenceDb,
+    queries: &[Sequence],
+    neighbors: &NeighborTable,
+    index_config: &IndexConfig,
+    config: &SearchConfig,
+    ranks: usize,
+) -> DistributedResult {
+    assert!(ranks > 0);
+    // Step 1: length sort + round-robin partitions, remembering the map
+    // from (rank, local id) back to the sorted-database global id.
+    let sorted = db.sorted_by_length();
+    let global_residues = sorted.total_residues();
+    let global_seqs = sorted.len();
+    let mut partitions: Vec<SequenceDb> = vec![SequenceDb::new(); ranks];
+    let mut id_maps: Vec<Vec<SequenceId>> = vec![Vec::new(); ranks];
+    for (gid, seq) in sorted.iter() {
+        let r = gid as usize % ranks;
+        partitions[r].push(seq.clone());
+        id_maps[r].push(gid);
+    }
+
+    // Steps 2–4 run SPMD: every rank searches its partition, then gathers.
+    type Msg = Vec<(usize, Vec<Alignment>)>; // (query index, local alignments)
+    let per_rank: Vec<Vec<QueryResult>> = run_world::<Msg, _, _>(ranks, |comm: &Comm<Msg>| {
+        let rank = comm.rank();
+        let part = &partitions[rank];
+        let map = &id_maps[rank];
+        let index = DbIndex::build(part, index_config);
+        let mut cfg = config.clone();
+        // Global statistics so partition E-values merge consistently.
+        cfg.effective_db = Some((global_residues, global_seqs));
+        let mut local = search_batch(part, Some(&index), neighbors, queries, &cfg);
+        // Translate local subject ids to global ids.
+        for qr in &mut local {
+            for a in &mut qr.alignments {
+                a.subject = map[a.subject as usize];
+            }
+        }
+        // One merge message per rank, containing the whole batch.
+        let payload: Msg = local
+            .iter()
+            .map(|qr| (qr.query_index, qr.alignments.clone()))
+            .collect();
+        let gathered = comm.gather_to_root(payload);
+        if rank == 0 {
+            // Fold every rank's alignments into the root's results.
+            for (_src, batch) in gathered {
+                for (qi, alignments) in batch {
+                    local[qi].alignments.extend(alignments);
+                }
+            }
+            // Re-rank and truncate exactly like a single-node search.
+            for qr in &mut local {
+                qr.alignments.sort_by(|a, b| {
+                    b.aln
+                        .score
+                        .cmp(&a.aln.score)
+                        .then(a.subject.cmp(&b.subject))
+                        .then(a.aln.q_start.cmp(&b.aln.q_start))
+                        .then(a.aln.s_start.cmp(&b.aln.s_start))
+                });
+                qr.alignments.truncate(config.params.max_reported);
+                qr.counts.reported = qr.alignments.len() as u64;
+            }
+            local
+        } else {
+            Vec::new()
+        }
+    });
+    DistributedResult { results: per_rank.into_iter().next().unwrap(), ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::EngineKind;
+    use scoring::{SearchParams, BLOSUM62};
+    use std::sync::OnceLock;
+
+    fn neighbors() -> &'static NeighborTable {
+        static T: OnceLock<NeighborTable> = OnceLock::new();
+        T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+    }
+
+    fn toy_db() -> SequenceDb {
+        let motifs = ["WCHWMYFWCHW", "MKVLAARND", "HILKMFPSTW", "CQEGHILKMF"];
+        (0..37)
+            .map(|i| {
+                let m = motifs[i % motifs.len()];
+                Sequence::from_str_checked(
+                    format!("s{i}"),
+                    &format!(
+                        "{}{m}{}{m}",
+                        "AG".repeat(2 + i % 6),
+                        "VL".repeat(1 + i % 4)
+                    ),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn config() -> SearchConfig {
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        let mut c = SearchConfig::new(EngineKind::MuBlastp);
+        c.params = params;
+        c
+    }
+
+    fn index_config() -> IndexConfig {
+        IndexConfig { block_bytes: 1024, offset_bits: 15, frag_overlap: 8 }
+    }
+
+    #[test]
+    fn distributed_equals_single_node() {
+        let db = toy_db();
+        let sorted = db.sorted_by_length();
+        let queries: Vec<Sequence> = (0..5)
+            .map(|i| {
+                Sequence::from_encoded(format!("q{i}"), db.get(i * 7).residues().to_vec())
+            })
+            .collect();
+        // Reference: single-node search of the sorted database.
+        let index = DbIndex::build(&sorted, &index_config());
+        let reference =
+            search_batch(&sorted, Some(&index), neighbors(), &queries, &config());
+        for ranks in [1usize, 2, 3, 8] {
+            let dist = distributed_search(
+                &db,
+                &queries,
+                neighbors(),
+                &index_config(),
+                &config(),
+                ranks,
+            );
+            assert_eq!(dist.ranks, ranks);
+            for (a, b) in reference.iter().zip(&dist.results) {
+                assert_eq!(
+                    a.alignments, b.alignments,
+                    "rank count {ranks}, query {}",
+                    a.query_index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_sequences_is_fine() {
+        let db: SequenceDb = (0..3)
+            .map(|i| {
+                Sequence::from_str_checked(format!("s{i}"), "AGAGWCHWMYFWCHWVL").unwrap()
+            })
+            .collect();
+        let queries =
+            vec![Sequence::from_encoded("q0", db.get(0).residues().to_vec())];
+        let dist = distributed_search(
+            &db,
+            &queries,
+            neighbors(),
+            &index_config(),
+            &config(),
+            7,
+        );
+        assert_eq!(dist.results.len(), 1);
+        assert!(!dist.results[0].alignments.is_empty());
+    }
+}

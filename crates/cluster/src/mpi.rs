@@ -1,0 +1,170 @@
+//! A minimal MPI-like runtime over threads and channels.
+//!
+//! Just enough of the MPI surface for the muBLASTP inter-node algorithm:
+//! point-to-point `send`/`recv` of typed messages, `barrier`, and
+//! `gather_to_root`. Every rank runs the same closure on its own OS
+//! thread (SPMD), exactly like `mpirun` would launch processes.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::sync::Barrier;
+
+/// A rank's endpoint into the world.
+pub struct Comm<M: Send> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<(usize, M)>>,
+    receiver: Receiver<(usize, M)>,
+    barrier: Arc<Barrier>,
+}
+
+impl<M: Send> Comm<M> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to `dest` (asynchronous, never blocks).
+    pub fn send(&self, dest: usize, msg: M) {
+        self.senders[dest].send((self.rank, msg)).expect("receiver hung up");
+    }
+
+    /// Receive the next message (any source); blocks until one arrives.
+    /// Returns `(source, message)`.
+    pub fn recv(&self) -> (usize, M) {
+        self.receiver.recv().expect("all senders hung up")
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gather one message from every non-root rank at rank 0. On the root
+    /// this returns `size - 1` messages sorted by source rank; on other
+    /// ranks it sends and returns an empty vector.
+    pub fn gather_to_root(&self, msg: M) -> Vec<(usize, M)> {
+        if self.rank == 0 {
+            let mut out: Vec<(usize, M)> = Vec::with_capacity(self.size - 1);
+            for _ in 1..self.size {
+                out.push(self.recv());
+            }
+            out.sort_by_key(|&(src, _)| src);
+            let _ = msg; // the root's own contribution is handled locally
+            out
+        } else {
+            self.send(0, msg);
+            Vec::new()
+        }
+    }
+}
+
+/// Launch an SPMD world of `size` ranks, run `body` on each, and return
+/// the per-rank results in rank order.
+///
+/// # Panics
+/// Panics if `size == 0` or if any rank panics.
+pub fn run_world<M, R, F>(size: usize, body: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(&Comm<M>) -> R + Sync + Send,
+{
+    assert!(size > 0, "world must have at least one rank");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(size));
+    let comms: Vec<Comm<M>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Comm {
+            rank,
+            size,
+            senders: senders.clone(),
+            receiver,
+            barrier: barrier.clone(),
+        })
+        .collect();
+    drop(senders);
+
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    let body = &body;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| scope.spawn(move |_| body(comm)))
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    })
+    .expect("world thread panicked");
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let out = run_world::<(), _, _>(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        // Each rank sends its id to the next; everyone receives from the
+        // previous.
+        let out = run_world::<usize, _, _>(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, comm.rank());
+            let (src, val) = comm.recv();
+            assert_eq!(src, val);
+            (comm.rank() + comm.size() - 1) % comm.size() == src
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world::<usize, _, _>(6, |comm| {
+            let gathered = comm.gather_to_root(comm.rank() * 10);
+            if comm.rank() == 0 {
+                gathered.into_iter().map(|(s, v)| (s, v)).collect()
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]);
+        assert!(out[1..].iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run_world::<(), _, _>(4, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all arrivals.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_world::<(), _, _>(1, |comm| comm.gather_to_root(()).len());
+        assert_eq!(out, vec![0]);
+    }
+}

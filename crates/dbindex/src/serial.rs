@@ -1,0 +1,324 @@
+//! Binary serialization of the database index.
+//!
+//! The whole point of a database index is to build it once and reuse it
+//! across query batches (the paper excludes build time from its end-to-end
+//! measurements on this basis), so the index must round-trip through disk.
+//! The format is a simple little-endian layout over the CSR arrays:
+//!
+//! ```text
+//! magic "MUBP" | version u32 | block_bytes u64 | offset_bits u32 |
+//! frag_overlap u64 | n_blocks u32 | blocks…
+//! block := n_seqs u32 | {global_id, frag_offset, start, len}×n |
+//!          residues (len u64 + bytes) | offsets (len u64 + u32s) |
+//!          entries (len u64 + u32s)
+//! ```
+
+use crate::block::{BlockSeq, DbIndex, IndexBlock};
+use crate::config::IndexConfig;
+use bytes::{Buf, BufMut};
+use std::fmt;
+use std::io::Read;
+
+const MAGIC: &[u8; 4] = b"MUBP";
+const VERSION: u32 = 1;
+
+/// Errors from [`read_index`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SerialError {
+    /// Not a muBLASTP index file.
+    BadMagic,
+    /// Format version mismatch.
+    BadVersion(u32),
+    /// Input ended prematurely or a length field was inconsistent.
+    Truncated,
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::BadMagic => write!(f, "not a muBLASTP index (bad magic)"),
+            SerialError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            SerialError::Truncated => write!(f, "truncated or corrupt index data"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Serialize an index to bytes.
+pub fn write_index(index: &DbIndex) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + index.total_positions() * 4);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    let c = index.config();
+    out.put_u64_le(c.block_bytes as u64);
+    out.put_u32_le(c.offset_bits);
+    out.put_u64_le(c.frag_overlap as u64);
+    out.put_u32_le(index.blocks().len() as u32);
+    for b in index.blocks() {
+        let (seqs, residues, offsets, entries) = b.parts();
+        out.put_u32_le(seqs.len() as u32);
+        for s in seqs {
+            out.put_u32_le(s.global_id);
+            out.put_u32_le(s.frag_offset);
+            out.put_u32_le(s.start);
+            out.put_u32_le(s.len);
+        }
+        out.put_u64_le(residues.len() as u64);
+        out.put_slice(residues);
+        out.put_u64_le(offsets.len() as u64);
+        for &o in offsets {
+            out.put_u32_le(o);
+        }
+        out.put_u64_le(entries.len() as u64);
+        for &e in entries {
+            out.put_u32_le(e);
+        }
+    }
+    out
+}
+
+/// Deserialize an index from bytes.
+pub fn read_index(mut data: &[u8]) -> Result<DbIndex, SerialError> {
+    fn need(data: &[u8], n: usize) -> Result<(), SerialError> {
+        if data.remaining() < n {
+            Err(SerialError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(data, 8)?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(SerialError::BadVersion(version));
+    }
+    need(data, 8 + 4 + 8 + 4)?;
+    let config = IndexConfig {
+        block_bytes: data.get_u64_le() as usize,
+        offset_bits: data.get_u32_le(),
+        frag_overlap: data.get_u64_le() as usize,
+    };
+    if config.offset_bits == 0 || config.offset_bits >= 32 {
+        return Err(SerialError::Truncated);
+    }
+    let n_blocks = data.get_u32_le() as usize;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+    for _ in 0..n_blocks {
+        need(data, 4)?;
+        let n_seqs = data.get_u32_le() as usize;
+        need(data, n_seqs.checked_mul(16).ok_or(SerialError::Truncated)?)?;
+        let mut seqs = Vec::with_capacity(n_seqs);
+        for _ in 0..n_seqs {
+            seqs.push(BlockSeq {
+                global_id: data.get_u32_le(),
+                frag_offset: data.get_u32_le(),
+                start: data.get_u32_le(),
+                len: data.get_u32_le(),
+            });
+        }
+        need(data, 8)?;
+        let n_res = data.get_u64_le() as usize;
+        need(data, n_res)?;
+        let mut residues = vec![0u8; n_res];
+        data.copy_to_slice(&mut residues);
+        need(data, 8)?;
+        let n_off = data.get_u64_le() as usize;
+        need(data, n_off.checked_mul(4).ok_or(SerialError::Truncated)?)?;
+        let mut offsets = Vec::with_capacity(n_off);
+        for _ in 0..n_off {
+            offsets.push(data.get_u32_le());
+        }
+        need(data, 8)?;
+        let n_ent = data.get_u64_le() as usize;
+        need(data, n_ent.checked_mul(4).ok_or(SerialError::Truncated)?)?;
+        let mut entries = Vec::with_capacity(n_ent);
+        for _ in 0..n_ent {
+            entries.push(data.get_u32_le());
+        }
+        blocks.push(IndexBlock::from_parts(seqs, residues, offsets, entries, config.offset_bits));
+    }
+    Ok(DbIndex::from_parts(blocks, config))
+}
+
+/// Streaming reader: yields one [`IndexBlock`] at a time from any
+/// `Read`, so an index larger than memory can be searched block by block
+/// — the access pattern the paper's block loop (Alg. 1/3) is built for.
+pub struct BlockStream<R: Read> {
+    reader: R,
+    config: IndexConfig,
+    remaining: usize,
+}
+
+impl<R: Read> BlockStream<R> {
+    /// Parse the header and position the stream at the first block.
+    pub fn open(mut reader: R) -> Result<BlockStream<R>, SerialError> {
+        let mut header = [0u8; 4 + 4 + 8 + 4 + 8 + 4];
+        read_exact(&mut reader, &mut header)?;
+        let mut h: &[u8] = &header;
+        let mut magic = [0u8; 4];
+        h.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let version = h.get_u32_le();
+        if version != VERSION {
+            return Err(SerialError::BadVersion(version));
+        }
+        let config = IndexConfig {
+            block_bytes: h.get_u64_le() as usize,
+            offset_bits: h.get_u32_le(),
+            frag_overlap: h.get_u64_le() as usize,
+        };
+        if config.offset_bits == 0 || config.offset_bits >= 32 {
+            return Err(SerialError::Truncated);
+        }
+        let remaining = h.get_u32_le() as usize;
+        Ok(BlockStream { reader, config, remaining })
+    }
+
+    /// Build configuration from the header.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Blocks not yet read.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn read_u32(&mut self) -> Result<u32, SerialError> {
+        let mut b = [0u8; 4];
+        read_exact(&mut self.reader, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, SerialError> {
+        let mut b = [0u8; 8];
+        read_exact(&mut self.reader, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_u32s(&mut self, n: usize) -> Result<Vec<u32>, SerialError> {
+        let mut raw = vec![0u8; n.checked_mul(4).ok_or(SerialError::Truncated)?];
+        read_exact(&mut self.reader, &mut raw)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    fn read_block(&mut self) -> Result<IndexBlock, SerialError> {
+        let n_seqs = self.read_u32()? as usize;
+        let raw = self.read_u32s(n_seqs * 4)?;
+        let seqs: Vec<BlockSeq> = raw
+            .chunks_exact(4)
+            .map(|c| BlockSeq { global_id: c[0], frag_offset: c[1], start: c[2], len: c[3] })
+            .collect();
+        let n_res = self.read_u64()? as usize;
+        let mut residues = vec![0u8; n_res];
+        read_exact(&mut self.reader, &mut residues)?;
+        let n_off = self.read_u64()? as usize;
+        let offsets = self.read_u32s(n_off)?;
+        let n_ent = self.read_u64()? as usize;
+        let entries = self.read_u32s(n_ent)?;
+        Ok(IndexBlock::from_parts(seqs, residues, offsets, entries, self.config.offset_bits))
+    }
+}
+
+impl<R: Read> Iterator for BlockStream<R> {
+    type Item = Result<IndexBlock, SerialError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let block = self.read_block();
+        if block.is_err() {
+            self.remaining = 0; // poison after the first error
+        }
+        Some(block)
+    }
+}
+
+fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), SerialError> {
+    reader.read_exact(buf).map_err(|_| SerialError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::DbIndex;
+    use bioseq::{Sequence, SequenceDb};
+
+    fn sample_index() -> DbIndex {
+        let db: SequenceDb = ["MARNDWWWCQEG", "WWWHILKMFPST", "ARNDARNDARND", "MKVL"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+            .collect();
+        let config = IndexConfig { block_bytes: 80, offset_bits: 15, frag_overlap: 8 };
+        DbIndex::build(&db, &config)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let idx = sample_index();
+        assert!(idx.blocks().len() > 1, "want a multi-block sample");
+        let bytes = write_index(&idx);
+        let back = read_index(&bytes).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(read_index(b"NOPE....rest"), Err(SerialError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = write_index(&sample_index());
+        bytes[4] = 99;
+        assert_eq!(read_index(&bytes), Err(SerialError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let bytes = write_index(&sample_index());
+        // Chop at a sample of points — never panic, always a clean error.
+        for cut in (0..bytes.len() - 1).step_by(7) {
+            let r = read_index(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn stream_yields_the_same_blocks() {
+        let idx = sample_index();
+        let bytes = write_index(&idx);
+        let stream = BlockStream::open(&bytes[..]).unwrap();
+        assert_eq!(stream.config(), idx.config());
+        assert_eq!(stream.remaining(), idx.blocks().len());
+        let blocks: Vec<IndexBlock> = stream.map(|b| b.unwrap()).collect();
+        assert_eq!(blocks.as_slice(), idx.blocks());
+    }
+
+    #[test]
+    fn stream_reports_truncation_once() {
+        let bytes = write_index(&sample_index());
+        let cut = bytes.len() - 10;
+        let mut stream = BlockStream::open(&bytes[..cut]).unwrap();
+        let results: Vec<_> = stream.by_ref().collect();
+        assert!(results.iter().any(|r| r.is_err()));
+        assert!(stream.next().is_none(), "stream must be fused after an error");
+    }
+
+    #[test]
+    fn empty_index_roundtrip() {
+        let idx = DbIndex::build(&SequenceDb::new(), &IndexConfig::default());
+        let back = read_index(&write_index(&idx)).unwrap();
+        assert_eq!(idx, back);
+    }
+}

@@ -1,0 +1,443 @@
+//! Batch drivers: the paper's Algorithm 3 execution structure.
+//!
+//! For the database-indexed engines, the outer loop walks index blocks
+//! *serially* (so one block plus per-thread state is the entire working
+//! set) and an OpenMP-style dynamic parallel-for distributes the queries
+//! of the batch inside each block. The query-indexed engine parallelises
+//! straight over queries. The finishing stages run as a second dynamic
+//! parallel-for over queries (Alg. 3 lines 7–9).
+
+use crate::finish::finish_query;
+use crate::kernels::{db_interleaved, mublastp, null_ctx, query_indexed};
+use crate::results::{QueryResult, Seed, StageCounts};
+use crate::scratch::Scratch;
+use bioseq::{Sequence, SequenceDb};
+use dbindex::DbIndex;
+use memsim::NullTracer;
+use parallel::parallel_map_dynamic;
+use qindex::QueryIndex;
+use scoring::{NeighborTable, SearchParams};
+
+pub use crate::kernels::mublastp::ReorderAlgo as SortAlgo;
+
+/// Which of the three engines to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Query-indexed baseline ("NCBI").
+    QueryIndexed,
+    /// Database-indexed with interleaved stages ("NCBI-db").
+    DbInterleaved,
+    /// Decoupled + pre-filtered + reordered ("muBLASTP").
+    MuBlastp,
+}
+
+/// Batch search configuration.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    pub kind: EngineKind,
+    pub params: SearchParams,
+    /// Worker threads for both the block loop's inner parallel-for and the
+    /// finish pass.
+    pub threads: usize,
+    /// Dynamic-scheduling chunk (queries handed out per grab).
+    pub chunk: usize,
+    /// Hit-reorder sort (muBLASTP only).
+    pub sort: SortAlgo,
+    /// Pre-filter hits before sorting (muBLASTP only; `false` = Alg. 1
+    /// post-filter mode, kept for the ablation benchmark).
+    pub prefilter: bool,
+    /// Override of the `(total residues, sequence count)` used for
+    /// E-value statistics. Distributed searches set this to the *global*
+    /// database size so per-partition results merge consistently
+    /// (Sec. IV-D2); `None` uses the local database.
+    pub effective_db: Option<(usize, usize)>,
+    /// Dispatch queries longest-first (LPT order) to the dynamic
+    /// scheduler. With input-sensitive per-query costs this shrinks the
+    /// end-of-batch straggler tail; results are returned in the original
+    /// batch order regardless.
+    pub longest_first: bool,
+}
+
+impl SearchConfig {
+    pub fn new(kind: EngineKind) -> SearchConfig {
+        SearchConfig {
+            kind,
+            params: SearchParams::blastp_defaults(),
+            threads: 1,
+            chunk: 1,
+            sort: SortAlgo::LsdRadix,
+            prefilter: true,
+            effective_db: None,
+            longest_first: false,
+        }
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> SearchConfig {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_params(mut self, params: SearchParams) -> SearchConfig {
+        self.params = params;
+        self
+    }
+}
+
+/// Search a query batch against a database.
+///
+/// `index` is required for the database-indexed engines and ignored by the
+/// query-indexed one. `neighbors` must have been built with
+/// `config.params.word_threshold`.
+///
+/// # Panics
+/// Panics if a database-indexed engine is requested without an index.
+pub fn search_batch(
+    db: &SequenceDb,
+    index: Option<&DbIndex>,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+) -> Vec<QueryResult> {
+    // SEG query masking (`blastp -seg yes`): hard-mask low-complexity
+    // query regions to X before any stage, for every engine alike.
+    let masked_storage: Vec<Sequence>;
+    let queries: &[Sequence] = if config.params.seg_filter {
+        masked_storage = queries
+            .iter()
+            .map(|q| {
+                Sequence::from_encoded(
+                    q.id.clone(),
+                    bioseq::seg_mask(q.residues(), &bioseq::SegParams::default()),
+                )
+            })
+            .collect();
+        &masked_storage
+    } else {
+        queries
+    };
+    let (db_residues, db_seqs) =
+        config.effective_db.unwrap_or((db.total_residues(), db.len()));
+    // LPT dispatch order (identity when disabled).
+    let dispatch: Vec<usize> = {
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        if config.longest_first {
+            order.sort_by_key(|&i| std::cmp::Reverse(queries[i].len()));
+        }
+        order
+    };
+    match config.kind {
+        EngineKind::QueryIndexed => {
+            let per_query = parallel_map_dynamic(
+                config.threads,
+                queries.len(),
+                config.chunk,
+                Scratch::new,
+                |scratch, slot| {
+                    let qi = dispatch[slot];
+                    let query = queries[qi].residues();
+                    let qidx = QueryIndex::build(query, neighbors);
+                    let mut counts = StageCounts::default();
+                    scratch.seeds.clear();
+                    let mut nt = NullTracer;
+                    let mut ctx = null_ctx(&mut nt);
+                    query_indexed::search_db(
+                        query,
+                        &qidx,
+                        db,
+                        &config.params,
+                        scratch,
+                        &mut counts,
+                        &mut ctx,
+                        &[],
+                    );
+                    (qi, std::mem::take(&mut scratch.seeds), counts)
+                },
+            );
+            let mut ordered: Vec<(Vec<Seed>, StageCounts)> =
+                (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+            for (qi, seeds, counts) in per_query {
+                ordered[qi] = (seeds, counts);
+            }
+            finish_all(db, queries, ordered, config, db_residues, db_seqs)
+        }
+        EngineKind::DbInterleaved | EngineKind::MuBlastp => {
+            let index = index.expect("database-indexed engines need a DbIndex");
+            let mut all: Vec<(Vec<Seed>, StageCounts)> =
+                (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+            // Alg. 3: serial block loop, parallel query loop inside.
+            for block in index.blocks() {
+                let per_query = parallel_map_dynamic(
+                    config.threads,
+                    queries.len(),
+                    config.chunk,
+                    Scratch::new,
+                    |scratch, slot| {
+                        let qi = dispatch[slot];
+                        let query = queries[qi].residues();
+                        let mut counts = StageCounts::default();
+                        scratch.seeds.clear();
+                        let mut nt = NullTracer;
+                        let mut ctx = null_ctx(&mut nt);
+                        match config.kind {
+                            EngineKind::DbInterleaved => db_interleaved::search_block(
+                                query,
+                                block,
+                                neighbors,
+                                &config.params,
+                                scratch,
+                                &mut counts,
+                                &mut ctx,
+                            ),
+                            EngineKind::MuBlastp => mublastp::search_block(
+                                query,
+                                block,
+                                neighbors,
+                                &config.params,
+                                scratch,
+                                &mut counts,
+                                &mut ctx,
+                                config.sort,
+                                config.prefilter,
+                            ),
+                            EngineKind::QueryIndexed => unreachable!(),
+                        }
+                        (qi, std::mem::take(&mut scratch.seeds), counts)
+                    },
+                );
+                for (qi, seeds, counts) in per_query {
+                    all[qi].0.extend(seeds);
+                    all[qi].1.add(&counts);
+                }
+            }
+            finish_all(db, queries, all, config, db_residues, db_seqs)
+        }
+    }
+}
+
+/// Search a batch against index blocks arriving from a stream (e.g.
+/// `dbindex::BlockStream` over a file) — the out-of-memory-index workflow
+/// the paper's block loop enables. Blocks are consumed one at a time, so
+/// peak memory is one block plus per-thread state. Only the
+/// database-indexed engines are meaningful here.
+///
+/// # Panics
+/// Panics if `config.kind` is [`EngineKind::QueryIndexed`].
+pub fn search_batch_streamed<I>(
+    db: &SequenceDb,
+    blocks: I,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+) -> Vec<QueryResult>
+where
+    I: IntoIterator<Item = dbindex::IndexBlock>,
+{
+    assert!(
+        !matches!(config.kind, EngineKind::QueryIndexed),
+        "streamed search is for database-indexed engines"
+    );
+    let masked_storage: Vec<Sequence>;
+    let queries: &[Sequence] = if config.params.seg_filter {
+        masked_storage = queries
+            .iter()
+            .map(|q| {
+                Sequence::from_encoded(
+                    q.id.clone(),
+                    bioseq::seg_mask(q.residues(), &bioseq::SegParams::default()),
+                )
+            })
+            .collect();
+        &masked_storage
+    } else {
+        queries
+    };
+    let (db_residues, db_seqs) =
+        config.effective_db.unwrap_or((db.total_residues(), db.len()));
+    let mut all: Vec<(Vec<Seed>, StageCounts)> =
+        (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+    for block in blocks {
+        let per_query = parallel_map_dynamic(
+            config.threads,
+            queries.len(),
+            config.chunk,
+            Scratch::new,
+            |scratch, qi| {
+                let query = queries[qi].residues();
+                let mut counts = StageCounts::default();
+                scratch.seeds.clear();
+                let mut nt = NullTracer;
+                let mut ctx = null_ctx(&mut nt);
+                match config.kind {
+                    EngineKind::DbInterleaved => db_interleaved::search_block(
+                        query,
+                        &block,
+                        neighbors,
+                        &config.params,
+                        scratch,
+                        &mut counts,
+                        &mut ctx,
+                    ),
+                    EngineKind::MuBlastp => mublastp::search_block(
+                        query,
+                        &block,
+                        neighbors,
+                        &config.params,
+                        scratch,
+                        &mut counts,
+                        &mut ctx,
+                        config.sort,
+                        config.prefilter,
+                    ),
+                    EngineKind::QueryIndexed => unreachable!(),
+                }
+                (std::mem::take(&mut scratch.seeds), counts)
+            },
+        );
+        for (qi, (seeds, counts)) in per_query.into_iter().enumerate() {
+            all[qi].0.extend(seeds);
+            all[qi].1.add(&counts);
+        }
+    }
+    finish_all(db, queries, all, config, db_residues, db_seqs)
+}
+
+/// Second parallel pass: gapped extension, ranking, traceback per query.
+fn finish_all(
+    db: &SequenceDb,
+    queries: &[Sequence],
+    per_query: Vec<(Vec<Seed>, StageCounts)>,
+    config: &SearchConfig,
+    db_residues: usize,
+    db_seqs: usize,
+) -> Vec<QueryResult> {
+    // Move seeds into per-index slots the workers can take from.
+    let slots: Vec<parking_lot::Mutex<(Vec<Seed>, StageCounts)>> =
+        per_query.into_iter().map(parking_lot::Mutex::new).collect();
+    parallel_map_dynamic(config.threads, queries.len(), config.chunk, || (), |_, qi| {
+        let (seeds, mut counts) = std::mem::take(&mut *slots[qi].lock());
+        let (alignments, gapped) =
+            finish_query(queries[qi].residues(), db, seeds, &config.params, db_residues, db_seqs);
+        counts.gapped = gapped;
+        counts.reported = alignments.len() as u64;
+        QueryResult { query_index: qi, alignments, counts }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbindex::IndexConfig;
+    use scoring::BLOSUM62;
+    use std::sync::OnceLock;
+
+    fn neighbors() -> &'static NeighborTable {
+        static T: OnceLock<NeighborTable> = OnceLock::new();
+        T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+    }
+
+    fn small_world() -> (SequenceDb, DbIndex, Vec<Sequence>) {
+        let db = datagen_like_db();
+        let index = DbIndex::build(
+            &db,
+            &IndexConfig { block_bytes: 2048, offset_bits: 15, frag_overlap: 16 },
+        );
+        let queries: Vec<Sequence> = (0..4)
+            .map(|i| {
+                let s = db.get(i * 3);
+                Sequence::from_encoded(format!("q{i}"), s.residues().to_vec())
+            })
+            .collect();
+        (db, index, queries)
+    }
+
+    /// A deterministic toy database with planted repeats (no RNG deps).
+    fn datagen_like_db() -> SequenceDb {
+        let motifs = ["WCHWMYFWCHW", "MKVLAARND", "HILKMFPSTW", "CQEGHILKMF"];
+        (0..24)
+            .map(|i| {
+                let m = motifs[i % motifs.len()];
+                let pad_a = "AG".repeat(3 + i % 5);
+                let pad_b = "VL".repeat(2 + i % 7);
+                Sequence::from_str_checked(
+                    format!("s{i}"),
+                    &format!("{pad_a}{m}{pad_b}{m}"),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_three_engines_report_identical_results() {
+        let (db, index, queries) = small_world();
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9; // tiny world → keep everything
+        let run = |kind| {
+            let config = SearchConfig::new(kind).with_params(params.clone());
+            search_batch(&db, Some(&index), neighbors(), &queries, &config)
+        };
+        let a = run(EngineKind::QueryIndexed);
+        let b = run(EngineKind::DbInterleaved);
+        let c = run(EngineKind::MuBlastp);
+        assert!(!a.iter().all(|r| r.alignments.is_empty()), "want non-trivial results");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.alignments, y.alignments, "NCBI vs NCBI-db");
+        }
+        for (x, y) in b.iter().zip(&c) {
+            assert_eq!(x.alignments, y.alignments, "NCBI-db vs muBLASTP");
+        }
+        // Database-indexed engines also agree on every stage counter.
+        for (x, y) in b.iter().zip(&c) {
+            assert_eq!(x.counts, y.counts);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (db, index, queries) = small_world();
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        let run = |threads| {
+            let config = SearchConfig::new(EngineKind::MuBlastp)
+                .with_params(params.clone())
+                .with_threads(threads);
+            search_batch(&db, Some(&index), neighbors(), &queries, &config)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn queries_find_their_own_source_sequence() {
+        let (db, index, queries) = small_world();
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        let config = SearchConfig::new(EngineKind::MuBlastp).with_params(params);
+        let results = search_batch(&db, Some(&index), neighbors(), &queries, &config);
+        for (i, r) in results.iter().enumerate() {
+            let expected_subject = (i * 3) as u32;
+            assert!(
+                r.alignments.iter().any(|a| a.subject == expected_subject),
+                "query {i} should at least find its source sequence: {:?}",
+                r.alignments
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need a DbIndex")]
+    fn db_engine_without_index_panics() {
+        let (db, _, queries) = small_world();
+        let config = SearchConfig::new(EngineKind::MuBlastp);
+        search_batch(&db, None, neighbors(), &queries, &config);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (db, index, _) = small_world();
+        let config = SearchConfig::new(EngineKind::MuBlastp);
+        let out = search_batch(&db, Some(&index), neighbors(), &[], &config);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Very long query support — the paper's declared future work
+//! ("In the future work, we will extend our muBLASTP for very long
+//! queries", Sec. VII), implemented with the same overlapped-window
+//! technique the paper already applies to long *subjects* (Sec. IV-A).
+//!
+//! A query longer than the window size is split into overlapped windows;
+//! each window runs the normal decoupled pipeline (bounding the diagonal
+//! space and last-hit arrays to window-sized structures); the per-window
+//! seeds are shifted back to whole-query coordinates, merged per
+//! `(subject, diagonal)` with boundary-crossing duplicates collapsed, and
+//! the ordinary finishing stages (gapped extension on the *full* query,
+//! E-values, traceback) run once per original query.
+//!
+//! The gapped x-drop re-extension is what heals window truncation: a seed
+//! cut at a window edge still re-extends across the whole query, so the
+//! reported alignments match an unsplit search except in adversarial
+//! cases where an ungapped region's score is concentrated entirely
+//! outside every window that saw part of it.
+
+use crate::driver::SearchConfig;
+use crate::finish::finish_query;
+use crate::kernels::{mublastp, null_ctx};
+use crate::results::{QueryResult, Seed, StageCounts};
+use crate::scratch::Scratch;
+use align::assembly::split_long;
+use bioseq::{Sequence, SequenceDb};
+use dbindex::DbIndex;
+use memsim::NullTracer;
+use parallel::parallel_map_dynamic;
+use scoring::NeighborTable;
+
+/// Window configuration for long-query splitting.
+#[derive(Clone, Copy, Debug)]
+pub struct LongQueryConfig {
+    /// Queries longer than this are split (default 4096).
+    pub window: usize,
+    /// Residues shared between consecutive windows — must comfortably
+    /// exceed the two-hit window plus typical ungapped extension length
+    /// (default 256).
+    pub overlap: usize,
+}
+
+impl Default for LongQueryConfig {
+    fn default() -> Self {
+        LongQueryConfig { window: 4096, overlap: 256 }
+    }
+}
+
+/// Search a batch that may contain very long queries with the muBLASTP
+/// engine. Short queries take the ordinary path via windowing trivially
+/// (a single window is exactly a normal search).
+pub fn search_batch_long(
+    db: &SequenceDb,
+    index: &DbIndex,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    long: LongQueryConfig,
+) -> Vec<QueryResult> {
+    assert!(long.overlap < long.window);
+    let (db_residues, db_seqs) =
+        config.effective_db.unwrap_or((db.total_residues(), db.len()));
+
+    // Expand long queries into windows, remembering their origin.
+    struct Window {
+        query_index: usize,
+        q_offset: usize,
+        residues: Vec<u8>,
+    }
+    let mut windows: Vec<Window> = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        for f in split_long(q.len(), long.window, long.overlap) {
+            windows.push(Window {
+                query_index: qi,
+                q_offset: f.offset,
+                residues: q.residues()[f.offset..f.offset + f.len].to_vec(),
+            });
+        }
+    }
+
+    // Per-window seeds, block loop outside (Alg. 3 structure preserved).
+    let mut per_query: Vec<(Vec<Seed>, StageCounts)> =
+        (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+    for block in index.blocks() {
+        let results = parallel_map_dynamic(
+            config.threads,
+            windows.len(),
+            config.chunk,
+            Scratch::new,
+            |scratch, wi| {
+                let w = &windows[wi];
+                let mut counts = StageCounts::default();
+                scratch.seeds.clear();
+                let mut nt = NullTracer;
+                let mut ctx = null_ctx(&mut nt);
+                mublastp::search_block(
+                    &w.residues,
+                    block,
+                    neighbors,
+                    &config.params,
+                    scratch,
+                    &mut counts,
+                    &mut ctx,
+                    config.sort,
+                    config.prefilter,
+                );
+                // Shift seeds into whole-query coordinates.
+                let mut seeds = std::mem::take(&mut scratch.seeds);
+                for s in &mut seeds {
+                    s.aln.q_start += w.q_offset as u32;
+                    s.aln.q_end += w.q_offset as u32;
+                }
+                (w.query_index, seeds, counts)
+            },
+        );
+        for (qi, seeds, counts) in results {
+            per_query[qi].0.extend(seeds);
+            per_query[qi].1.add(&counts);
+        }
+    }
+
+    // Merge window-boundary duplicates per (subject, fragment, diagonal):
+    // overlapping same-diagonal spans keep the best score, exactly like
+    // the subject-side assembly.
+    let slots: Vec<parking_lot::Mutex<(Vec<Seed>, StageCounts)>> =
+        per_query.into_iter().map(parking_lot::Mutex::new).collect();
+    parallel_map_dynamic(config.threads, queries.len(), config.chunk, || (), |_, qi| {
+        let (mut seeds, mut counts) = std::mem::take(&mut *slots[qi].lock());
+        seeds.sort_by_key(|s| {
+            (
+                s.subject,
+                s.frag_offset,
+                s.aln.diagonal(),
+                s.aln.q_start,
+                std::cmp::Reverse(s.aln.score),
+            )
+        });
+        let mut merged: Vec<Seed> = Vec::with_capacity(seeds.len());
+        for s in seeds {
+            match merged.last_mut() {
+                Some(prev)
+                    if prev.subject == s.subject
+                        && prev.frag_offset == s.frag_offset
+                        && prev.aln.diagonal() == s.aln.diagonal()
+                        && s.aln.q_start < prev.aln.q_end =>
+                {
+                    if s.aln.score > prev.aln.score {
+                        prev.aln = s.aln;
+                    }
+                }
+                _ => merged.push(s),
+            }
+        }
+        let (alignments, gapped) = finish_query(
+            queries[qi].residues(),
+            db,
+            merged,
+            &config.params,
+            db_residues,
+            db_seqs,
+        );
+        counts.gapped = gapped;
+        counts.reported = alignments.len() as u64;
+        QueryResult { query_index: qi, alignments, counts }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{search_batch, EngineKind};
+    use dbindex::IndexConfig;
+    use scoring::BLOSUM62;
+    use std::sync::OnceLock;
+
+    fn neighbors() -> &'static NeighborTable {
+        static T: OnceLock<NeighborTable> = OnceLock::new();
+        T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+    }
+
+    /// Deterministic pseudo-protein residues.
+    fn residues(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 20) as u8
+            })
+            .collect()
+    }
+
+    fn world() -> (SequenceDb, DbIndex, Vec<Sequence>) {
+        // Subjects carry copies of segments of a 1500-residue query at
+        // scattered positions (including one far beyond the first window).
+        let query = residues(1500, 42);
+        let mut subjects: Vec<Sequence> = Vec::new();
+        for (i, &(q_at, len)) in [(30usize, 60usize), (700, 80), (1380, 70)].iter().enumerate()
+        {
+            let mut s = residues(50, 100 + i as u64);
+            s.extend_from_slice(&query[q_at..q_at + len]);
+            s.extend_from_slice(&residues(40, 200 + i as u64));
+            subjects.push(Sequence::from_encoded(format!("s{i}"), s));
+        }
+        subjects.push(Sequence::from_encoded("noise", residues(300, 999)));
+        let db: SequenceDb = subjects.into_iter().collect();
+        let index = DbIndex::build(&db, &IndexConfig::default());
+        let queries = vec![Sequence::from_encoded("longq", query)];
+        (db, index, queries)
+    }
+
+    fn config() -> SearchConfig {
+        let mut c = SearchConfig::new(EngineKind::MuBlastp);
+        c.params.evalue_cutoff = 1e9;
+        c
+    }
+
+    #[test]
+    fn windowed_search_matches_direct_search() {
+        let (db, index, queries) = world();
+        let direct = search_batch(&db, Some(&index), neighbors(), &queries, &config());
+        let windowed = search_batch_long(
+            &db,
+            &index,
+            neighbors(),
+            &queries,
+            &config(),
+            LongQueryConfig { window: 400, overlap: 120 },
+        );
+        // Every planted region must be found in both, with equal best
+        // alignments (the gapped re-extension heals window truncation).
+        assert_eq!(direct[0].alignments.len(), windowed[0].alignments.len());
+        for (a, b) in direct[0].alignments.iter().zip(&windowed[0].alignments) {
+            assert_eq!(a.subject, b.subject);
+            assert_eq!(a.aln.score, b.aln.score, "{a:?} vs {b:?}");
+            assert_eq!(
+                (a.aln.q_start, a.aln.q_end, a.aln.s_start, a.aln.s_end),
+                (b.aln.q_start, b.aln.q_end, b.aln.s_start, b.aln.s_end)
+            );
+        }
+        assert!(direct[0].alignments.iter().any(|a| a.aln.q_start >= 1300),
+            "the region beyond the first window must be found");
+    }
+
+    #[test]
+    fn single_window_is_a_plain_search() {
+        let (db, index, queries) = world();
+        let direct = search_batch(&db, Some(&index), neighbors(), &queries, &config());
+        let one_window = search_batch_long(
+            &db,
+            &index,
+            neighbors(),
+            &queries,
+            &config(),
+            LongQueryConfig { window: 10_000, overlap: 256 },
+        );
+        assert_eq!(direct, one_window);
+    }
+
+    #[test]
+    fn short_and_long_queries_mix_in_one_batch() {
+        let (db, index, mut queries) = world();
+        queries.push(Sequence::from_encoded(
+            "short",
+            db.get(0).residues()[40..140].to_vec(),
+        ));
+        let out = search_batch_long(
+            &db,
+            &index,
+            neighbors(),
+            &queries,
+            &config(),
+            LongQueryConfig { window: 400, overlap: 120 },
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out[1].alignments.iter().any(|a| a.subject == 0));
+    }
+}

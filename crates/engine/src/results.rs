@@ -1,0 +1,109 @@
+//! Search result types and per-stage counters.
+
+use align::{GappedAlignment, UngappedAlignment};
+use bioseq::SequenceId;
+
+/// A high-scoring ungapped alignment produced by stage 2, still in
+/// *fragment* coordinates; the finish stages assemble fragments and map to
+/// whole-subject coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seed {
+    /// Original database sequence.
+    pub subject: SequenceId,
+    /// Offset of the fragment within the subject (0 for whole sequences).
+    pub frag_offset: u32,
+    /// The ungapped alignment, subject coordinates relative to the fragment.
+    pub aln: UngappedAlignment,
+}
+
+/// A reported alignment (after gapped extension + traceback).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alignment {
+    /// Subject sequence id in the database.
+    pub subject: SequenceId,
+    /// Gapped alignment with traceback, whole-subject coordinates.
+    pub aln: GappedAlignment,
+    /// Bit score under the gapped Karlin–Altschul parameters.
+    pub bit_score: f64,
+    /// E-value over the effective search space.
+    pub evalue: f64,
+}
+
+/// Per-stage work counters (paper Figs. 2 and 6 report these shapes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Word hits found by hit detection (before any filtering).
+    pub hits: u64,
+    /// Hit pairs surviving the two-hit distance rule (after pre-filtering —
+    /// `pairs / hits` is the paper's Fig. 6 percentage).
+    pub pairs: u64,
+    /// Ungapped extensions actually performed (pairs admitted by coverage).
+    pub extensions: u64,
+    /// Ungapped alignments reaching the gapped trigger (seeds).
+    pub seeds: u64,
+    /// Gapped extensions performed in the finish stage.
+    pub gapped: u64,
+    /// Alignments reported after E-value cutoff.
+    pub reported: u64,
+}
+
+impl StageCounts {
+    /// Accumulate another counter set.
+    pub fn add(&mut self, other: &StageCounts) {
+        self.hits += other.hits;
+        self.pairs += other.pairs;
+        self.extensions += other.extensions;
+        self.seeds += other.seeds;
+        self.gapped += other.gapped;
+        self.reported += other.reported;
+    }
+
+    /// Fraction of hits surviving the pre-filter (Fig. 6).
+    pub fn prefilter_survival(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.hits as f64
+        }
+    }
+}
+
+/// Everything reported for one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Index of the query within the submitted batch.
+    pub query_index: usize,
+    /// Reported alignments, best first.
+    pub alignments: Vec<Alignment>,
+    /// Stage counters for this query.
+    pub counts: StageCounts,
+}
+
+impl QueryResult {
+    /// Best bit score, if anything was reported.
+    pub fn best_bit_score(&self) -> Option<f64> {
+        self.alignments.first().map(|a| a.bit_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut a = StageCounts { hits: 10, pairs: 2, ..Default::default() };
+        let b = StageCounts { hits: 5, pairs: 1, extensions: 1, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.hits, 15);
+        assert_eq!(a.pairs, 3);
+        assert_eq!(a.extensions, 1);
+    }
+
+    #[test]
+    fn survival_fraction() {
+        let c = StageCounts { hits: 200, pairs: 8, ..Default::default() };
+        assert!((c.prefilter_survival() - 0.04).abs() < 1e-12);
+        assert_eq!(StageCounts::default().prefilter_survival(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-thread reusable search state.
+//!
+//! The paper's intra-node design (Sec. IV-D1) gives every thread its own
+//! last-hit arrays and hit buffers so the parallel query loop runs without
+//! contention or synchronisation; this module is that state. Everything is
+//! allocated once per worker and recycled across `(block, query)` pairs —
+//! epoch stamping makes the per-query reset O(1) instead of O(cells).
+
+use crate::hit::HitPair;
+use crate::results::Seed;
+use crate::twohit::PairFinder;
+
+/// Per-`(sequence, diagonal)` extension-coverage array for the interleaved
+/// engines (the second half of the paper's "last hit array is twice the
+/// number of positions"). muBLASTP does not need it: after sorting, a
+/// scalar [`crate::twohit::ExtensionGate`] suffices — one of the ways the
+/// decoupled pipeline shrinks its working set.
+pub struct CoverageArray {
+    epoch: u32,
+    stamps: Vec<u32>,
+    ext_reached: Vec<u32>,
+}
+
+impl Default for CoverageArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageArray {
+    pub fn new() -> CoverageArray {
+        CoverageArray { epoch: 0, stamps: Vec::new(), ext_reached: Vec::new() }
+    }
+
+    /// Prepare for a new (block, query) search over `cells` slots; O(1)
+    /// unless the capacity grows.
+    pub fn reset(&mut self, cells: usize) {
+        if self.stamps.len() < cells {
+            self.stamps = vec![0; cells];
+            self.ext_reached = vec![0; cells];
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+            if self.epoch == 0 {
+                self.stamps.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// Is a pair at `(cell, q_off)` admissible (not covered by a previous
+    /// extension on this diagonal)?
+    #[inline]
+    pub fn admits(&self, cell: usize, q_off: u32) -> bool {
+        self.stamps[cell] != self.epoch || self.ext_reached[cell] <= q_off
+    }
+
+    /// Record an extension on `cell` ending at `q_end`.
+    #[inline]
+    pub fn record(&mut self, cell: usize, q_end: u32) {
+        if self.stamps[cell] == self.epoch {
+            self.ext_reached[cell] = self.ext_reached[cell].max(q_end);
+        } else {
+            self.stamps[cell] = self.epoch;
+            self.ext_reached[cell] = q_end;
+        }
+    }
+
+    /// Bytes of backing storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.stamps.len() * 8
+    }
+}
+
+/// All per-thread state for one worker.
+pub struct Scratch {
+    /// Last-hit pair finder (detection / pre-filter).
+    pub finder: PairFinder,
+    /// Extension coverage for the interleaved engines.
+    pub coverage: CoverageArray,
+    /// Hit-pair buffer (muBLASTP's temporal buffer, Sec. IV-A).
+    pub pairs: Vec<HitPair>,
+    /// Per-sequence diagonal-array base offsets for the current block:
+    /// `diag_bases[i]` is the first cell of fragment `i`.
+    pub diag_bases: Vec<u32>,
+    /// Seeds produced for the current (block, query).
+    pub seeds: Vec<Seed>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch {
+            finder: PairFinder::new(40),
+            coverage: CoverageArray::new(),
+            pairs: Vec::new(),
+            diag_bases: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Compute the per-fragment diagonal bases for a block and query
+    /// length; returns the total cell count. Fragment `i` owns cells
+    /// `diag_bases[i] .. diag_bases[i] + len_i + query_len + 1`.
+    pub fn compute_diag_bases(&mut self, frag_lens: impl Iterator<Item = u32>, query_len: u32) -> usize {
+        self.diag_bases.clear();
+        let mut acc = 0u32;
+        for len in frag_lens {
+            self.diag_bases.push(acc);
+            acc += len + query_len + 1;
+        }
+        acc as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_admits_then_blocks() {
+        let mut c = CoverageArray::new();
+        c.reset(4);
+        assert!(c.admits(2, 10));
+        c.record(2, 50);
+        assert!(!c.admits(2, 49));
+        assert!(c.admits(2, 50));
+        assert!(c.admits(3, 0), "other cells unaffected");
+    }
+
+    #[test]
+    fn coverage_reset_is_clean() {
+        let mut c = CoverageArray::new();
+        c.reset(2);
+        c.record(0, 100);
+        c.reset(2);
+        assert!(c.admits(0, 0));
+    }
+
+    #[test]
+    fn coverage_record_keeps_max() {
+        let mut c = CoverageArray::new();
+        c.reset(1);
+        c.record(0, 50);
+        c.record(0, 30);
+        assert!(!c.admits(0, 49), "coverage must not shrink");
+    }
+
+    #[test]
+    fn diag_bases_prefix_sums() {
+        let mut s = Scratch::new();
+        let total = s.compute_diag_bases([10u32, 20, 5].into_iter(), 100);
+        assert_eq!(s.diag_bases, vec![0, 111, 232]);
+        assert_eq!(total, 111 + 121 + 106);
+    }
+
+    #[test]
+    fn diag_bases_empty_block() {
+        let mut s = Scratch::new();
+        assert_eq!(s.compute_diag_bases(std::iter::empty(), 100), 0);
+        assert!(s.diag_bases.is_empty());
+    }
+}

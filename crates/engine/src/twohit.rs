@@ -1,0 +1,215 @@
+//! The canonical two-hit diagonal discipline.
+//!
+//! All three engines must apply *identical* rules for when a pair of hits
+//! on a diagonal triggers an ungapped extension — that is what makes their
+//! outputs bit-identical (paper Sec. V-E). The rules, per
+//! `(subject sequence, diagonal)`:
+//!
+//! 1. every hit updates the diagonal's last-hit position (Alg. 2 line 11);
+//! 2. a hit whose distance to the previous hit is in `(0, window]` forms a
+//!    **candidate pair** (Alg. 1 line 9 / Alg. 2 line 8);
+//! 3. at extension time, a candidate pair already covered by a previous
+//!    extension on the same diagonal is skipped (Alg. 1 line 16);
+//! 4. the extension runs with the two-hit connection rule (the left
+//!    x-drop walk must reach the first hit) and, on success, records the
+//!    extension end as the coverage horizon (Alg. 1 lines 22/24).
+//!
+//! Steps 1–2 live in [`PairFinder`]; steps 3–4 in [`ExtensionGate`].
+//! The interleaved engines run both per hit; muBLASTP runs [`PairFinder`]
+//! during detection (the pre-filter) and [`ExtensionGate`] after sorting.
+
+/// Stateless pair-formation rule (step 2): the two hits must not overlap
+/// (NCBI ignores a hit closer than the word length to the previous one —
+/// without this rule the overlapping-word correlation floods the pipeline
+/// with degenerate pairs) and must lie within the two-hit window.
+#[inline]
+pub fn forms_pair(last_q: i64, q_off: u32, window: u32) -> bool {
+    // `last_q` may be an i64::MIN "no previous hit" sentinel; saturate.
+    let dist = (q_off as i64).saturating_sub(last_q);
+    dist >= bioseq::alphabet::WORD_LEN as i64 && dist <= window as i64
+}
+
+/// Whether a hit *overlaps* the previous hit on its diagonal (distance
+/// below the word length). Overlapping hits are ignored entirely: they
+/// neither pair nor replace the last hit (NCBI semantics).
+#[inline]
+pub fn overlaps_last(last_q: i64, q_off: u32) -> bool {
+    let dist = (q_off as i64).saturating_sub(last_q);
+    dist > 0 && dist < bioseq::alphabet::WORD_LEN as i64
+}
+
+/// Per-diagonal pair finder with O(1) reset via epoch stamping.
+///
+/// The backing array holds one slot per `(sequence, diagonal)` cell —
+/// this is the "last hit array" whose size the paper's block-size model
+/// (Sec. V-B) balances against the LLC. Epoch stamping avoids clearing
+/// the whole array for every query.
+pub struct PairFinder {
+    epoch: u32,
+    stamps: Vec<u32>,
+    last_q: Vec<u32>,
+    window: u32,
+}
+
+impl PairFinder {
+    /// Create a finder with no capacity; call [`PairFinder::reset`] before
+    /// use.
+    pub fn new(window: u32) -> PairFinder {
+        PairFinder { epoch: 0, stamps: Vec::new(), last_q: Vec::new(), window }
+    }
+
+    /// Prepare for a new (block, query) search over `cells` diagonal slots.
+    pub fn reset(&mut self, cells: usize, window: u32) {
+        self.window = window;
+        if self.stamps.len() < cells {
+            self.stamps = vec![0; cells];
+            self.last_q = vec![0; cells];
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+            if self.epoch == 0 {
+                // Epoch wrapped: hard-clear once per 2³² resets.
+                self.stamps.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// Observe a hit at `(cell, q_off)`. Returns `Some(distance)` when the
+    /// hit forms a candidate pair with the previous hit of this cell.
+    ///
+    /// Hits that *overlap* the previous hit (distance below the word
+    /// length) are ignored entirely — they neither pair nor replace the
+    /// last hit; all other hits become the cell's new last hit.
+    #[inline]
+    pub fn observe(&mut self, cell: usize, q_off: u32) -> Option<u32> {
+        let seen = self.stamps[cell] == self.epoch;
+        let last = self.last_q[cell];
+        if seen && overlaps_last(last as i64, q_off) {
+            return None;
+        }
+        self.stamps[cell] = self.epoch;
+        self.last_q[cell] = q_off;
+        if seen && forms_pair(last as i64, q_off, self.window) {
+            Some(q_off - last)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes of backing storage (for the block-size experiments).
+    pub fn memory_bytes(&self) -> usize {
+        self.stamps.len() * 4 + self.last_q.len() * 4
+    }
+
+    /// Raw parts for instrumented kernels that must trace array addresses:
+    /// (stamp slot size + value slot size) per cell, laid out as two
+    /// parallel arrays.
+    pub fn cells(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+/// Coverage gate for the extension stage (steps 3–4), streaming over hit
+/// pairs grouped by key.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtensionGate {
+    cur_key: Option<u32>,
+    ext_reached: i64,
+}
+
+impl Default for ExtensionGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtensionGate {
+    pub fn new() -> ExtensionGate {
+        ExtensionGate { cur_key: None, ext_reached: -1 }
+    }
+
+    /// Should the pair `(key, q_off)` be extended, or is it covered by a
+    /// previous extension on the same diagonal?
+    #[inline]
+    pub fn admits(&mut self, key: u32, q_off: u32) -> bool {
+        if self.cur_key != Some(key) {
+            self.cur_key = Some(key);
+            self.ext_reached = -1;
+        }
+        self.ext_reached <= q_off as i64
+    }
+
+    /// Record a successful extension ending at query offset `q_end`.
+    #[inline]
+    pub fn record_extension(&mut self, q_end: u32) {
+        self.ext_reached = self.ext_reached.max(q_end as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_forms_within_window_only() {
+        assert!(!forms_pair(i64::MIN, 5, 40)); // no previous hit
+        assert!(forms_pair(5, 10, 40));
+        assert!(forms_pair(5, 45, 40)); // distance exactly the window
+        assert!(!forms_pair(5, 46, 40));
+        assert!(!forms_pair(10, 10, 40)); // zero distance
+        // Overlapping hits (distance < W = 3) never pair.
+        assert!(!forms_pair(5, 6, 40));
+        assert!(!forms_pair(5, 7, 40));
+        assert!(forms_pair(5, 8, 40)); // first non-overlapping distance
+        assert!(overlaps_last(5, 6));
+        assert!(overlaps_last(5, 7));
+        assert!(!overlaps_last(5, 8));
+        assert!(!overlaps_last(5, 5));
+    }
+
+    #[test]
+    fn finder_tracks_per_cell_state() {
+        let mut f = PairFinder::new(40);
+        f.reset(4, 40);
+        assert_eq!(f.observe(0, 5), None); // first hit on diag 0
+        assert_eq!(f.observe(1, 6), None); // first hit on diag 1
+        assert_eq!(f.observe(0, 15), Some(10));
+        assert_eq!(f.observe(0, 100), None); // beyond window
+        assert_eq!(f.observe(0, 110), Some(10)); // measured from the last hit
+        assert_eq!(f.observe(1, 7), None, "overlapping hit is ignored");
+        assert_eq!(f.observe(1, 9), Some(3), "distance measured from 6, not 7");
+    }
+
+    #[test]
+    fn reset_discards_state_in_constant_time() {
+        let mut f = PairFinder::new(40);
+        f.reset(2, 40);
+        f.observe(0, 5);
+        f.reset(2, 40);
+        assert_eq!(f.observe(0, 6), None, "state must not leak across resets");
+    }
+
+    #[test]
+    fn reset_can_grow() {
+        let mut f = PairFinder::new(40);
+        f.reset(2, 40);
+        f.observe(1, 3);
+        f.reset(10, 40);
+        assert_eq!(f.observe(9, 1), None);
+        assert_eq!(f.observe(1, 4), None, "old cell state must be gone");
+    }
+
+    #[test]
+    fn gate_skips_covered_pairs() {
+        let mut g = ExtensionGate::new();
+        assert!(g.admits(7, 10));
+        g.record_extension(50);
+        assert!(!g.admits(7, 30), "q_off 30 < coverage 50");
+        assert!(g.admits(7, 50), "coverage is exclusive at the end");
+        assert!(g.admits(8, 30), "new diagonal resets coverage");
+        // Coverage is forgotten when the key changes: hit pairs must arrive
+        // grouped by key (which sorting / per-diagonal traversal guarantees).
+        assert!(g.admits(7, 30));
+    }
+}

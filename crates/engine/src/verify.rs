@@ -1,0 +1,85 @@
+//! Result verification (paper Sec. V-E).
+//!
+//! The paper validates every optimisation by checking that the outputs of
+//! every stage match NCBI-BLAST exactly. Here the analogous check is
+//! equality of reported alignments across the three engines (they share
+//! the finishing stages, so agreement of the reported alignments implies
+//! agreement of the seed sets that produced them).
+
+use crate::results::QueryResult;
+
+/// Compare two result batches for exact agreement.
+///
+/// Returns `Ok(())` or a description of the first divergence.
+pub fn results_identical(a: &[QueryResult], b: &[QueryResult]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("batch sizes differ: {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        if x.query_index != y.query_index {
+            return Err(format!("query order differs: {} vs {}", x.query_index, y.query_index));
+        }
+        if x.alignments.len() != y.alignments.len() {
+            return Err(format!(
+                "query {}: {} vs {} alignments",
+                x.query_index,
+                x.alignments.len(),
+                y.alignments.len()
+            ));
+        }
+        for (i, (p, q)) in x.alignments.iter().zip(&y.alignments).enumerate() {
+            if p != q {
+                return Err(format!(
+                    "query {} alignment {}: {:?} vs {:?}",
+                    x.query_index, i, p, q
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::{Alignment, StageCounts};
+    use align::GappedAlignment;
+
+    fn qr(idx: usize, score: i32) -> QueryResult {
+        QueryResult {
+            query_index: idx,
+            alignments: vec![Alignment {
+                subject: 0,
+                aln: GappedAlignment {
+                    q_start: 0,
+                    q_end: 5,
+                    s_start: 0,
+                    s_end: 5,
+                    score,
+                    ops: vec![],
+                },
+                bit_score: score as f64,
+                evalue: 1.0,
+            }],
+            counts: StageCounts::default(),
+        }
+    }
+
+    #[test]
+    fn identical_batches_pass() {
+        assert!(results_identical(&[qr(0, 50)], &[qr(0, 50)]).is_ok());
+    }
+
+    #[test]
+    fn divergences_reported() {
+        assert!(results_identical(&[qr(0, 50)], &[qr(0, 51)])
+            .unwrap_err()
+            .contains("alignment 0"));
+        assert!(results_identical(&[qr(0, 50)], &[]).unwrap_err().contains("batch sizes"));
+        let mut extra = qr(0, 50);
+        extra.alignments.push(extra.alignments[0].clone());
+        assert!(results_identical(&[qr(0, 50)], &[extra])
+            .unwrap_err()
+            .contains("1 vs 2"));
+    }
+}

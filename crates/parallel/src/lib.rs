@@ -1,0 +1,257 @@
+//! An OpenMP-style `parallel for schedule(dynamic)` on scoped threads.
+//!
+//! The paper's intra-node parallelisation (Alg. 3) is
+//! `#pragma omp parallel for schedule(dynamic)` over the queries of a
+//! batch, *inside* a serial loop over index blocks, with per-thread scratch
+//! state (last-hit arrays, hit buffers) to avoid contention and
+//! synchronisation. This crate reproduces that model:
+//!
+//! * work items are handed out through an atomic cursor in chunks
+//!   (dynamic scheduling — BLAST is input-sensitive, so static partitioning
+//!   of queries load-imbalances badly, see paper Sec. IV-D);
+//! * every worker owns a scratch value created by an `init` closure at
+//!   spawn time and reused across all its items (the paper's per-thread
+//!   last-hit arrays);
+//! * threads are scoped (crossbeam), so borrowing shared read-only data —
+//!   the index block, the database — needs no `Arc`.
+//!
+//! We deliberately do not use rayon: the execution structure here *is* the
+//! system under study, and owning it keeps the schedule identical to the
+//! paper's.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Number of worker threads to use by default (the machine's available
+/// parallelism, or 1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Dynamic-scheduled parallel for: run `body(&mut scratch, i)` for every
+/// `i in 0..n` on `threads` workers, handing out indices in chunks of
+/// `chunk`. `init` runs once per worker to build its scratch state.
+///
+/// With `threads == 1` the loop runs inline on the caller's thread (no
+/// spawn), which keeps single-threaded benchmarks free of pool overhead.
+///
+/// # Panics
+/// Panics if `threads == 0` or `chunk == 0`. Panics from `body` propagate.
+pub fn parallel_for_dynamic<S, INIT, F>(threads: usize, n: usize, chunk: usize, init: INIT, body: F)
+where
+    S: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert!(chunk > 0, "chunk size must be positive");
+    if n == 0 {
+        return;
+    }
+    if threads == 1 {
+        let mut scratch = init();
+        for i in 0..n {
+            body(&mut scratch, i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| {
+                let mut scratch = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        body(&mut scratch, i);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Static-scheduled parallel for: pre-partitions `0..n` into `threads`
+/// contiguous ranges, one per worker — `#pragma omp parallel for
+/// schedule(static)`. Kept for the scheduling ablation: BLAST's per-query
+/// cost is input-sensitive, so static partitioning load-imbalances where
+/// the dynamic schedule does not (paper Sec. IV-D).
+pub fn parallel_for_static<S, INIT, F>(threads: usize, n: usize, init: INIT, body: F)
+where
+    S: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if n == 0 {
+        return;
+    }
+    if threads == 1 {
+        let mut scratch = init();
+        for i in 0..n {
+            body(&mut scratch, i);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    let (init, body) = (&init, &body);
+    crossbeam::scope(|scope| {
+        for t in 0..threads.min(n) {
+            scope.spawn(move |_| {
+                let mut scratch = init();
+                for i in (t * per)..((t + 1) * per).min(n) {
+                    body(&mut scratch, i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Dynamic-scheduled parallel map: like [`parallel_for_dynamic`] but
+/// collects `body`'s return values in index order.
+pub fn parallel_map_dynamic<T, S, INIT, F>(
+    threads: usize,
+    n: usize,
+    chunk: usize,
+    init: INIT,
+    body: F,
+) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads == 1 || n <= 1 {
+        assert!(threads > 0, "need at least one thread");
+        let mut scratch = init();
+        return (0..n).map(|i| body(&mut scratch, i)).collect();
+    }
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    parallel_for_dynamic(threads, n, chunk, init, |scratch, i| {
+        let v = body(scratch, i);
+        // One short lock per item; items here are whole-query searches, so
+        // the critical section is negligible against the work.
+        results.lock().push((i, v));
+    });
+    let mut all = results.into_inner();
+    all.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(all.len(), n, "lost results");
+    all.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let n = 1000;
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(4, n, 7, || (), |_, i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // threads == 1 must preserve index order (inline execution).
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        parallel_for_dynamic(1, 5, 2, || (), |_, i| {
+            order.lock().push(i);
+        });
+        assert_eq!(order.into_inner(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        // Each worker counts its own items; the counts must sum to n and
+        // every worker that ran processed at least one chunk.
+        let n = 256;
+        let total = AtomicUsize::new(0);
+        parallel_for_dynamic(
+            4,
+            n,
+            8,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                // Report on every item; idempotent because we add 1 each time.
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn map_returns_in_order() {
+        let out = parallel_map_dynamic(4, 500, 3, || (), |_, i| i * i);
+        let expect: Vec<usize> = (0..500).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn map_single_threaded() {
+        let out = parallel_map_dynamic(1, 10, 4, || (), |_, i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        parallel_for_dynamic(4, 0, 1, || (), |_, _| panic!("no items"));
+        let out: Vec<usize> = parallel_map_dynamic(4, 0, 1, || (), |_, i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        parallel_for_dynamic(0, 10, 1, || (), |_, _| {});
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn static_schedule_visits_every_index_once() {
+        let n = 999;
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_static(4, n, || (), |_, i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn static_schedule_partitions_contiguously() {
+        // Each worker's scratch records its indices; ranges are contiguous.
+        let ranges: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::new());
+        parallel_for_static(
+            3,
+            30,
+            Vec::<usize>::new,
+            |local, i| {
+                local.push(i);
+                if local.len() == 10 {
+                    ranges.lock().push(local.clone());
+                }
+            },
+        );
+        let mut r = ranges.into_inner();
+        r.sort();
+        assert_eq!(r.len(), 3);
+        for chunk in &r {
+            assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1), "{chunk:?}");
+        }
+    }
+}

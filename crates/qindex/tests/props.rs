@@ -1,0 +1,64 @@
+//! Property tests: both query-index representations (lookup table and
+//! DFA) agree with a naive neighbor scan on arbitrary queries.
+
+use bioseq::alphabet::{Word, WordIter, WORD_SPACE};
+use proptest::prelude::*;
+use qindex::{DfaIndex, QueryIndex};
+use scoring::{NeighborTable, BLOSUM62};
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+fn residues(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..24, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Table lookups equal the naive neighbor relation for sampled words.
+    #[test]
+    fn table_matches_naive(q in residues(0..80), probe in 0u32..WORD_SPACE as u32) {
+        let idx = QueryIndex::build(&q, neighbors());
+        let naive: Vec<u32> = WordIter::new(&q)
+            .filter(|&(_, qw)| neighbors().neighbors(qw).contains(&probe))
+            .map(|(p, _)| p)
+            .collect();
+        prop_assert_eq!(idx.lookup(probe), naive.as_slice());
+        prop_assert_eq!(idx.is_present(probe), !naive.is_empty());
+    }
+
+    /// The DFA agrees with the table on every word (sampled query).
+    #[test]
+    fn dfa_matches_table(q in residues(0..60)) {
+        let table = QueryIndex::build(&q, neighbors());
+        let dfa = DfaIndex::build(&q, neighbors());
+        prop_assert_eq!(dfa.query_len(), table.query_len());
+        for w in (0..WORD_SPACE as Word).step_by(97) {
+            prop_assert_eq!(dfa.lookup(w), table.lookup(w), "word {}", w);
+        }
+    }
+
+    /// Streaming the DFA over an arbitrary subject yields exactly the
+    /// table's hit stream.
+    #[test]
+    fn dfa_scanner_matches_table_scan(q in residues(3..60), s in residues(0..80)) {
+        let table = QueryIndex::build(&q, neighbors());
+        let dfa = DfaIndex::build(&q, neighbors());
+        prop_assert!(qindex::dfa::hit_streams_equal(&dfa, &table, &s));
+    }
+
+    /// Total stored positions equal the sum of neighbor list lengths of
+    /// the query's words.
+    #[test]
+    fn total_positions_counts_neighbor_expansion(q in residues(0..100)) {
+        let idx = QueryIndex::build(&q, neighbors());
+        let expect: usize = WordIter::new(&q)
+            .map(|(_, w)| neighbors().neighbors(w).len())
+            .sum();
+        prop_assert_eq!(idx.total_positions(), expect);
+    }
+}

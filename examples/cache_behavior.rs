@@ -1,0 +1,58 @@
+//! Show the memory-hierarchy behaviour behind the paper's Fig. 2: the
+//! same heuristics behave regularly with a query index, irregularly with
+//! a naive database index, and regularly again after muBLASTP's
+//! restructuring. Miss rates come from the trace-driven cache/TLB
+//! simulator (`memsim`) standing in for hardware counters.
+//!
+//! ```sh
+//! cargo run --release --example cache_behavior [residues]
+//! ```
+
+use datagen::{sample_queries, synthesize_db, DbSpec};
+use engine::{trace_engine, EngineKind};
+use memsim::HierarchyConfig;
+use mublastp::prelude::*;
+
+fn main() {
+    let residues: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4_000_000);
+    println!("Synthesizing an env_nr-like database of {residues} residues ...");
+    let db = synthesize_db(&DbSpec::env_nr(), residues, 5);
+    let query = sample_queries(&db, 512, 1, 9).pop().unwrap();
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let params = SearchParams::blastp_defaults();
+
+    println!("Tracing hit detection + ungapped extension for a 512-residue query");
+    println!("through a simulated Haswell hierarchy (32K L1 / 256K L2 / 30M L3):\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "engine", "LLC miss%", "TLB miss%", "stalled%", "L1 accesses"
+    );
+    for kind in [EngineKind::QueryIndexed, EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+        let r = trace_engine(
+            kind,
+            &db,
+            Some(&index),
+            &neighbors,
+            &query,
+            &params,
+            HierarchyConfig::default(),
+        );
+        println!(
+            "{:<14} {:>9.2}% {:>9.2}% {:>9.1}% {:>12}",
+            format!("{kind:?}"),
+            100.0 * r.stats.llc_miss_rate(),
+            100.0 * r.stats.tlb_miss_rate(),
+            100.0 * r.stalled_fraction,
+            r.stats.l1.accesses
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 2): the interleaved database-indexed\n\
+         engine (NCBI-db) suffers the highest LLC/TLB miss rates; muBLASTP's\n\
+         decoupled + sorted pipeline brings them back down."
+    );
+}

@@ -1,0 +1,71 @@
+//! Multi-node muBLASTP (paper Sec. IV-D, Fig. 10):
+//!
+//! 1. run the *real* distributed algorithm on a few thread-backed ranks
+//!    and verify the merged output equals a single-node search;
+//! 2. simulate strong scaling of muBLASTP-MPI vs mpiBLAST to 128 nodes
+//!    with compute costs calibrated from real engine runs.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use cluster::{
+    distributed_search, simulate_mpiblast, simulate_mublastp, CalibratedCost, ClusterParams,
+};
+use datagen::{sample_queries, synthesize_db, DbSpec};
+use mublastp::prelude::*;
+
+fn main() {
+    let db = synthesize_db(&DbSpec::env_nr(), 1_000_000, 21);
+    let queries = sample_queries(&db, 256, 6, 4);
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let index_config = IndexConfig::default();
+
+    // --- Part 1: real distributed execution on thread-backed ranks -----
+    println!("Distributed search on 4 thread-backed ranks ...");
+    let config = SearchConfig::new(EngineKind::MuBlastp);
+    let dist = distributed_search(&db, &queries, &neighbors, &index_config, &config, 4);
+    let sorted = db.sorted_by_length();
+    let index = DbIndex::build(&sorted, &index_config);
+    let reference = search_batch(&sorted, Some(&index), &neighbors, &queries, &config);
+    results_identical(&reference, &dist.results)
+        .expect("distributed result must equal single-node result");
+    println!("  merged output identical to a single-node search ✓");
+
+    // --- Part 2: calibrated strong-scaling simulation -------------------
+    println!("\nCalibrating per-work cost from real engine runs ...");
+    let cost_mu = CalibratedCost::calibrate(&sorted, &index, &neighbors, &queries, &config);
+    let cfg_ncbi = SearchConfig::new(EngineKind::QueryIndexed);
+    let cost_mpib =
+        CalibratedCost::calibrate(&sorted, &index, &neighbors, &queries, &cfg_ncbi);
+    println!("  muBLASTP k = {:.3e} s/(q·res), mpiBLAST k = {:.3e}", cost_mu.k, cost_mpib.k);
+
+    // Scale the workload to the paper's: env_nr-sized database, 128 queries.
+    let seq_lens: Vec<usize> = (0..6_000_000usize).map(|i| 60 + (i * 37) % 600).collect();
+    let query_lens = vec![256usize; 128];
+    let params = ClusterParams::default();
+    let one_mu = simulate_mublastp(&seq_lens, &query_lens, 1, 16, &cost_mu, &params);
+    let one_mpib = simulate_mpiblast(&seq_lens, &query_lens, 1, 16, &cost_mpib, &params);
+    println!(
+        "\n{:<7} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "nodes", "muBLASTP(s)", "mpiBLAST(s)", "eff-mu", "eff-mpib", "speedup"
+    );
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let mu = simulate_mublastp(&seq_lens, &query_lens, nodes, 16, &cost_mu, &params);
+        let mpib = simulate_mpiblast(&seq_lens, &query_lens, nodes, 16, &cost_mpib, &params);
+        println!(
+            "{:<7} {:>12.1} {:>12.1} {:>7.0}% {:>7.0}% {:>8.1}x",
+            nodes,
+            mu.makespan,
+            mpib.makespan,
+            100.0 * mu.efficiency_vs(&one_mu),
+            100.0 * mpib.efficiency_vs(&one_mpib),
+            mpib.makespan / mu.makespan
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 10): muBLASTP scales nearly linearly\n\
+         (88-92% efficiency) while mpiBLAST's efficiency collapses (31-57%),\n\
+         giving muBLASTP a 2.2-8.9x advantage at 128 nodes."
+    );
+}

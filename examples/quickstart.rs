@@ -1,0 +1,72 @@
+//! Quickstart: generate a small synthetic protein database, search a few
+//! queries with muBLASTP, and print BLAST-style reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use datagen::{sample_queries, synthesize_db, DbSpec};
+use mublastp::prelude::*;
+
+fn main() {
+    // 1. A small synthetic stand-in for uniprot_sprot (~2 MB of residues).
+    println!("Synthesizing database ...");
+    let db = synthesize_db(&DbSpec::uniprot_sprot(), 2_000_000, 42);
+    let stats = db.stats();
+    println!(
+        "  {} sequences, {} residues (median len {}, mean {:.0})",
+        stats.count, stats.total_residues, stats.median_len, stats.mean_len
+    );
+
+    // 2. Build the reusable search structures: the neighboring-word table
+    //    (matrix-dependent) and the blocked database index.
+    println!("Building neighbor table and database index ...");
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    println!(
+        "  {} blocks, {} positions, ~{} KiB per block",
+        index.blocks().len(),
+        index.total_positions(),
+        index.config().block_bytes / 1024,
+    );
+
+    // 3. Sample three queries from the database (guaranteed homology) and
+    //    search with the muBLASTP engine on all cores.
+    let queries = sample_queries(&db, 256, 3, 7);
+    let config = SearchConfig::new(EngineKind::MuBlastp).with_threads(parallel::default_threads());
+    println!("Searching {} queries ...", queries.len());
+    let results = search_batch(&db, Some(&index), &neighbors, &queries, &config);
+
+    // 4. Report the top alignments.
+    for (query, result) in queries.iter().zip(&results) {
+        println!("\n=== Query {} (length {}) ===", query.id, query.len());
+        println!(
+            "  stage counts: {} hits -> {} pairs -> {} extensions -> {} seeds -> {} gapped",
+            result.counts.hits,
+            result.counts.pairs,
+            result.counts.extensions,
+            result.counts.seeds,
+            result.counts.gapped
+        );
+        for aln in result.alignments.iter().take(3) {
+            let subject = db.get(aln.subject);
+            println!(
+                "\n> {}  score {}  bits {:.1}  E = {:.2e}",
+                subject.id, aln.aln.score, aln.bit_score, aln.evalue
+            );
+            print!(
+                "{}",
+                format_alignment(
+                    &aln.aln,
+                    query.residues(),
+                    subject.residues(),
+                    &BLOSUM62,
+                    60
+                )
+            );
+        }
+        if result.alignments.is_empty() {
+            println!("  no alignments above the E-value cutoff");
+        }
+    }
+}

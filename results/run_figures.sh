@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate every paper figure. MUBLASTP_SCALE=0.5 halves the default
+# database sizes (sprot 2.5M / env_nr 8M residues) so the full suite
+# completes in ~25 minutes on one core; raise for bigger machines.
+export MUBLASTP_SCALE=${MUBLASTP_SCALE:-0.5}
+export MUBLASTP_QUERIES=${MUBLASTP_QUERIES:-8}
+cd "$(dirname "$0")/.."
+for fig in fig7 fig6 fig10 fig2 fig8 fig9; do
+  echo "=== $fig (SCALE=$MUBLASTP_SCALE QUERIES=$MUBLASTP_QUERIES) ==="
+  cargo run --release -p bench --bin $fig 2>/dev/null
+  echo
+done

@@ -1,0 +1,323 @@
+//! The muBLASTP command-line tool.
+//!
+//! ```text
+//! mublastp gen    --kind sprot|envnr --residues N --out db.fasta [--seed S]
+//! mublastp index  --db db.fasta --out db.mbi [--block-kb N]
+//! mublastp info   --index db.mbi
+//! mublastp search --db db.fasta --query q.fasta [--index db.mbi]
+//!                 [--engine mublastp|ncbi|ncbi-db] [--threads N]
+//!                 [--evalue X] [--max-hits N] [--format report|tsv]
+//! mublastp distributed --db db.fasta --query q.fasta --ranks N
+//!                 [--threads-per-rank N] [--evalue X] [--max-hits N]
+//! ```
+//!
+//! `search` builds the index on the fly when `--index` is not given (and
+//! the engine needs one). The index file is the binary format of
+//! `dbindex::serial` — build once, reuse across query batches, exactly
+//! the workflow the paper's database-index design targets.
+
+use mublastp::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "index" => cmd_index(rest),
+        "info" => cmd_info(rest),
+        "search" => cmd_search(rest),
+        "distributed" => cmd_distributed(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+muBLASTP — database-indexed protein sequence search
+
+USAGE:
+  mublastp gen    --kind sprot|envnr --residues N --out db.fasta [--seed S]
+  mublastp index  --db db.fasta --out db.mbi [--block-kb N] [--threads N]
+  mublastp info   --index db.mbi
+  mublastp search --db db.fasta --query q.fasta [--index db.mbi]
+                  [--engine mublastp|ncbi|ncbi-db] [--threads N]
+                  [--evalue X] [--max-hits N] [--format report|tsv|tsv6|tsv7]
+                  [--seg yes]
+  mublastp distributed --db db.fasta --query q.fasta --ranks N
+                  [--threads-per-rank N] [--evalue X] [--max-hits N]";
+
+/// Minimal `--flag value` parser.
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag {name}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: '{v}'")),
+        }
+    }
+}
+
+fn load_fasta(path: &str) -> Result<Vec<Sequence>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_fasta(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let kind = flags.require("--kind")?;
+    let spec = match kind {
+        "sprot" => datagen::DbSpec::uniprot_sprot(),
+        "envnr" => datagen::DbSpec::env_nr(),
+        other => return Err(format!("unknown database kind '{other}' (sprot|envnr)")),
+    };
+    let residues: usize = flags.parse("--residues", 1_000_000)?;
+    let seed: u64 = flags.parse("--seed", 42u64)?;
+    let out = flags.require("--out")?;
+    let db = datagen::synthesize_db(&spec, residues, seed);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_fasta(BufWriter::new(file), db.sequences()).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} sequences / {} residues to {out}",
+        db.len(),
+        db.total_residues()
+    );
+    Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let db_path = flags.require("--db")?;
+    let out = flags.require("--out")?;
+    let block_kb: usize = flags.parse("--block-kb", 512usize)?;
+    let threads: usize = flags.parse("--threads", parallel::default_threads())?;
+    let db: SequenceDb = load_fasta(db_path)?.into_iter().collect();
+    let config = IndexConfig { block_bytes: block_kb << 10, ..IndexConfig::default() };
+    let index = DbIndex::build_parallel(&db, &config, threads);
+    let bytes = dbindex::write_index(&index);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "indexed {} sequences / {} residues into {} blocks ({} positions, {} bytes)",
+        db.len(),
+        db.total_residues(),
+        index.blocks().len(),
+        index.total_positions(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let path = flags.require("--index")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let index = dbindex::read_index(&bytes).map_err(|e| e.to_string())?;
+    println!("index: {path}");
+    println!("  blocks:        {}", index.blocks().len());
+    println!("  positions:     {}", index.total_positions());
+    println!("  block target:  {} KiB", index.config().block_bytes >> 10);
+    println!("  offset bits:   {}", index.config().offset_bits);
+    for (i, b) in index.blocks().iter().enumerate().take(8) {
+        println!(
+            "  block {i}: {} fragments, {} residues, longest {}, {} KiB",
+            b.n_seqs(),
+            b.total_residues(),
+            b.max_seq_len(),
+            b.memory_bytes() >> 10
+        );
+    }
+    if index.blocks().len() > 8 {
+        println!("  … {} more blocks", index.blocks().len() - 8);
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let db_path = flags.require("--db")?;
+    let query_path = flags.require("--query")?;
+    let engine = flags.get("--engine").unwrap_or("mublastp");
+    let kind = match engine {
+        "mublastp" => EngineKind::MuBlastp,
+        "ncbi" => EngineKind::QueryIndexed,
+        "ncbi-db" => EngineKind::DbInterleaved,
+        other => return Err(format!("unknown engine '{other}' (mublastp|ncbi|ncbi-db)")),
+    };
+    let threads: usize = flags.parse("--threads", parallel::default_threads())?;
+    let evalue: f64 = flags.parse("--evalue", 10.0f64)?;
+    let max_hits: usize = flags.parse("--max-hits", 25usize)?;
+    let format = flags.get("--format").unwrap_or("report");
+    let seg = matches!(flags.get("--seg"), Some("yes"));
+
+    let db: SequenceDb = load_fasta(db_path)?.into_iter().collect();
+    let queries = load_fasta(query_path)?;
+    if queries.is_empty() {
+        return Err("query file holds no sequences".into());
+    }
+
+    // Load or build the index for the database-indexed engines.
+    let index = if matches!(kind, EngineKind::QueryIndexed) {
+        None
+    } else if let Some(path) = flags.get("--index") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Some(dbindex::read_index(&bytes).map_err(|e| e.to_string())?)
+    } else {
+        Some(DbIndex::build(&db, &IndexConfig::default()))
+    };
+
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let mut config = SearchConfig::new(kind).with_threads(threads);
+    config.params.evalue_cutoff = evalue;
+    config.params.max_reported = max_hits;
+    config.params.seg_filter = seg;
+    let results = search_batch(&db, index.as_ref(), &neighbors, &queries, &config);
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    if format == "tsv6" {
+        engine::write_tabular(&mut out, &queries, &results, &db).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    if format == "tsv7" {
+        engine::write_tabular_commented(&mut out, &queries, &results, &db)
+            .map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    for (query, result) in queries.iter().zip(&results) {
+        match format {
+            "tsv" => {
+                for a in &result.alignments {
+                    let subject = db.get(a.subject);
+                    let idents = a.aln.identities(query.residues(), subject.residues());
+                    let span = a.aln.ops.len().max(1);
+                    writeln!(
+                        out,
+                        "{}\t{}\t{:.1}\t{:.2e}\t{:.1}\t{}\t{}\t{}\t{}",
+                        query.id,
+                        subject.id,
+                        a.bit_score,
+                        a.evalue,
+                        100.0 * idents as f64 / span as f64,
+                        a.aln.q_start + 1,
+                        a.aln.q_end,
+                        a.aln.s_start + 1,
+                        a.aln.s_end
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            _ => {
+                writeln!(out, "Query= {} ({} letters)\n", query.id, query.len())
+                    .map_err(|e| e.to_string())?;
+                if result.alignments.is_empty() {
+                    writeln!(out, "  ***** No hits found *****\n").map_err(|e| e.to_string())?;
+                }
+                for a in &result.alignments {
+                    let subject = db.get(a.subject);
+                    writeln!(
+                        out,
+                        "> {} {}\n  Score = {:.1} bits ({}),  Expect = {:.2e}",
+                        subject.id, subject.description, a.bit_score, a.aln.score, a.evalue
+                    )
+                    .map_err(|e| e.to_string())?;
+                    write!(
+                        out,
+                        "{}",
+                        align::pretty::format_alignment(
+                            &a.aln,
+                            query.residues(),
+                            subject.residues(),
+                            &BLOSUM62,
+                            60
+                        )
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the muBLASTP inter-node algorithm on thread-backed ranks
+/// (Sec. IV-D2/3): length-sorted round-robin partitions, per-rank
+/// indexes, one batched merge at rank 0.
+fn cmd_distributed(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let db_path = flags.require("--db")?;
+    let query_path = flags.require("--query")?;
+    let ranks: usize = flags.parse("--ranks", 4usize)?;
+    let threads: usize = flags.parse("--threads-per-rank", 1usize)?;
+    let evalue: f64 = flags.parse("--evalue", 10.0f64)?;
+    let max_hits: usize = flags.parse("--max-hits", 25usize)?;
+    if ranks == 0 {
+        return Err("--ranks must be positive".into());
+    }
+
+    let db: SequenceDb = load_fasta(db_path)?.into_iter().collect();
+    let queries = load_fasta(query_path)?;
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let mut config = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
+    config.params.evalue_cutoff = evalue;
+    config.params.max_reported = max_hits;
+    let out = cluster::distributed_search(
+        &db,
+        &queries,
+        &neighbors,
+        &IndexConfig::default(),
+        &config,
+        ranks,
+    );
+    // Subject ids refer to the length-sorted database.
+    let sorted = db.sorted_by_length();
+    let stdout = std::io::stdout();
+    let mut w = BufWriter::new(stdout.lock());
+    for (query, result) in queries.iter().zip(&out.results) {
+        writeln!(w, "Query= {} ({} letters, {} ranks)", query.id, query.len(), ranks)
+            .map_err(|e| e.to_string())?;
+        for a in &result.alignments {
+            let subject = sorted.get(a.subject);
+            writeln!(
+                w,
+                "  {}\t{:.1} bits\tE = {:.2e}\tq {}..{}\ts {}..{}",
+                subject.id,
+                a.bit_score,
+                a.evalue,
+                a.aln.q_start + 1,
+                a.aln.q_end,
+                a.aln.s_start + 1,
+                a.aln.s_end
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The cluster cost model calibrates from real engine runs and feeds the
+//! Fig. 10 scaling simulation — sanity-check the whole chain.
+
+use cluster::{simulate_mpiblast, simulate_mublastp, CalibratedCost, ClusterParams};
+use datagen::{sample_queries, synthesize_db, DbSpec};
+use mublastp::prelude::*;
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+#[test]
+fn calibration_yields_physical_constants() {
+    let db = synthesize_db(&DbSpec::env_nr(), 300_000, 17).sorted_by_length();
+    let queries = sample_queries(&db, 256, 3, 5);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let cost = CalibratedCost::calibrate(
+        &db,
+        &index,
+        neighbors(),
+        &queries,
+        &SearchConfig::new(EngineKind::MuBlastp),
+    );
+    // k is seconds per (query residue × database residue): for any sane
+    // machine this sits somewhere around 1e-12 … 1e-8.
+    assert!(cost.k > 1e-13 && cost.k < 1e-7, "k = {}", cost.k);
+    assert!(cost.task_overhead >= 50e-6);
+    // Cost must scale with work.
+    assert!(cost.task_cost(512, 1_000_000) > cost.task_cost(128, 1_000_000));
+}
+
+#[test]
+fn calibrated_simulation_has_paper_shape() {
+    let db = synthesize_db(&DbSpec::env_nr(), 300_000, 18).sorted_by_length();
+    let queries = sample_queries(&db, 256, 3, 6);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let cost_mu = CalibratedCost::calibrate(
+        &db,
+        &index,
+        neighbors(),
+        &queries,
+        &SearchConfig::new(EngineKind::MuBlastp),
+    );
+    let cost_qi = CalibratedCost::calibrate(
+        &db,
+        &index,
+        neighbors(),
+        &queries,
+        &SearchConfig::new(EngineKind::QueryIndexed),
+    );
+    // Simulate at the paper's scale using the calibrated constants.
+    let seq_lens: Vec<usize> = (0..1_000_000).map(|i| 60 + (i * 37) % 400).collect();
+    let query_lens = vec![256usize; 64];
+    let params = ClusterParams::default();
+    let one_mu = simulate_mublastp(&seq_lens, &query_lens, 1, 16, &cost_mu, &params);
+    let one_mb = simulate_mpiblast(&seq_lens, &query_lens, 1, 16, &cost_qi, &params);
+    let big_mu = simulate_mublastp(&seq_lens, &query_lens, 128, 16, &cost_mu, &params);
+    let big_mb = simulate_mpiblast(&seq_lens, &query_lens, 128, 16, &cost_qi, &params);
+    // muBLASTP scales near-linearly; mpiBLAST does not.
+    assert!(big_mu.efficiency_vs(&one_mu) > 0.85);
+    assert!(big_mb.efficiency_vs(&one_mb) < big_mu.efficiency_vs(&one_mu));
+    // The 128-node speedup lands in a plausible band around the paper's
+    // 2.2–8.9× (calibration constants vary by machine, so stay loose).
+    let speedup = big_mb.makespan / big_mu.makespan;
+    assert!(speedup > 1.2, "speedup {speedup}");
+}

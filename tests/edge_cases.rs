@@ -1,0 +1,153 @@
+//! Degenerate and boundary inputs through the whole public API.
+
+use mublastp::prelude::*;
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+fn small_db() -> SequenceDb {
+    vec![
+        Sequence::from_str_checked("a", "MKVLAWCHWMYFWCHWARND").unwrap(),
+        Sequence::from_str_checked("b", "GGWCHWMYFWCHWGG").unwrap(),
+        Sequence::from_str_checked("c", "HILKMFPSTWYV").unwrap(),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn cfg(kind: EngineKind) -> SearchConfig {
+    let mut c = SearchConfig::new(kind);
+    c.params.evalue_cutoff = 1e9;
+    c
+}
+
+#[test]
+fn queries_shorter_than_the_word_size() {
+    let db = small_db();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![
+        Sequence::from_str_checked("empty", "").unwrap(),
+        Sequence::from_str_checked("one", "W").unwrap(),
+        Sequence::from_str_checked("two", "WC").unwrap(),
+        Sequence::from_str_checked("three", "WCH").unwrap(),
+    ];
+    for kind in [EngineKind::QueryIndexed, EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+        let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(kind));
+        assert_eq!(out.len(), 4);
+        for r in &out[..3] {
+            assert!(r.alignments.is_empty(), "{kind:?}: sub-word query matched");
+            assert_eq!(r.counts.hits, 0);
+        }
+        // A single word cannot satisfy the two-hit rule either.
+        assert_eq!(out[3].counts.extensions, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn database_with_empty_and_tiny_sequences() {
+    let db: SequenceDb = vec![
+        Sequence::from_str_checked("empty", "").unwrap(),
+        Sequence::from_str_checked("tiny", "MA").unwrap(),
+        Sequence::from_str_checked("real", "MKVLAWCHWMYFWCHWARND").unwrap(),
+    ]
+    .into_iter()
+    .collect();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "AWCHWMYFWCHWA").unwrap()];
+    for kind in [EngineKind::QueryIndexed, EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+        let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(kind));
+        assert_eq!(out[0].alignments.len(), 1, "{kind:?}");
+        assert_eq!(out[0].alignments[0].subject, 2);
+    }
+}
+
+#[test]
+fn max_reported_truncates_subjects() {
+    let db: SequenceDb = (0..6)
+        .map(|i| {
+            Sequence::from_str_checked(
+                format!("s{i}"),
+                &format!("{}WCHWMYFWCHW{}", "AG".repeat(i + 1), "VL".repeat(i + 1)),
+            )
+            .unwrap()
+        })
+        .collect();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "WCHWMYFWCHW").unwrap()];
+    let mut c = cfg(EngineKind::MuBlastp);
+    c.params.max_reported = 2;
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &c);
+    let mut subjects: Vec<u32> = out[0].alignments.iter().map(|a| a.subject).collect();
+    subjects.dedup();
+    assert!(subjects.len() <= 2, "{subjects:?}");
+    assert!(!out[0].alignments.is_empty());
+}
+
+#[test]
+fn identical_sequences_throughout_the_database() {
+    // Every subject identical: deterministic ranking by subject id.
+    let db: SequenceDb = (0..5)
+        .map(|i| Sequence::from_str_checked(format!("dup{i}"), "MKVLAWCHWMYFWCHWARND").unwrap())
+        .collect();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "MKVLAWCHWMYFWCHWARND").unwrap()];
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(EngineKind::MuBlastp));
+    let subjects: Vec<u32> = out[0].alignments.iter().map(|a| a.subject).collect();
+    assert_eq!(subjects, vec![0, 1, 2, 3, 4], "ties broken by subject id");
+    let scores: Vec<i32> = out[0].alignments.iter().map(|a| a.aln.score).collect();
+    assert!(scores.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn single_sequence_database_and_query() {
+    let db: SequenceDb =
+        vec![Sequence::from_str_checked("only", "WCHWMYFWCHW").unwrap()].into_iter().collect();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "WCHWMYFWCHW").unwrap()];
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(EngineKind::MuBlastp));
+    assert_eq!(out[0].alignments.len(), 1);
+    let a = &out[0].alignments[0];
+    assert_eq!((a.aln.q_start, a.aln.q_end), (0, 11));
+    assert!(a.aln.validate());
+}
+
+#[test]
+fn zero_evalue_cutoff_reports_nothing() {
+    let db = small_db();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "AWCHWMYFWCHWA").unwrap()];
+    let mut c = cfg(EngineKind::MuBlastp);
+    c.params.evalue_cutoff = 0.0;
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &c);
+    assert!(out[0].alignments.is_empty());
+    assert_eq!(out[0].counts.reported, 0);
+}
+
+#[test]
+fn empty_database_with_index() {
+    let db = SequenceDb::new();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "AWCHWMYFWCHWA").unwrap()];
+    for kind in [EngineKind::QueryIndexed, EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+        let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(kind));
+        assert!(out[0].alignments.is_empty(), "{kind:?}");
+    }
+}
+
+#[test]
+fn tabular_report_roundtrip_fields() {
+    let db = small_db();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let queries = vec![Sequence::from_str_checked("q", "AWCHWMYFWCHWA").unwrap()];
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &cfg(EngineKind::MuBlastp));
+    let rows = engine::tabular_rows(&queries[0], &out[0], &db);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(r.qend >= r.qstart && r.send >= r.sstart);
+        assert!(r.pident >= 0.0 && r.pident <= 100.0);
+        assert_eq!(r.to_line().split('\t').count(), 12);
+    }
+}

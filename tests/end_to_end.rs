@@ -1,0 +1,160 @@
+//! End-to-end scenarios: FASTA in → ranked report out, long-sequence
+//! fragmentation, E-value sanity, and the memory-behaviour experiment
+//! pipeline.
+
+use datagen::{sample_queries, synthesize_db, DbSpec};
+use engine::{trace_engine, EngineKind};
+use memsim::HierarchyConfig;
+use mublastp::prelude::*;
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+#[test]
+fn fasta_to_report() {
+    // A miniature but complete user journey: FASTA database + FASTA
+    // queries in, ranked alignments out.
+    let fasta_db = "\
+>prot1 kinase-like
+MKVLAWCHWMYFWCHWARNDCQEGHILKMFPSTWYV
+>prot2 unrelated
+GGGGGGGGGGGGGGGGGGGGGGGG
+>prot3 homolog of prot1
+MKVLSWCHWMYFWCHWARNDCQEGHILKMFPSTWYV
+";
+    let db: SequenceDb = read_fasta(Cursor::new(fasta_db)).unwrap().into_iter().collect();
+    let queries = read_fasta(Cursor::new(">q1\nAWCHWMYFWCHWARNDCQEG\n")).unwrap();
+
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let mut config = SearchConfig::new(EngineKind::MuBlastp);
+    config.params.evalue_cutoff = 1e6;
+    let results = search_batch(&db, Some(&index), neighbors(), &queries, &config);
+
+    let r = &results[0];
+    assert!(r.alignments.len() >= 2, "both homologs should be found: {r:?}");
+    let subjects: Vec<u32> = r.alignments.iter().map(|a| a.subject).collect();
+    assert!(subjects.contains(&0) && subjects.contains(&2));
+    assert!(!subjects.contains(&1), "the G-run must not match");
+    // prot1 contains the query verbatim → it must rank first.
+    assert_eq!(r.alignments[0].subject, 0);
+    assert!(r.alignments[0].bit_score > r.alignments[1].bit_score - 1e-9);
+    // The report renders.
+    let text = align::pretty::format_alignment(
+        &r.alignments[0].aln,
+        queries[0].residues(),
+        db.get(0).residues(),
+        &BLOSUM62,
+        60,
+    );
+    assert!(text.contains("Query"));
+}
+
+#[test]
+fn evalues_rank_real_homology_above_noise() {
+    let db = synthesize_db(&DbSpec::uniprot_sprot(), 400_000, 99);
+    let queries = sample_queries(&db, 256, 2, 13);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let config = SearchConfig::new(EngineKind::MuBlastp);
+    let results = search_batch(&db, Some(&index), neighbors(), &queries, &config);
+    for r in &results {
+        assert!(!r.alignments.is_empty(), "sampled query must find its source");
+        let best = &r.alignments[0];
+        // The verbatim source window gives an essentially-zero E-value.
+        assert!(best.evalue < 1e-20, "best E-value {}", best.evalue);
+        assert!(best.bit_score > 100.0);
+        // E-values are non-decreasing down the ranking.
+        for w in r.alignments.windows(2) {
+            assert!(w[0].evalue <= w[1].evalue * 1.0001);
+        }
+    }
+}
+
+#[test]
+fn long_sequences_fragment_and_still_align() {
+    // A subject far longer than the fragment limit: database-indexed
+    // engines split it into overlapped fragments (Sec. IV-A); the planted
+    // region must still be found, wherever it lands.
+    let core = "WCHWMYFWCHWMYFWCHWMYFW";
+    let mut long = String::new();
+    for i in 0..2000 {
+        long.push_str(["AG", "VL", "KE", "ST"][i % 4]);
+    }
+    let insert_at = 3000;
+    long.insert_str(insert_at, core);
+    let db: SequenceDb = vec![
+        Sequence::from_str_checked("long", &long).unwrap(),
+        Sequence::from_str_checked("short", "MKVLAARND").unwrap(),
+    ]
+    .into_iter()
+    .collect();
+    let queries = vec![Sequence::from_str_checked("q", core).unwrap()];
+
+    // Force aggressive fragmentation: fragments of at most 255 residues.
+    let index_config = IndexConfig { block_bytes: 16 << 10, offset_bits: 8, frag_overlap: 32 };
+    let index = DbIndex::build(&db, &index_config);
+    assert!(
+        index.blocks().iter().map(|b| b.n_seqs()).sum::<usize>() > 10,
+        "the long sequence should fragment"
+    );
+    let mut config = SearchConfig::new(EngineKind::MuBlastp);
+    config.params.evalue_cutoff = 1e6;
+    let results = search_batch(&db, Some(&index), neighbors(), &queries, &config);
+    let best = &results[0].alignments[0];
+    assert_eq!(best.subject, 0);
+    // Coordinates are mapped back to the whole subject.
+    assert_eq!(best.aln.s_start as usize, insert_at);
+    assert_eq!(best.aln.s_end as usize, insert_at + core.len());
+
+    // The query-indexed engine (which never fragments) agrees on the
+    // best alignment.
+    let qres = search_batch(&db, None, neighbors(), &queries, &{
+        let mut c = SearchConfig::new(EngineKind::QueryIndexed);
+        c.params.evalue_cutoff = 1e6;
+        c
+    });
+    let qbest = &qres[0].alignments[0];
+    assert_eq!((qbest.subject, qbest.aln.score), (best.subject, best.aln.score));
+    assert_eq!(
+        (qbest.aln.s_start, qbest.aln.s_end),
+        (best.aln.s_start, best.aln.s_end)
+    );
+}
+
+#[test]
+fn cache_experiment_shapes() {
+    // The Fig. 2 pipeline end to end on a small world with a scaled-down
+    // hierarchy: the database-indexed interleaved engine must show a
+    // higher TLB miss rate and stall fraction than the query-indexed one,
+    // and muBLASTP must improve on the interleaved engine.
+    let db = synthesize_db(&DbSpec::env_nr(), 600_000, 3);
+    let query = sample_queries(&db, 256, 1, 8).pop().unwrap();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let params = SearchParams::blastp_defaults();
+    let run = |kind| {
+        trace_engine(
+            kind,
+            &db,
+            Some(&index),
+            neighbors(),
+            &query,
+            &params,
+            HierarchyConfig::default(),
+        )
+    };
+    let ncbi = run(EngineKind::QueryIndexed);
+    let ncbi_db = run(EngineKind::DbInterleaved);
+    let mu = run(EngineKind::MuBlastp);
+    assert!(
+        ncbi_db.stats.tlb_miss_rate() > 5.0 * ncbi.stats.tlb_miss_rate(),
+        "NCBI-db TLB miss {} should dwarf NCBI's {}",
+        ncbi_db.stats.tlb_miss_rate(),
+        ncbi.stats.tlb_miss_rate()
+    );
+    assert!(ncbi_db.stalled_fraction > ncbi.stalled_fraction);
+    assert!(mu.stalled_fraction < ncbi_db.stalled_fraction);
+    assert!(mu.stats.tlb_miss_rate() <= ncbi_db.stats.tlb_miss_rate());
+}

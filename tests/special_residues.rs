@@ -1,0 +1,75 @@
+//! The 24-letter alphabet edge cases: sequences containing the special
+//! states `B`, `Z`, `X` and `*` must flow through every engine without
+//! panics and with identical outputs — the paper's index explicitly keeps
+//! the full 24-character alphabet (24³ words).
+
+use mublastp::prelude::*;
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+fn config(kind: EngineKind) -> SearchConfig {
+    let mut c = SearchConfig::new(kind);
+    c.params.evalue_cutoff = 1e9;
+    c
+}
+
+#[test]
+fn special_residues_flow_through_all_engines() {
+    let db: SequenceDb = [
+        "MKXXVLAWCHWMYFWCHWARND",   // X runs
+        "BZBZWCHWMYFWCHWBZBZ",      // ambiguity codes
+        "MKVL*WCHWMYFWCHW*ARND",    // stop codons inside translated ORFs
+        "XXXXXXXXXXXXXXXXXX",       // pure masking
+        "UUOJWCHWMYFWCHWJOU",       // IUPAC extras folded to X at parse time
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+    .collect();
+    let queries = vec![
+        Sequence::from_str_checked("q1", "AWCHWMYFWCHWA").unwrap(),
+        Sequence::from_str_checked("q2", "XXBZ*WCHWMYFWCHW").unwrap(),
+    ];
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let a = search_batch(&db, Some(&index), neighbors(), &queries, &config(EngineKind::QueryIndexed));
+    let b = search_batch(&db, Some(&index), neighbors(), &queries, &config(EngineKind::DbInterleaved));
+    let c = search_batch(&db, Some(&index), neighbors(), &queries, &config(EngineKind::MuBlastp));
+    results_identical(&a, &b).unwrap();
+    results_identical(&b, &c).unwrap();
+    // The shared WCHWMYFWCHW core is found in the normal subjects.
+    assert!(
+        c[0].alignments.iter().any(|al| al.subject <= 2),
+        "{:?}",
+        c[0].alignments
+    );
+    // The all-X subject never matches anything (X-vs-X scores −1).
+    assert!(c[0].alignments.iter().all(|al| al.subject != 3));
+}
+
+#[test]
+fn masked_query_finds_nothing() {
+    let db: SequenceDb =
+        vec![Sequence::from_str_checked("s", "MKVLAWCHWMYFWCHWARND").unwrap()]
+            .into_iter()
+            .collect();
+    let queries = vec![Sequence::from_str_checked("q", &"X".repeat(100)).unwrap()];
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let out = search_batch(&db, Some(&index), neighbors(), &queries, &config(EngineKind::MuBlastp));
+    assert!(out[0].alignments.is_empty());
+    assert_eq!(out[0].counts.hits, 0);
+}
+
+#[test]
+fn stop_codon_word_never_seeds() {
+    // `*` scores −4 vs everything, so words containing it have no
+    // neighbors at T = 11 unless the other residues carry the load.
+    let n = neighbors();
+    let star = bioseq::alphabet::encode_residue(b'*').unwrap();
+    let x = bioseq::alphabet::encode_residue(b'X').unwrap();
+    let w = bioseq::alphabet::pack_word(star, x, x);
+    assert!(n.neighbors(w).is_empty(), "{:?}", n.neighbors(w));
+}
