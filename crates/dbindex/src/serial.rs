@@ -54,9 +54,14 @@ pub fn write_index(index: &DbIndex) -> Vec<u8> {
     out.put_u64_le(c.block_bytes as u64);
     out.put_u32_le(c.offset_bits);
     out.put_u64_le(c.frag_overlap as u64);
+    // lint: allow(lossy-cast): the format's block-count field is u32; a
+    // database needing 2^32 blocks of ≥128 KiB each cannot be addressed.
     out.put_u32_le(index.blocks().len() as u32);
     for b in index.blocks() {
         let (seqs, residues, offsets, entries) = b.parts();
+        // lint: allow(lossy-cast): a block holds at most
+        // `max_seqs_per_block() = 2^(32-offset_bits)` fragments (asserted
+        // at build time in `DbIndex::finish_block`).
         out.put_u32_le(seqs.len() as u32);
         for s in seqs {
             out.put_u32_le(s.global_id);
@@ -206,7 +211,8 @@ impl<R: Read> BlockStream<R> {
     fn read_u32s(&mut self, n: usize) -> Result<Vec<u32>, SerialError> {
         let mut raw = vec![0u8; n.checked_mul(4).ok_or(SerialError::Truncated)?];
         read_exact(&mut self.reader, &mut raw)?;
-        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+        // chunks_exact(4) guarantees each chunk is exactly 4 bytes.
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     fn read_block(&mut self) -> Result<IndexBlock, SerialError> {

@@ -59,6 +59,8 @@ pub struct SearchConfig {
 }
 
 impl SearchConfig {
+    /// A configuration for `kind` with BLASTP defaults: single-threaded,
+    /// chunk 1, LSD radix hit sorting, prefilter on.
     pub fn new(kind: EngineKind) -> SearchConfig {
         SearchConfig {
             kind,
@@ -72,11 +74,13 @@ impl SearchConfig {
         }
     }
 
+    /// Builder: set the worker-thread count for the dynamic scheduler.
     pub fn with_threads(mut self, threads: usize) -> SearchConfig {
         self.threads = threads;
         self
     }
 
+    /// Builder: replace the scoring/search parameters.
     pub fn with_params(mut self, params: SearchParams) -> SearchConfig {
         self.params = params;
         self

@@ -28,6 +28,7 @@ impl Default for CoverageArray {
 }
 
 impl CoverageArray {
+    /// An empty coverage array; capacity grows on first `begin`.
     pub fn new() -> CoverageArray {
         CoverageArray { epoch: 0, stamps: Vec::new(), ext_reached: Vec::new() }
     }
@@ -94,6 +95,8 @@ impl Default for Scratch {
 }
 
 impl Scratch {
+    /// Fresh per-worker scratch state (pair finder, coverage, hit and
+    /// seed buffers); allocated once per worker and reused across items.
     pub fn new() -> Scratch {
         Scratch {
             finder: PairFinder::new(40),

@@ -125,6 +125,7 @@ impl Default for ExtensionGate {
 }
 
 impl ExtensionGate {
+    /// A gate with no coverage recorded yet.
     pub fn new() -> ExtensionGate {
         ExtensionGate { cur_key: None, ext_reached: -1 }
     }

@@ -8,25 +8,48 @@
 //!
 //! * work items are handed out through an atomic cursor in chunks
 //!   (dynamic scheduling — BLAST is input-sensitive, so static partitioning
-//!   of queries load-imbalances badly, see paper Sec. IV-D);
+//!   of queries load-imbalances badly, see paper Sec. IV-D); the claim
+//!   protocol lives in [`cursor`] and is model-checked in [`model`];
 //! * every worker owns a scratch value created by an `init` closure at
 //!   spawn time and reused across all its items (the paper's per-thread
 //!   last-hit arrays);
-//! * threads are scoped (crossbeam), so borrowing shared read-only data —
-//!   the index block, the database — needs no `Arc`.
+//! * threads are scoped ([`std::thread::scope`]), so borrowing shared
+//!   read-only data — the index block, the database — needs no `Arc`;
+//! * a panicking worker propagates its *original* panic payload to the
+//!   caller (via [`std::panic::resume_unwind`]), so a failure inside a
+//!   kernel surfaces its own message instead of a generic pool error.
 //!
 //! We deliberately do not use rayon: the execution structure here *is* the
 //! system under study, and owning it keeps the schedule identical to the
 //! paper's.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod cursor;
+pub mod model;
 
-use parking_lot::Mutex;
+pub use cursor::{claim_next, CursorCell};
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default (the machine's available
 /// parallelism, or 1 if it cannot be determined).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Join every worker and re-raise the first panic with its original
+/// payload. Collecting all handles first means every worker runs to
+/// completion (or its own panic) before the first failure is re-raised.
+fn join_resuming_first_panic<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) {
+    let mut first_panic = None;
+    for handle in handles {
+        if let Err(payload) = handle.join() {
+            first_panic.get_or_insert(payload);
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// Dynamic-scheduled parallel for: run `body(&mut scratch, i)` for every
@@ -36,8 +59,14 @@ pub fn default_threads() -> usize {
 /// With `threads == 1` the loop runs inline on the caller's thread (no
 /// spawn), which keeps single-threaded benchmarks free of pool overhead.
 ///
+/// Scheduling invariants (see [`cursor`] for the claim protocol and
+/// [`model`] for the machine-checked argument): every index in `0..n` is
+/// executed exactly once, for any `threads`, `n`, and `chunk` — including
+/// `chunk > n` and `chunk == usize::MAX`.
+///
 /// # Panics
-/// Panics if `threads == 0` or `chunk == 0`. Panics from `body` propagate.
+/// Panics if `threads == 0` or `chunk == 0`. A panic from `body` is
+/// re-raised on the caller with its original payload.
 pub fn parallel_for_dynamic<S, INIT, F>(threads: usize, n: usize, chunk: usize, init: INIT, body: F)
 where
     S: Send,
@@ -57,23 +86,22 @@ where
         return;
     }
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| {
-                let mut scratch = init();
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+    let (cursor, init, body) = (&cursor, &init, &body);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    while let Some((start, end)) = claim_next(cursor, n, chunk) {
+                        for i in start..end {
+                            body(&mut scratch, i);
+                        }
                     }
-                    for i in start..(start + chunk).min(n) {
-                        body(&mut scratch, i);
-                    }
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+                })
+            })
+            .collect();
+        join_resuming_first_panic(handles);
+    });
 }
 
 /// Static-scheduled parallel for: pre-partitions `0..n` into `threads`
@@ -100,21 +128,27 @@ where
     }
     let per = n.div_ceil(threads);
     let (init, body) = (&init, &body);
-    crossbeam::scope(|scope| {
-        for t in 0..threads.min(n) {
-            scope.spawn(move |_| {
-                let mut scratch = init();
-                for i in (t * per)..((t + 1) * per).min(n) {
-                    body(&mut scratch, i);
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    for i in (t * per)..((t + 1) * per).min(n) {
+                        body(&mut scratch, i);
+                    }
+                })
+            })
+            .collect();
+        join_resuming_first_panic(handles);
+    });
 }
 
 /// Dynamic-scheduled parallel map: like [`parallel_for_dynamic`] but
 /// collects `body`'s return values in index order.
+///
+/// Completeness is a hard invariant: the call aborts (panics) if the
+/// scheduler ever lost or duplicated an index, rather than silently
+/// returning a short or misordered result vector.
 pub fn parallel_map_dynamic<T, S, INIT, F>(
     threads: usize,
     n: usize,
@@ -137,19 +171,28 @@ where
     parallel_for_dynamic(threads, n, chunk, init, |scratch, i| {
         let v = body(scratch, i);
         // One short lock per item; items here are whole-query searches, so
-        // the critical section is negligible against the work.
-        results.lock().push((i, v));
+        // the critical section is negligible against the work. Poisoning
+        // is recoverable: a payload-carrying panic elsewhere must not be
+        // masked by a PoisonError panic here.
+        let mut slot = match results.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.push((i, v));
     });
-    let mut all = results.into_inner();
+    let mut all = match results.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     all.sort_by_key(|&(i, _)| i);
-    debug_assert_eq!(all.len(), n, "lost results");
+    assert_eq!(all.len(), n, "dynamic scheduler lost or duplicated results");
     all.into_iter().map(|(_, v)| v).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn visits_every_index_exactly_once() {
@@ -166,9 +209,9 @@ mod tests {
         // threads == 1 must preserve index order (inline execution).
         let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         parallel_for_dynamic(1, 5, 2, || (), |_, i| {
-            order.lock().push(i);
+            order.lock().unwrap().push(i);
         });
-        assert_eq!(order.into_inner(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -192,10 +235,89 @@ mod tests {
     }
 
     #[test]
+    fn chunk_larger_than_n() {
+        let n = 9;
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(4, n, 1000, || (), |_, i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let n = 3;
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(16, n, 1, || (), |_, i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+        let out = parallel_map_dynamic(16, 3, 1, || (), |_, i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunk_usize_max_does_not_wrap() {
+        // Regression for the cursor-overflow bug: a bare fetch_add(chunk)
+        // wrapped the cursor past zero and duplicated work. See
+        // model::tests::wrapping_fetch_add_mutation_is_convicted for the
+        // model-checked conviction of the old protocol.
+        let n = 64;
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(8, n, usize::MAX, || (), |_, i| {
+            visited[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for_dynamic(4, 100, 1, || (), |_, i| {
+                if i == 37 {
+                    panic!("query 37 exploded");
+                }
+            });
+        }))
+        .expect_err("pool must propagate the worker panic");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "query 37 exploded", "original payload must survive the pool");
+    }
+
+    #[test]
+    fn static_worker_panic_payload_is_preserved() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for_static(4, 100, || (), |_, i| {
+                if i == 63 {
+                    panic!("static worker {i} failed");
+                }
+            });
+        }))
+        .expect_err("pool must propagate the worker panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "static worker 63 failed");
+    }
+
+    #[test]
     fn map_returns_in_order() {
         let out = parallel_map_dynamic(4, 500, 3, || (), |_, i| i * i);
         let expect: Vec<usize> = (0..500).map(|i| i * i).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn map_complete_under_maximal_interleaving() {
+        // chunk == 1 with more workers than a machine has cores maximises
+        // claim contention; the map must still be complete and in order.
+        for _ in 0..20 {
+            let out = parallel_map_dynamic(16, 97, 1, || (), |_, i| i);
+            assert_eq!(out, (0..97).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -243,11 +365,11 @@ mod tests {
             |local, i| {
                 local.push(i);
                 if local.len() == 10 {
-                    ranges.lock().push(local.clone());
+                    ranges.lock().unwrap().push(local.clone());
                 }
             },
         );
-        let mut r = ranges.into_inner();
+        let mut r = ranges.into_inner().unwrap();
         r.sort();
         assert_eq!(r.len(), 3);
         for chunk in &r {

@@ -1,0 +1,11 @@
+//! Fixture: must FAIL the `doc-pub-fn` rule (and only that rule).
+//! Public API surface with no doc comments.
+
+pub fn score_hit(query_pos: u32, subject_pos: u32) -> i32 {
+    (query_pos as i64 - subject_pos as i64).unsigned_abs() as i32 // lint: allow(lossy-cast): fixture targets doc-pub-fn only
+}
+
+#[inline]
+pub fn diagonal(query_pos: u32, subject_pos: u32) -> u32 {
+    query_pos.wrapping_sub(subject_pos)
+}

@@ -1,0 +1,21 @@
+//! Fixture: must FAIL the `kernel-locks` rule (and only that rule).
+//! A hit-detection kernel that reaches for a lock instead of per-thread
+//! scratch state (paper Sec. IV-D: the kernels are lock-free by design).
+
+use std::sync::{Mutex, RwLock};
+
+/// Shared hit buffer guarded by locks — the anti-pattern.
+pub struct SharedHits {
+    hits: Mutex<Vec<u32>>,
+    stats: RwLock<u64>,
+}
+
+/// Records a hit under the lock.
+pub fn record(shared: &SharedHits, hit: u32) {
+    if let Ok(mut h) = shared.hits.lock() {
+        h.push(hit);
+    }
+    if let Ok(mut s) = shared.stats.write() {
+        *s += 1;
+    }
+}

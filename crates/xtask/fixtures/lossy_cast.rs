@@ -1,0 +1,13 @@
+//! Fixture: must FAIL the `lossy-cast` rule (and only that rule).
+//! A packed-posting writer that silently truncates the local sequence id
+//! and offset — exactly the Sec. III invariant the rule protects.
+
+/// Packs `(local_seq, offset)` into one u32 posting.
+pub fn pack_posting(local_seq: usize, offset: usize, offset_bits: u32) -> u32 {
+    ((local_seq as u32) << offset_bits) | (offset as u32)
+}
+
+/// Narrows a diagonal id for a radix key.
+pub fn diag_key(diag: i64) -> i16 {
+    diag as i16
+}

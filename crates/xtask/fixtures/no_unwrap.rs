@@ -1,0 +1,23 @@
+//! Fixture: must FAIL the `no-unwrap` rule (and only that rule).
+//! Library code swallowing an Option/Result with a panic instead of
+//! propagating or citing an invariant.
+
+/// Returns the first element.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+/// Parses a count.
+pub fn count(s: &str) -> u64 {
+    s.parse().expect("fixture: always numeric")
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps in tests are fine and must NOT be counted.
+    #[test]
+    fn t() {
+        assert_eq!(super::first(&[3]), 3);
+        let _ = "7".parse::<u64>().unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: must FAIL the `relaxed-ordering` rule (and only that rule).
+//! An unannotated Relaxed atomic outside the allowlisted scheduler
+//! cursor — the ordering argument must be stated or strengthened.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Publishes a result count with no ordering rationale.
+pub fn publish(counter: &AtomicUsize, produced: usize) {
+    counter.store(produced, Ordering::Relaxed);
+}
+
+/// Reads the count, again with no rationale.
+pub fn read(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,172 @@
+//! `xtask` — repo-native correctness tooling for muBLASTP-rs.
+//!
+//! The paper's contribution is eliminating *irregularity*; this crate is
+//! the machinery that keeps the reproduction honest about it. It is
+//! dependency-free on purpose: the lint engine must run anywhere the
+//! toolchain runs, with nothing to download.
+//!
+//! ```text
+//! cargo run -p xtask -- lint              # lint the workspace (CI gate)
+//! cargo run -p xtask -- lint FILE...      # lint specific files, all rules
+//! cargo run -p xtask -- fixtures          # self-test: every fixture must fail
+//! cargo run -p xtask -- rules             # list the rules and their rationale
+//! ```
+//!
+//! Exit code 0 means clean; 1 means findings (or a broken fixture); 2
+//! means the tool itself could not run. The companion concurrency
+//! model-checker lives in `crates/parallel/src/model.rs` and runs under
+//! `cargo test -p parallel`.
+
+mod lexer;
+mod rules;
+mod workspace;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("fixtures") => cmd_fixtures(),
+        Some("rules") => cmd_rules(),
+        _ => {
+            eprintln!("usage: xtask <lint [FILE...] | fixtures | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in rules::all_rules() {
+        println!("{:<18} {}", rule.name, rule.desc);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Lint the whole workspace (no args) or specific files (args; path
+/// scopes and the allowlist are bypassed so a fixture or scratch file is
+/// judged by every rule).
+fn cmd_lint(paths: &[String]) -> ExitCode {
+    if !paths.is_empty() {
+        let mut findings = Vec::new();
+        for p in paths {
+            match std::fs::read_to_string(p) {
+                Ok(src) => findings.extend(rules::lint_source(p, &src, true)),
+                Err(e) => {
+                    eprintln!("xtask: cannot read {p}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return report(findings, Vec::new());
+    }
+
+    let Some(root) = workspace::find_root() else {
+        eprintln!("xtask: no workspace root (a Cargo.toml with [workspace]) above the cwd");
+        return ExitCode::from(2);
+    };
+    let allow_path = root.join("crates/xtask/lint.allow");
+    let budgets = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match workspace::parse_allowlist(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist file: empty ratchet
+    };
+    let mut findings = Vec::new();
+    let sources = workspace::workspace_sources(&root);
+    if sources.is_empty() {
+        eprintln!("xtask: found no .rs sources under {}", root.display());
+        return ExitCode::from(2);
+    }
+    for (rel, abs) in &sources {
+        match std::fs::read_to_string(abs) {
+            Ok(src) => findings.extend(rules::lint_source(rel, &src, false)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let scanned = sources.len();
+    let (kept, notes) = workspace::apply_budgets(findings, &budgets);
+    eprintln!("xtask lint: scanned {scanned} files");
+    report(kept, notes)
+}
+
+fn report(findings: Vec<rules::Finding>, notes: Vec<String>) -> ExitCode {
+    for note in &notes {
+        eprintln!("note: {note}");
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Self-test: every fixture under `crates/xtask/fixtures/` must trip the
+/// rule named by its file stem (underscores ↔ dashes). A fixture that
+/// passes its rule means the rule has lost its teeth.
+fn cmd_fixtures() -> ExitCode {
+    let Some(root) = workspace::find_root() else {
+        eprintln!("xtask: no workspace root above the cwd");
+        return ExitCode::from(2);
+    };
+    let dir = root.join("crates/xtask/fixtures");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        eprintln!("xtask: missing fixture directory {}", dir.display());
+        return ExitCode::from(2);
+    };
+    let mut fixtures: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    if fixtures.is_empty() {
+        eprintln!("xtask: no fixtures in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &fixtures {
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let expected = stem.replace('_', "-");
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let findings = rules::lint_source(&format!("crates/xtask/fixtures/{stem}.rs"), &src, true);
+        let hits = findings.iter().filter(|f| f.rule == expected).count();
+        let spurious = findings.iter().filter(|f| f.rule != expected).count();
+        if hits == 0 {
+            eprintln!("FAIL {stem}: fixture did not trip `{expected}`");
+            failed = true;
+        } else if spurious > 0 {
+            eprintln!("FAIL {stem}: tripped rules other than `{expected}`:");
+            for f in findings.iter().filter(|f| f.rule != expected) {
+                eprintln!("  {f}");
+            }
+            failed = true;
+        } else {
+            eprintln!("ok   {stem}: {hits} finding(s) from `{expected}`");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask fixtures: all {} fixtures convict their rule", fixtures.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,199 @@
+//! Workspace discovery, source walking, and the allowlist ratchet.
+
+use crate::rules::Finding;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root by walking up from the current directory to
+/// the first `Cargo.toml` that declares `[workspace]`.
+pub fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every `.rs` file under `src/` and `crates/*/src/`, as
+/// `(workspace-relative path with forward slashes, absolute path)`,
+/// sorted for deterministic reports. Fixture files live outside any
+/// `src/` directory and are deliberately not picked up here.
+pub fn workspace_sources(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            dirs.push(e.path().join("src"));
+        }
+    }
+    let mut files = Vec::new();
+    for d in dirs {
+        walk(&d, &mut files);
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .filter_map(|abs| {
+            let rel = abs.strip_prefix(root).ok()?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some((rel, abs))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// One line of `crates/xtask/lint.allow`: up to `max` findings of `rule`
+/// in `path` are tolerated (the burn-down ratchet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Budget {
+    pub rule: String,
+    pub path: String,
+    pub max: usize,
+}
+
+/// Parse the allowlist: `<rule> <path> <max>` per line, `#` comments.
+/// Malformed lines are returned as errors rather than ignored — a typo'd
+/// suppression must not silently widen the policy.
+pub fn parse_allowlist(text: &str) -> Result<Vec<Budget>, String> {
+    let mut budgets = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [rule, path, max] = parts.as_slice() else {
+            return Err(format!("lint.allow:{}: expected `<rule> <path> <max>`", lineno + 1));
+        };
+        let Ok(max) = max.parse::<usize>() else {
+            return Err(format!("lint.allow:{}: bad budget `{max}`", lineno + 1));
+        };
+        budgets.push(Budget { rule: rule.to_string(), path: path.to_string(), max });
+    }
+    Ok(budgets)
+}
+
+/// Apply budgets: findings fully covered by a budget are suppressed;
+/// over-budget groups are reported whole. The returned notes flag slack
+/// (budget higher than reality) and stale entries so the ratchet only
+/// ever tightens.
+pub fn apply_budgets(findings: Vec<Finding>, budgets: &[Budget]) -> (Vec<Finding>, Vec<String>) {
+    let mut counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for f in &findings {
+        *counts.entry((f.rule, f.path.as_str())).or_default() += 1;
+    }
+    let budget_of = |rule: &str, path: &str| {
+        budgets.iter().find(|b| b.rule == rule && b.path == path).map(|b| b.max)
+    };
+    let mut notes = Vec::new();
+    let kept: Vec<Finding> = findings
+        .iter()
+        .filter(|f| {
+            let n = counts.get(&(f.rule, f.path.as_str())).copied().unwrap_or(0);
+            match budget_of(f.rule, &f.path) {
+                Some(max) if n <= max => false,
+                Some(max) => {
+                    // Reported below; note the breach once per group.
+                    let note = format!(
+                        "{}: [{}] {} findings exceed the allowlisted budget of {}",
+                        f.path, f.rule, n, max
+                    );
+                    if !notes.contains(&note) {
+                        notes.push(note);
+                    }
+                    true
+                }
+                None => true,
+            }
+        })
+        .cloned()
+        .collect();
+    for b in budgets {
+        let n = counts.get(&(b.rule.as_str(), b.path.as_str())).copied().unwrap_or(0);
+        if n == 0 {
+            notes.push(format!(
+                "lint.allow: stale entry `{} {} {}` (no findings) — remove it",
+                b.rule, b.path, b.max
+            ));
+        } else if n < b.max {
+            notes.push(format!(
+                "lint.allow: `{} {}` budget {} but only {} findings — ratchet down",
+                b.rule, b.path, b.max, n
+            ));
+        }
+    }
+    (kept, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
+        Finding { rule, path: path.to_string(), line, msg: String::new() }
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let ok = "# comment\nno-unwrap crates/engine/src/report.rs 8\n\nrelaxed-ordering a.rs 1 # trailing\n";
+        let budgets = parse_allowlist(ok).unwrap();
+        assert_eq!(budgets.len(), 2);
+        assert_eq!(budgets[0].max, 8);
+        assert!(parse_allowlist("no-unwrap onlytwo").is_err());
+        assert!(parse_allowlist("no-unwrap x.rs lots").is_err());
+    }
+
+    #[test]
+    fn budgets_suppress_exactly_to_the_ratchet() {
+        let budgets = parse_allowlist("no-unwrap a.rs 2").unwrap();
+        let within = vec![finding("no-unwrap", "a.rs", 1), finding("no-unwrap", "a.rs", 9)];
+        let (kept, notes) = apply_budgets(within, &budgets);
+        assert!(kept.is_empty());
+        assert!(notes.is_empty(), "{notes:?}");
+
+        let over = vec![
+            finding("no-unwrap", "a.rs", 1),
+            finding("no-unwrap", "a.rs", 9),
+            finding("no-unwrap", "a.rs", 12),
+        ];
+        let (kept, notes) = apply_budgets(over, &budgets);
+        assert_eq!(kept.len(), 3, "over-budget groups report every finding");
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn slack_and_stale_entries_are_noted() {
+        let budgets = parse_allowlist("no-unwrap a.rs 5\nno-unwrap gone.rs 2").unwrap();
+        let (kept, notes) = apply_budgets(vec![finding("no-unwrap", "a.rs", 1)], &budgets);
+        assert!(kept.is_empty());
+        assert!(notes.iter().any(|n| n.contains("ratchet down")));
+        assert!(notes.iter().any(|n| n.contains("stale entry")));
+    }
+
+    #[test]
+    fn unbudgeted_findings_pass_through() {
+        let (kept, _) = apply_budgets(vec![finding("no-unwrap", "b.rs", 3)], &[]);
+        assert_eq!(kept.len(), 1);
+    }
+}
