@@ -1,0 +1,106 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for the index
+//! file's content checksum.
+//!
+//! The index is built once and reused across many daemon restarts, so a
+//! bit flip on disk must be caught at load time rather than surfacing as
+//! garbage hits mid-search. A table-driven CRC-32 is more than strong
+//! enough for that (this is corruption detection, not authentication),
+//! and implementing it in-repo keeps `dbindex` dependency-light.
+
+/// The reflected IEEE polynomial, as used by zlib, gzip, and PNG.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i: usize = 0;
+    while i < 256 {
+        // lint: allow(lossy-cast): i < 256 fits in any integer width.
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = make_table();
+
+/// Incremental CRC-32 state. `Copy` so a running checksum can be
+/// finalized without consuming the stream that owns it.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh state (all-ones preset, per the IEEE definition).
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed more bytes into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.0;
+        for &b in data {
+            c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// The checksum of everything fed so far (final xor applied; the
+    /// state itself is unchanged, so updating can continue).
+    pub fn finalize(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0u16..1500).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 7, 750, data.len()] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"MUBPdbindexblockpayload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+}

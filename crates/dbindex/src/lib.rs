@@ -28,6 +28,7 @@
 
 pub mod block;
 pub mod config;
+pub mod crc;
 pub mod serial;
 
 pub use block::{BlockSeq, DbIndex, IndexBlock};

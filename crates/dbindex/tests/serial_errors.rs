@@ -1,0 +1,253 @@
+//! Error-path coverage for `dbindex::serial`: a resident daemon loads the
+//! index once at startup and then trusts it for its whole lifetime, so
+//! every malformed input must be rejected with the *right* `SerialError`
+//! — and none may panic.
+
+use bioseq::{Sequence, SequenceDb};
+use dbindex::crc::crc32;
+use dbindex::{read_index, write_index, BlockStream, DbIndex, IndexConfig, SerialError};
+
+const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 8 + 4;
+
+fn sample_index() -> DbIndex {
+    let db: SequenceDb = [
+        "MARNDWWWCQEG",
+        "WWWHILKMFPST",
+        "ARNDARNDARND",
+        "MKVL",
+        "QQQQWERTY",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+    .collect();
+    let config = IndexConfig {
+        block_bytes: 80,
+        offset_bits: 15,
+        frag_overlap: 8,
+    };
+    DbIndex::build(&db, &config)
+}
+
+fn sample_bytes() -> Vec<u8> {
+    write_index(&sample_index())
+}
+
+/// Re-seal a mutated payload with a fresh, correct trailer so the test
+/// exercises the *parser's* reaction to the mutation, not the checksum's.
+fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let body_len = bytes.len() - 4;
+    let sum = crc32(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+fn put_u32_at(bytes: &mut [u8], at: usize, v: u32) {
+    bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_at(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Truncation
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncation_at_every_single_byte() {
+    let bytes = sample_bytes();
+    // Exhaustive: every proper prefix must fail cleanly, never panic.
+    for cut in 0..bytes.len() {
+        let r = read_index(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+    }
+}
+
+#[test]
+fn truncation_inside_header_is_truncated_not_corrupt() {
+    let bytes = sample_bytes();
+    // Cuts that land before the v2 trailer could even be located must
+    // report Truncated (there is nothing to checksum yet).
+    for cut in [0, 3, 4, 7, 8, 11] {
+        assert_eq!(
+            read_index(&bytes[..cut]),
+            Err(SerialError::Truncated),
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn stream_truncation_at_block_boundaries() {
+    let idx = sample_index();
+    let bytes = write_index(&idx);
+    assert!(idx.blocks().len() > 1, "want a multi-block sample");
+    // Cut a handful of bytes past the header: the first block read fails.
+    let mut stream = BlockStream::open(&bytes[..HEADER_LEN + 2]).unwrap();
+    assert_eq!(stream.next(), Some(Err(SerialError::Truncated)));
+    assert_eq!(stream.next(), None, "fused after error");
+}
+
+#[test]
+fn stream_missing_trailer_is_reported() {
+    let bytes = sample_bytes();
+    // All blocks intact, trailer chopped off: the stream yields every
+    // block and then one Truncated item for the unreadable trailer.
+    let n_blocks = sample_index().blocks().len();
+    let results: Vec<_> = BlockStream::open(&bytes[..bytes.len() - 4])
+        .unwrap()
+        .collect();
+    assert_eq!(results.len(), n_blocks + 1);
+    assert!(results[..n_blocks].iter().all(|r| r.is_ok()));
+    assert_eq!(results[n_blocks], Err(SerialError::Truncated));
+}
+
+// ---------------------------------------------------------------------
+// Bad magic / versions
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_magic() {
+    let mut bytes = sample_bytes();
+    bytes[0] = b'X';
+    assert_eq!(read_index(&bytes), Err(SerialError::BadMagic));
+    assert!(matches!(
+        BlockStream::open(&bytes[..]),
+        Err(SerialError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version() {
+    let mut bytes = sample_bytes();
+    put_u32_at(&mut bytes, 4, 3);
+    assert_eq!(read_index(&bytes), Err(SerialError::BadVersion(3)));
+    assert!(matches!(
+        BlockStream::open(&bytes[..]),
+        Err(SerialError::BadVersion(3))
+    ));
+}
+
+#[test]
+fn version_zero() {
+    let mut bytes = sample_bytes();
+    put_u32_at(&mut bytes, 4, 0);
+    assert_eq!(read_index(&bytes), Err(SerialError::BadVersion(0)));
+}
+
+// ---------------------------------------------------------------------
+// Inconsistent length fields (resealed so the checksum is valid and the
+// parser itself must catch the inconsistency)
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_block_count() {
+    let mut bytes = sample_bytes();
+    put_u32_at(&mut bytes, HEADER_LEN - 4, u32::MAX);
+    assert_eq!(read_index(&reseal(bytes)), Err(SerialError::Truncated));
+}
+
+#[test]
+fn oversized_seq_count_overflows_safely() {
+    let mut bytes = sample_bytes();
+    // First block's n_seqs: u32::MAX * 16 would overflow usize math on
+    // 32-bit and must hit the checked_mul guard, not wrap.
+    put_u32_at(&mut bytes, HEADER_LEN, u32::MAX);
+    assert_eq!(read_index(&reseal(bytes)), Err(SerialError::Truncated));
+}
+
+#[test]
+fn oversized_residue_length() {
+    let mut bytes = sample_bytes();
+    let n_seqs = u32::from_le_bytes([
+        bytes[HEADER_LEN],
+        bytes[HEADER_LEN + 1],
+        bytes[HEADER_LEN + 2],
+        bytes[HEADER_LEN + 3],
+    ]) as usize;
+    let res_len_at = HEADER_LEN + 4 + n_seqs * 16;
+    put_u64_at(&mut bytes, res_len_at, u64::MAX);
+    assert_eq!(read_index(&reseal(bytes)), Err(SerialError::Truncated));
+}
+
+#[test]
+fn nonsense_offset_bits() {
+    for bad_bits in [0u32, 32, 64] {
+        let mut bytes = sample_bytes();
+        put_u32_at(&mut bytes, 16, bad_bits);
+        let resealed = reseal(bytes);
+        assert_eq!(
+            read_index(&resealed),
+            Err(SerialError::Truncated),
+            "bits={bad_bits}"
+        );
+        assert!(BlockStream::open(&resealed[..]).is_err(), "bits={bad_bits}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksum mismatch
+// ---------------------------------------------------------------------
+
+#[test]
+fn flipped_payload_byte_is_corrupt() {
+    let mut bytes = sample_bytes();
+    // A residue byte: parses fine, so only the checksum can catch it.
+    let n_seqs = u32::from_le_bytes([
+        bytes[HEADER_LEN],
+        bytes[HEADER_LEN + 1],
+        bytes[HEADER_LEN + 2],
+        bytes[HEADER_LEN + 3],
+    ]) as usize;
+    let first_residue = HEADER_LEN + 4 + n_seqs * 16 + 8;
+    bytes[first_residue] ^= 0x04;
+    assert_eq!(read_index(&bytes), Err(SerialError::Corrupt));
+}
+
+#[test]
+fn flipped_trailer_byte_is_corrupt() {
+    let mut bytes = sample_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    assert_eq!(read_index(&bytes), Err(SerialError::Corrupt));
+}
+
+#[test]
+fn bit_flips_are_rejected_across_the_file() {
+    let bytes = sample_bytes();
+    // A flip anywhere must be rejected — Corrupt when the mutation still
+    // parses, Truncated/BadMagic/BadVersion when it breaks framing first.
+    // The file is postings-backbone sized, so per-byte exhaustion costs
+    // minutes; a prime stride plus both file ends still visits every
+    // region of the layout (header, descriptors, residues, postings,
+    // trailer).
+    let ends = (0..64.min(bytes.len())).chain(bytes.len().saturating_sub(64)..bytes.len());
+    for i in (0..bytes.len()).step_by(487).chain(ends) {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = bytes.clone();
+            bad[i] ^= bit;
+            assert!(read_index(&bad).is_err(), "flip {i:#x}^{bit:#04x} accepted");
+        }
+    }
+}
+
+#[test]
+fn v1_has_no_checksum_protection_but_v2_does() {
+    // Sanity-check the compatibility story: the same payload flip that v2
+    // rejects as Corrupt sails through a v1 file (why VERSION was bumped).
+    let mut v2 = sample_bytes();
+    let n_seqs = u32::from_le_bytes([
+        v2[HEADER_LEN],
+        v2[HEADER_LEN + 1],
+        v2[HEADER_LEN + 2],
+        v2[HEADER_LEN + 3],
+    ]) as usize;
+    let first_residue = HEADER_LEN + 4 + n_seqs * 16 + 8;
+    v2[first_residue] ^= 0x04;
+
+    let mut v1 = v2[..v2.len() - 4].to_vec();
+    v1[4] = 1;
+    assert!(read_index(&v1).is_ok(), "v1 cannot detect payload flips");
+    assert_eq!(read_index(&v2), Err(SerialError::Corrupt));
+}

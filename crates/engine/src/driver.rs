@@ -119,8 +119,9 @@ pub fn search_batch(
     } else {
         queries
     };
-    let (db_residues, db_seqs) =
-        config.effective_db.unwrap_or((db.total_residues(), db.len()));
+    let (db_residues, db_seqs) = config
+        .effective_db
+        .unwrap_or((db.total_residues(), db.len()));
     // LPT dispatch order (identity when disabled).
     let dispatch: Vec<usize> = {
         let mut order: Vec<usize> = (0..queries.len()).collect();
@@ -157,17 +158,24 @@ pub fn search_batch(
                     (qi, std::mem::take(&mut scratch.seeds), counts)
                 },
             );
-            let mut ordered: Vec<(Vec<Seed>, StageCounts)> =
-                (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+            let mut ordered: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
+                .map(|_| (Vec::new(), StageCounts::default()))
+                .collect();
             for (qi, seeds, counts) in per_query {
                 ordered[qi] = (seeds, counts);
             }
             finish_all(db, queries, ordered, config, db_residues, db_seqs)
         }
         EngineKind::DbInterleaved | EngineKind::MuBlastp => {
-            let index = index.expect("database-indexed engines need a DbIndex");
-            let mut all: Vec<(Vec<Seed>, StageCounts)> =
-                (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+            let Some(index) = index else {
+                panic!(
+                    "database-indexed engines need a DbIndex (got None for {:?})",
+                    config.kind
+                )
+            };
+            let mut all: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
+                .map(|_| (Vec::new(), StageCounts::default()))
+                .collect();
             // Alg. 3: serial block loop, parallel query loop inside.
             for block in index.blocks() {
                 let per_query = parallel_map_dynamic(
@@ -255,10 +263,12 @@ where
     } else {
         queries
     };
-    let (db_residues, db_seqs) =
-        config.effective_db.unwrap_or((db.total_residues(), db.len()));
-    let mut all: Vec<(Vec<Seed>, StageCounts)> =
-        (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+    let (db_residues, db_seqs) = config
+        .effective_db
+        .unwrap_or((db.total_residues(), db.len()));
+    let mut all: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
+        .map(|_| (Vec::new(), StageCounts::default()))
+        .collect();
     for block in blocks {
         let per_query = parallel_map_dynamic(
             config.threads,
@@ -315,16 +325,39 @@ fn finish_all(
     db_seqs: usize,
 ) -> Vec<QueryResult> {
     // Move seeds into per-index slots the workers can take from.
-    let slots: Vec<parking_lot::Mutex<(Vec<Seed>, StageCounts)>> =
-        per_query.into_iter().map(parking_lot::Mutex::new).collect();
-    parallel_map_dynamic(config.threads, queries.len(), config.chunk, || (), |_, qi| {
-        let (seeds, mut counts) = std::mem::take(&mut *slots[qi].lock());
-        let (alignments, gapped) =
-            finish_query(queries[qi].residues(), db, seeds, &config.params, db_residues, db_seqs);
-        counts.gapped = gapped;
-        counts.reported = alignments.len() as u64;
-        QueryResult { query_index: qi, alignments, counts }
-    })
+    let slots: Vec<std::sync::Mutex<(Vec<Seed>, StageCounts)>> =
+        per_query.into_iter().map(std::sync::Mutex::new).collect();
+    parallel_map_dynamic(
+        config.threads,
+        queries.len(),
+        config.chunk,
+        || (),
+        |_, qi| {
+            // Each slot is taken exactly once; recover from poisoning rather
+            // than propagating a panic from an unrelated worker.
+            let mut slot = match slots[qi].lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let (seeds, mut counts) = std::mem::take(&mut *slot);
+            drop(slot);
+            let (alignments, gapped) = finish_query(
+                queries[qi].residues(),
+                db,
+                seeds,
+                &config.params,
+                db_residues,
+                db_seqs,
+            );
+            counts.gapped = gapped;
+            counts.reported = alignments.len() as u64;
+            QueryResult {
+                query_index: qi,
+                alignments,
+                counts,
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -343,7 +376,11 @@ mod tests {
         let db = datagen_like_db();
         let index = DbIndex::build(
             &db,
-            &IndexConfig { block_bytes: 2048, offset_bits: 15, frag_overlap: 16 },
+            &IndexConfig {
+                block_bytes: 2048,
+                offset_bits: 15,
+                frag_overlap: 16,
+            },
         );
         let queries: Vec<Sequence> = (0..4)
             .map(|i| {
@@ -362,11 +399,8 @@ mod tests {
                 let m = motifs[i % motifs.len()];
                 let pad_a = "AG".repeat(3 + i % 5);
                 let pad_b = "VL".repeat(2 + i % 7);
-                Sequence::from_str_checked(
-                    format!("s{i}"),
-                    &format!("{pad_a}{m}{pad_b}{m}"),
-                )
-                .unwrap()
+                Sequence::from_str_checked(format!("s{i}"), &format!("{pad_a}{m}{pad_b}{m}"))
+                    .unwrap()
             })
             .collect()
     }
@@ -383,7 +417,10 @@ mod tests {
         let a = run(EngineKind::QueryIndexed);
         let b = run(EngineKind::DbInterleaved);
         let c = run(EngineKind::MuBlastp);
-        assert!(!a.iter().all(|r| r.alignments.is_empty()), "want non-trivial results");
+        assert!(
+            !a.iter().all(|r| r.alignments.is_empty()),
+            "want non-trivial results"
+        );
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.alignments, y.alignments, "NCBI vs NCBI-db");
         }

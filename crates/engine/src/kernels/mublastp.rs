@@ -72,11 +72,13 @@ pub fn search_block<T: Tracer>(
     }
     for (q_off, qword) in WordIter::new(query) {
         ctx.tracer.touch(ctx.regions.query + q_off as u64, 1);
-        ctx.tracer.touch(ctx.regions.neighbors + qword as u64 * 4, 4);
+        ctx.tracer
+            .touch(ctx.regions.neighbors + qword as u64 * 4, 4);
         for &nb in neighbors.neighbors(qword) {
             let post_start = block.posting_start(nb) as u64;
             for (k, &entry) in block.postings(nb).iter().enumerate() {
-                ctx.tracer.touch(ctx.regions.postings + (post_start + k as u64) * 4, 4);
+                ctx.tracer
+                    .touch(ctx.regions.postings + (post_start + k as u64) * 4, 4);
                 counts.hits += 1;
                 let (ls, s_off) = block.unpack(entry);
                 let diag = s_off + qlen - q_off;
@@ -85,17 +87,23 @@ pub fn search_block<T: Tracer>(
                     ctx.tracer.touch(ctx.regions.lasthit + cell as u64 * 8, 8);
                     if let Some(dist) = scratch.finder.observe(cell, q_off) {
                         counts.pairs += 1;
-                        ctx.tracer.touch(
-                            ctx.regions.hitbuf + scratch.pairs.len() as u64 * 12,
-                            12,
-                        );
-                        scratch.pairs.push(HitPair { key: spec.key(ls, diag), q_off, dist });
+                        ctx.tracer
+                            .touch(ctx.regions.hitbuf + scratch.pairs.len() as u64 * 12, 12);
+                        scratch.pairs.push(HitPair {
+                            key: spec.key(ls, diag),
+                            q_off,
+                            dist,
+                        });
                     }
                 } else {
                     // Post-filter mode: buffer every hit (dist filled later).
                     ctx.tracer
                         .touch(ctx.regions.hitbuf + scratch.pairs.len() as u64 * 12, 12);
-                    scratch.pairs.push(HitPair { key: spec.key(ls, diag), q_off, dist: 0 });
+                    scratch.pairs.push(HitPair {
+                        key: spec.key(ls, diag),
+                        q_off,
+                        dist: 0,
+                    });
                 }
             }
         }
@@ -117,7 +125,17 @@ pub fn search_block<T: Tracer>(
     let mut gate = ExtensionGate::new();
     let pairs = std::mem::take(&mut scratch.pairs);
     if prefilter {
-        extend_pairs(query, block, params, &pairs, &mut scratch.seeds, counts, ctx, &spec, &mut gate);
+        extend_pairs(
+            query,
+            block,
+            params,
+            &pairs,
+            &mut scratch.seeds,
+            counts,
+            ctx,
+            &spec,
+            &mut gate,
+        );
     } else {
         // Post-filter (Alg. 1 lines 5–14): form pairs on the sorted stream.
         let mut reached_key = u32::MAX;
@@ -143,7 +161,15 @@ pub fn search_block<T: Tracer>(
             reached_pos = hit.q_off as i64;
         }
         extend_pairs(
-            query, block, params, &filtered, &mut scratch.seeds, counts, ctx, &spec, &mut gate,
+            query,
+            block,
+            params,
+            &filtered,
+            &mut scratch.seeds,
+            counts,
+            ctx,
+            &spec,
+            &mut gate,
         );
     }
     scratch.pairs = pairs; // return capacity to the scratch buffer
@@ -189,7 +215,11 @@ fn extend_pairs<T: Tracer>(
             gate.record_extension(aln.q_end);
             if aln.score >= params.gap_trigger {
                 counts.seeds += 1;
-                seeds.push(Seed { subject: seq.global_id, frag_offset: seq.frag_offset, aln });
+                seeds.push(Seed {
+                    subject: seq.global_id,
+                    frag_offset: seq.frag_offset,
+                    aln,
+                });
             }
         }
     }
@@ -205,8 +235,9 @@ pub fn sort_pairs(pairs: &mut Vec<HitPair>, algo: ReorderAlgo) {
             if pairs.is_empty() {
                 return;
             }
-            // Bin spaces derived from the actual key range.
-            let max_key = pairs.iter().map(|p| p.key).max().unwrap();
+            // Bin spaces derived from the actual key range (the is_empty
+            // guard above means a maximum always exists).
+            let max_key = pairs.iter().map(|p| p.key).max().unwrap_or(0);
             // Minor = low 16 bits (diagonal side), major = high bits: the
             // two-level structure of the related-work scheme.
             let minor_space = 1usize << 16;
@@ -288,8 +319,11 @@ mod tests {
     fn all_reorder_algorithms_agree() {
         let core = "WCHWMYFWCHW";
         let q = format!("AA{core}AA");
-        let subjects =
-            [format!("GG{core}"), format!("{core}GG"), format!("G{core}G{core}")];
+        let subjects = [
+            format!("GG{core}"),
+            format!("{core}GG"),
+            format!("G{core}G{core}"),
+        ];
         let refs: Vec<&str> = subjects.iter().map(|s| s.as_str()).collect();
         let baseline = run_with(&q, &refs, ReorderAlgo::Std, true);
         for algo in [
@@ -325,7 +359,11 @@ mod tests {
         // change any output.
         let core = "WCHWMYFWCHW";
         let q = format!("{core}AA");
-        let subjects = [format!("GG{core}"), format!("{core}GG"), "MKVLA".to_string()];
+        let subjects = [
+            format!("GG{core}"),
+            format!("{core}GG"),
+            "MKVLA".to_string(),
+        ];
         let refs: Vec<&str> = subjects.iter().map(|s| s.as_str()).collect();
         let (mu_seeds, mu_counts) = run_with(&q, &refs, ReorderAlgo::LsdRadix, true);
 

@@ -49,5 +49,5 @@ pub use hit::{HitPair, KeySpec};
 pub use instrument::{trace_engine, trace_engine_multicore, TraceReport};
 pub use longquery::{search_batch_long, LongQueryConfig};
 pub use report::{tabular_rows, write_tabular, write_tabular_commented, TabularRow};
-pub use results::{Alignment, QueryResult, StageCounts};
+pub use results::{split_batch, Alignment, QueryResult, StageCounts};
 pub use verify::results_identical;

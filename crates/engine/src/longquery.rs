@@ -42,7 +42,10 @@ pub struct LongQueryConfig {
 
 impl Default for LongQueryConfig {
     fn default() -> Self {
-        LongQueryConfig { window: 4096, overlap: 256 }
+        LongQueryConfig {
+            window: 4096,
+            overlap: 256,
+        }
     }
 }
 
@@ -58,8 +61,9 @@ pub fn search_batch_long(
     long: LongQueryConfig,
 ) -> Vec<QueryResult> {
     assert!(long.overlap < long.window);
-    let (db_residues, db_seqs) =
-        config.effective_db.unwrap_or((db.total_residues(), db.len()));
+    let (db_residues, db_seqs) = config
+        .effective_db
+        .unwrap_or((db.total_residues(), db.len()));
 
     // Expand long queries into windows, remembering their origin.
     struct Window {
@@ -79,8 +83,9 @@ pub fn search_batch_long(
     }
 
     // Per-window seeds, block loop outside (Alg. 3 structure preserved).
-    let mut per_query: Vec<(Vec<Seed>, StageCounts)> =
-        (0..queries.len()).map(|_| (Vec::new(), StageCounts::default())).collect();
+    let mut per_query: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
+        .map(|_| (Vec::new(), StageCounts::default()))
+        .collect();
     for block in index.blocks() {
         let results = parallel_map_dynamic(
             config.threads,
@@ -122,47 +127,64 @@ pub fn search_batch_long(
     // Merge window-boundary duplicates per (subject, fragment, diagonal):
     // overlapping same-diagonal spans keep the best score, exactly like
     // the subject-side assembly.
-    let slots: Vec<parking_lot::Mutex<(Vec<Seed>, StageCounts)>> =
-        per_query.into_iter().map(parking_lot::Mutex::new).collect();
-    parallel_map_dynamic(config.threads, queries.len(), config.chunk, || (), |_, qi| {
-        let (mut seeds, mut counts) = std::mem::take(&mut *slots[qi].lock());
-        seeds.sort_by_key(|s| {
-            (
-                s.subject,
-                s.frag_offset,
-                s.aln.diagonal(),
-                s.aln.q_start,
-                std::cmp::Reverse(s.aln.score),
-            )
-        });
-        let mut merged: Vec<Seed> = Vec::with_capacity(seeds.len());
-        for s in seeds {
-            match merged.last_mut() {
-                Some(prev)
-                    if prev.subject == s.subject
-                        && prev.frag_offset == s.frag_offset
-                        && prev.aln.diagonal() == s.aln.diagonal()
-                        && s.aln.q_start < prev.aln.q_end =>
-                {
-                    if s.aln.score > prev.aln.score {
-                        prev.aln = s.aln;
+    let slots: Vec<std::sync::Mutex<(Vec<Seed>, StageCounts)>> =
+        per_query.into_iter().map(std::sync::Mutex::new).collect();
+    parallel_map_dynamic(
+        config.threads,
+        queries.len(),
+        config.chunk,
+        || (),
+        |_, qi| {
+            // Each slot is taken exactly once; recover from poisoning rather
+            // than propagating a panic from an unrelated worker.
+            let mut slot = match slots[qi].lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let (mut seeds, mut counts) = std::mem::take(&mut *slot);
+            drop(slot);
+            seeds.sort_by_key(|s| {
+                (
+                    s.subject,
+                    s.frag_offset,
+                    s.aln.diagonal(),
+                    s.aln.q_start,
+                    std::cmp::Reverse(s.aln.score),
+                )
+            });
+            let mut merged: Vec<Seed> = Vec::with_capacity(seeds.len());
+            for s in seeds {
+                match merged.last_mut() {
+                    Some(prev)
+                        if prev.subject == s.subject
+                            && prev.frag_offset == s.frag_offset
+                            && prev.aln.diagonal() == s.aln.diagonal()
+                            && s.aln.q_start < prev.aln.q_end =>
+                    {
+                        if s.aln.score > prev.aln.score {
+                            prev.aln = s.aln;
+                        }
                     }
+                    _ => merged.push(s),
                 }
-                _ => merged.push(s),
             }
-        }
-        let (alignments, gapped) = finish_query(
-            queries[qi].residues(),
-            db,
-            merged,
-            &config.params,
-            db_residues,
-            db_seqs,
-        );
-        counts.gapped = gapped;
-        counts.reported = alignments.len() as u64;
-        QueryResult { query_index: qi, alignments, counts }
-    })
+            let (alignments, gapped) = finish_query(
+                queries[qi].residues(),
+                db,
+                merged,
+                &config.params,
+                db_residues,
+                db_seqs,
+            );
+            counts.gapped = gapped;
+            counts.reported = alignments.len() as u64;
+            QueryResult {
+                query_index: qi,
+                alignments,
+                counts,
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -196,7 +218,9 @@ mod tests {
         // scattered positions (including one far beyond the first window).
         let query = residues(1500, 42);
         let mut subjects: Vec<Sequence> = Vec::new();
-        for (i, &(q_at, len)) in [(30usize, 60usize), (700, 80), (1380, 70)].iter().enumerate()
+        for (i, &(q_at, len)) in [(30usize, 60usize), (700, 80), (1380, 70)]
+            .iter()
+            .enumerate()
         {
             let mut s = residues(50, 100 + i as u64);
             s.extend_from_slice(&query[q_at..q_at + len]);
@@ -226,7 +250,10 @@ mod tests {
             neighbors(),
             &queries,
             &config(),
-            LongQueryConfig { window: 400, overlap: 120 },
+            LongQueryConfig {
+                window: 400,
+                overlap: 120,
+            },
         );
         // Every planted region must be found in both, with equal best
         // alignments (the gapped re-extension heals window truncation).
@@ -239,8 +266,10 @@ mod tests {
                 (b.aln.q_start, b.aln.q_end, b.aln.s_start, b.aln.s_end)
             );
         }
-        assert!(direct[0].alignments.iter().any(|a| a.aln.q_start >= 1300),
-            "the region beyond the first window must be found");
+        assert!(
+            direct[0].alignments.iter().any(|a| a.aln.q_start >= 1300),
+            "the region beyond the first window must be found"
+        );
     }
 
     #[test]
@@ -253,7 +282,10 @@ mod tests {
             neighbors(),
             &queries,
             &config(),
-            LongQueryConfig { window: 10_000, overlap: 256 },
+            LongQueryConfig {
+                window: 10_000,
+                overlap: 256,
+            },
         );
         assert_eq!(direct, one_window);
     }
@@ -271,7 +303,10 @@ mod tests {
             neighbors(),
             &queries,
             &config(),
-            LongQueryConfig { window: 400, overlap: 120 },
+            LongQueryConfig {
+                window: 400,
+                overlap: 120,
+            },
         );
         assert_eq!(out.len(), 2);
         assert!(out[1].alignments.iter().any(|a| a.subject == 0));

@@ -86,14 +86,97 @@ impl QueryResult {
     }
 }
 
+/// Demultiplex the results of one coalesced `search_batch` run back into
+/// the per-submitter batches it was formed from.
+///
+/// `sizes[k]` is the query count of the k-th original batch; the batches
+/// were concatenated in order before the search, so the combined results
+/// are split at the same boundaries and each result's `query_index` is
+/// rebased to its own batch. Every pipeline stage is per-query
+/// independent (per-query scratch, per-query finish), which is what makes
+/// coalescing + this split byte-identical to running each batch alone —
+/// the invariant the serving layer's micro-batcher rests on.
+///
+/// # Panics
+/// Panics if `sizes` does not sum to `results.len()`.
+pub fn split_batch(results: Vec<QueryResult>, sizes: &[usize]) -> Vec<Vec<QueryResult>> {
+    let total: usize = sizes.iter().sum();
+    assert_eq!(
+        total,
+        results.len(),
+        "split_batch: sizes sum to {total} but there are {} results",
+        results.len()
+    );
+    let mut rest = results;
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut consumed = 0usize;
+    for &size in sizes {
+        let tail = rest.split_off(size);
+        let mut head = rest;
+        rest = tail;
+        for r in &mut head {
+            r.query_index -= consumed;
+        }
+        consumed += size;
+        out.push(head);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn result(query_index: usize, hits: u64) -> QueryResult {
+        QueryResult {
+            query_index,
+            alignments: Vec::new(),
+            counts: StageCounts {
+                hits,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn split_batch_rebases_indices() {
+        let combined: Vec<QueryResult> = (0..6).map(|i| result(i, i as u64 * 10)).collect();
+        let split = split_batch(combined, &[2, 0, 3, 1]);
+        assert_eq!(split.len(), 4);
+        assert_eq!(
+            split[0].iter().map(|r| r.query_index).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        assert!(split[1].is_empty());
+        assert_eq!(
+            split[2].iter().map(|r| r.query_index).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(split[3][0].query_index, 0);
+        // Payloads travel with their slot.
+        assert_eq!(split[2][0].counts.hits, 20);
+        assert_eq!(split[3][0].counts.hits, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_batch")]
+    fn split_batch_rejects_bad_sizes() {
+        split_batch(vec![result(0, 0)], &[2]);
+    }
+
     #[test]
     fn counts_accumulate() {
-        let mut a = StageCounts { hits: 10, pairs: 2, ..Default::default() };
-        let b = StageCounts { hits: 5, pairs: 1, extensions: 1, ..Default::default() };
+        let mut a = StageCounts {
+            hits: 10,
+            pairs: 2,
+            ..Default::default()
+        };
+        let b = StageCounts {
+            hits: 5,
+            pairs: 1,
+            extensions: 1,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.hits, 15);
         assert_eq!(a.pairs, 3);
@@ -102,7 +185,11 @@ mod tests {
 
     #[test]
     fn survival_fraction() {
-        let c = StageCounts { hits: 200, pairs: 8, ..Default::default() };
+        let c = StageCounts {
+            hits: 200,
+            pairs: 8,
+            ..Default::default()
+        };
         assert!((c.prefilter_survival() - 0.04).abs() < 1e-12);
         assert_eq!(StageCounts::default().prefilter_survival(), 0.0);
     }

@@ -1,0 +1,574 @@
+//! Admission control and micro-batching.
+//!
+//! The paper's Alg. 3 runs a *batch* of queries through a serial loop
+//! over index blocks with a dynamic parallel-for over the queries inside
+//! each block — throughput comes from batching, because every block is
+//! paged through the cache hierarchy once per batch instead of once per
+//! query. A network daemon receives queries one connection at a time, so
+//! this module rebuilds batches at the door:
+//!
+//! * a **bounded admission queue** — overflow is answered immediately
+//!   with a typed `Overloaded` error and a retry hint rather than letting
+//!   the queue (and tail latency) grow without bound;
+//! * a **batch former** that coalesces queued requests until either
+//!   `max_batch` requests are waiting or `max_delay` has passed since the
+//!   oldest arrived — the classic latency/throughput dial;
+//! * a single dispatcher that concatenates the coalesced queries, runs
+//!   one `engine::search_batch` (preserving the block-serial,
+//!   query-parallel schedule), and **demultiplexes** per-query results
+//!   back to their submitters via [`engine::split_batch`].
+//!
+//! Coalescing is invisible to callers because every engine stage is
+//! per-query independent; the loopback integration tests pin this down
+//! with `engine::verify::results_identical`.
+//!
+//! Only requests with an identical effective configuration ([`ConfigSig`])
+//! share a batch — mixing E-value cutoffs would change results.
+
+use crate::proto::{ErrorCode, ParamOverrides, WireError};
+use crate::stats::ServeStats;
+use bioseq::{Sequence, SequenceDb};
+use dbindex::DbIndex;
+use engine::{split_batch, EngineKind, QueryResult, SearchConfig};
+use scoring::NeighborTable;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the daemon loads once and then serves from: the database,
+/// its resident index, the neighbor table, and the base search
+/// configuration (threads, chunking, sort algorithm).
+pub struct SearchContext {
+    pub db: SequenceDb,
+    pub index: DbIndex,
+    pub neighbors: NeighborTable,
+    pub base: SearchConfig,
+}
+
+/// The per-request knobs that must agree for two requests to share a
+/// batch: the engine and every parameter that affects results. Requests
+/// with different signatures are dispatched in separate batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigSig {
+    kind_code: u8,
+    evalue_bits: u64,
+    max_reported: u32,
+    seg: bool,
+}
+
+impl SearchContext {
+    /// The batch-compatibility signature of a request against this
+    /// context's defaults.
+    pub fn sig(&self, kind: EngineKind, overrides: &ParamOverrides) -> ConfigSig {
+        ConfigSig {
+            kind_code: crate::proto::engine_to_wire(kind),
+            evalue_bits: overrides
+                .evalue_cutoff
+                .unwrap_or(self.base.params.evalue_cutoff)
+                .to_bits(),
+            max_reported: overrides
+                .max_reported
+                .unwrap_or(self.base.params.max_reported as u32),
+            seg: overrides.seg_filter.unwrap_or(self.base.params.seg_filter),
+        }
+    }
+
+    /// Materialize the effective `SearchConfig` for a signature.
+    pub fn config_for(&self, sig: ConfigSig) -> SearchConfig {
+        let mut c = self.base.clone();
+        c.kind = match crate::proto::engine_from_wire(sig.kind_code) {
+            Ok(kind) => kind,
+            Err(_) => self.base.kind, // unreachable: sigs are built from valid kinds
+        };
+        c.params.evalue_cutoff = f64::from_bits(sig.evalue_bits);
+        c.params.max_reported = sig.max_reported as usize;
+        c.params.seg_filter = sig.seg;
+        c
+    }
+}
+
+/// Batching and admission knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Admission-queue capacity; requests beyond this get `Overloaded`.
+    pub queue_cap: usize,
+    /// Most requests coalesced into one engine dispatch.
+    pub max_batch: usize,
+    /// Longest a queued request waits for companions before dispatch.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            queue_cap: 64,
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What a submitter eventually receives: per-query results in submission
+/// order, or a typed error (deadline expiry, internal failure).
+pub type BatchReply = Result<Vec<QueryResult>, WireError>;
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue full; retry after the hinted back-off.
+    Overloaded { retry_after_ms: u32 },
+    /// The batcher is draining and accepts no new work.
+    ShuttingDown,
+}
+
+struct Job {
+    queries: Vec<Sequence>,
+    sig: ConfigSig,
+    reply: mpsc::Sender<BatchReply>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    opts: BatchOptions,
+    ctx: Arc<SearchContext>,
+    stats: Arc<ServeStats>,
+}
+
+fn lock(queue: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    match queue.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait<'a>(cv: &Condvar, guard: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait_timeout<'a>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, QueueState>,
+    dur: Duration,
+) -> MutexGuard<'a, QueueState> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((guard, _)) => guard,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+/// The admission queue plus its batch-forming worker thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Start the batch-forming worker over a loaded search context.
+    pub fn new(ctx: Arc<SearchContext>, opts: BatchOptions, stats: Arc<ServeStats>) -> Batcher {
+        assert!(opts.queue_cap > 0, "queue_cap must be positive");
+        assert!(opts.max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            opts,
+            ctx,
+            stats,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || worker_loop(&worker_shared));
+        Batcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Submit one request. On admission, returns the receiver the reply
+    /// will arrive on (the batcher answers every admitted job, even
+    /// during a drain). On refusal, returns immediately.
+    pub fn submit(
+        &self,
+        queries: Vec<Sequence>,
+        kind: EngineKind,
+        overrides: &ParamOverrides,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<BatchReply>, SubmitError> {
+        let sig = self.shared.ctx.sig(kind, overrides);
+        let mut state = lock(&self.shared.queue);
+        if state.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.shared.opts.queue_cap {
+            drop(state);
+            self.shared.stats.on_reject();
+            return Err(SubmitError::Overloaded {
+                retry_after_ms: self.retry_hint_ms(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        state.jobs.push_back(Job {
+            queries,
+            sig,
+            reply: tx,
+            admitted: now,
+            deadline: deadline.map(|d| now + d),
+        });
+        let depth = state.jobs.len();
+        drop(state);
+        self.shared.stats.on_admit(depth);
+        self.shared.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).jobs.len()
+    }
+
+    /// Configured admission capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.shared.opts.queue_cap
+    }
+
+    /// Suggested client back-off when refused: one forming window plus
+    /// slack.
+    fn retry_hint_ms(&self) -> u32 {
+        u32::try_from(self.shared.opts.max_delay.as_millis())
+            .unwrap_or(u32::MAX)
+            .saturating_add(10)
+    }
+
+    /// Stop admitting, dispatch everything already queued, and join the
+    /// worker. Idempotent; safe to call from several threads.
+    pub fn shutdown(&self) {
+        {
+            let mut state = lock(&self.shared.queue);
+            state.draining = true;
+        }
+        self.shared.cv.notify_all();
+        let handle = {
+            let mut worker = match self.worker.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            worker.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut state = lock(&shared.queue);
+        // Wait for work; an empty queue under drain means we are done.
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.draining {
+                return;
+            }
+            state = wait(&shared.cv, state);
+        }
+        // Forming window: coalesce until max_batch companions are queued
+        // or max_delay has passed since the oldest arrival. A drain cuts
+        // the window short — queued work is flushed, not aged.
+        if let Some(formed_by) = state
+            .jobs
+            .front()
+            .map(|j| j.admitted + shared.opts.max_delay)
+        {
+            while state.jobs.len() < shared.opts.max_batch && !state.draining {
+                let now = Instant::now();
+                if now >= formed_by {
+                    break;
+                }
+                state = wait_timeout(&shared.cv, state, formed_by - now);
+            }
+        }
+        // Extract the dispatch set: the longest queue prefix sharing the
+        // head request's configuration (prefix order keeps FIFO fairness —
+        // a differently-configured head is never starved by later arrivals).
+        let mut batch: Vec<Job> = Vec::new();
+        while batch.len() < shared.opts.max_batch {
+            let take = match (state.jobs.front(), batch.first()) {
+                (Some(next), Some(head)) => next.sig == head.sig,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if !take {
+                break;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                batch.push(job);
+            }
+        }
+        drop(state);
+        dispatch(shared, batch);
+    }
+}
+
+fn dispatch(shared: &Shared, batch: Vec<Job>) {
+    // Expire jobs whose deadline passed while queued.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        match job.deadline {
+            Some(deadline) if now >= deadline => {
+                shared.stats.on_expire();
+                let waited = now.saturating_duration_since(job.admitted);
+                let _ = job.reply.send(Err(WireError {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!("deadline passed after {} ms in queue", waited.as_millis()),
+                    retry_after_ms: 0,
+                }));
+            }
+            _ => live.push(job),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    // One coalesced engine run over the concatenated queries.
+    let sizes: Vec<usize> = live.iter().map(|j| j.queries.len()).collect();
+    let waits: Vec<Duration> = live
+        .iter()
+        .map(|j| now.saturating_duration_since(j.admitted))
+        .collect();
+    let mut all_queries: Vec<Sequence> = Vec::with_capacity(sizes.iter().sum());
+    for job in &mut live {
+        all_queries.append(&mut job.queries);
+    }
+    let config = shared.ctx.config_for(live[0].sig);
+    let searched_at = Instant::now();
+    let results = engine::search_batch(
+        &shared.ctx.db,
+        Some(&shared.ctx.index),
+        &shared.ctx.neighbors,
+        &all_queries,
+        &config,
+    );
+    shared
+        .stats
+        .on_batch(live.len(), &waits, searched_at.elapsed());
+    // Demultiplex: split the combined results at the submission
+    // boundaries and route each slice back to its submitter.
+    for (job, part) in live.iter().zip(split_batch(results, &sizes)) {
+        shared.stats.on_complete(job.admitted.elapsed());
+        let _ = job.reply.send(Ok(part));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbindex::IndexConfig;
+    use scoring::BLOSUM62;
+
+    fn context() -> Arc<SearchContext> {
+        let db: SequenceDb = [
+            "MARNDWWWCQEG",
+            "WWWHILKMFPST",
+            "ARNDARNDARND",
+            "MKVLAARNDGG",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+        .collect();
+        let index = DbIndex::build(&db, &IndexConfig::default());
+        let neighbors = NeighborTable::build(&BLOSUM62, 11);
+        let mut base = SearchConfig::new(EngineKind::MuBlastp);
+        base.params.evalue_cutoff = 1e9;
+        Arc::new(SearchContext {
+            db,
+            index,
+            neighbors,
+            base,
+        })
+    }
+
+    fn query(ctx: &SearchContext, i: u32) -> Vec<Sequence> {
+        vec![Sequence::from_encoded(
+            format!("q{i}"),
+            ctx.db.get(i).residues().to_vec(),
+        )]
+    }
+
+    #[test]
+    fn submit_and_receive() {
+        let ctx = context();
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let rx = batcher.submit(
+            query(&ctx, 0),
+            EngineKind::MuBlastp,
+            &Default::default(),
+            None,
+        );
+        let results = rx.unwrap().recv().unwrap().unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].alignments.iter().any(|a| a.subject == 0));
+    }
+
+    #[test]
+    fn overflow_is_refused_with_hint() {
+        let ctx = context();
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            // A long forming window keeps jobs queued while we overflow.
+            BatchOptions {
+                queue_cap: 2,
+                max_batch: 8,
+                max_delay: Duration::from_secs(5),
+            },
+            Arc::clone(&stats),
+        );
+        let _rx1 = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        let _rx2 = batcher
+            .submit(
+                query(&ctx, 1),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        match batcher.submit(
+            query(&ctx, 2),
+            EngineKind::MuBlastp,
+            &Default::default(),
+            None,
+        ) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        assert!(batcher.queue_depth() <= batcher.queue_cap());
+        batcher.shutdown(); // drains the two queued jobs
+        assert_eq!(stats.snapshot(0, 2).rejected, 1);
+    }
+
+    #[test]
+    fn drain_answers_queued_jobs() {
+        let ctx = context();
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 8,
+                max_delay: Duration::from_secs(5),
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let rx1 = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        let rx2 = batcher
+            .submit(
+                query(&ctx, 1),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        batcher.shutdown();
+        assert!(rx1.recv().unwrap().is_ok());
+        assert!(rx2.recv().unwrap().is_ok());
+        match batcher.submit(
+            query(&ctx, 2),
+            EngineKind::MuBlastp,
+            &Default::default(),
+            None,
+        ) {
+            Err(SubmitError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_gets_typed_error() {
+        let ctx = context();
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 8,
+                max_delay: Duration::from_millis(200),
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let rx = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                Some(Duration::from_millis(1)),
+            )
+            .unwrap();
+        let reply = rx.recv().unwrap();
+        match reply {
+            Err(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            Ok(_) => panic!("deadline should have expired during the forming window"),
+        }
+    }
+
+    #[test]
+    fn different_configs_do_not_share_a_batch() {
+        let ctx = context();
+        let strict = ParamOverrides {
+            evalue_cutoff: Some(1e-30),
+            ..Default::default()
+        };
+        let a = ctx.sig(EngineKind::MuBlastp, &Default::default());
+        let b = ctx.sig(EngineKind::MuBlastp, &strict);
+        assert_ne!(a, b);
+        let c = ctx.sig(EngineKind::QueryIndexed, &Default::default());
+        assert_ne!(a, c);
+        // And the materialized config reflects the override.
+        let cfg = ctx.config_for(b);
+        assert_eq!(cfg.params.evalue_cutoff, 1e-30);
+    }
+}

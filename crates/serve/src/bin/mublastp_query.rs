@@ -1,0 +1,224 @@
+//! Client for a running `mublastpd`.
+//!
+//! ```text
+//! mublastp-query --addr 127.0.0.1:7878 --query q.fasta
+//!                [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
+//!                [--seg yes|no] [--deadline-ms N]
+//! mublastp-query --addr 127.0.0.1:7878 --stats
+//! mublastp-query --addr 127.0.0.1:7878 --shutdown
+//! ```
+//!
+//! Prints BLAST-style tabular output (one row per alignment).
+//! Every failure mode exits with a distinct, stable code and a one-line
+//! diagnostic on stderr — scripts can tell "retry later" from "give up".
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use bioseq::read_fasta;
+use engine::EngineKind;
+use serve::proto::ErrorCode;
+use serve::{Client, ClientError, ParamOverrides};
+
+const USAGE: &str = "\
+mublastp-query — query a running mublastpd
+
+USAGE:
+  mublastp-query --addr HOST:PORT --query q.fasta
+                 [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
+                 [--seg yes|no] [--deadline-ms N]
+  mublastp-query --addr HOST:PORT --stats
+  mublastp-query --addr HOST:PORT --shutdown";
+
+// Exit codes (documented, stable):
+//   0 success          2 usage error        3 cannot connect / connection lost
+//   4 protocol error   5 deadline exceeded  6 server overloaded
+//   7 other server error
+const EXIT_USAGE: u8 = 2;
+const EXIT_CONNECT: u8 = 3;
+const EXIT_PROTO: u8 = 4;
+const EXIT_DEADLINE: u8 = 5;
+const EXIT_OVERLOADED: u8 = 6;
+const EXIT_SERVER: u8 = 7;
+
+/// Minimal `--flag value` parser (same idiom as the mublastp CLI).
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag {name}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: '{v}'")),
+        }
+    }
+}
+
+fn client_exit(e: &ClientError) -> u8 {
+    match e {
+        ClientError::Io(_) => EXIT_CONNECT,
+        ClientError::Proto(_) | ClientError::UnexpectedFrame(_) => EXIT_PROTO,
+        ClientError::Server(w) => match w.code {
+            ErrorCode::DeadlineExceeded => EXIT_DEADLINE,
+            ErrorCode::Overloaded => EXIT_OVERLOADED,
+            _ => EXIT_SERVER,
+        },
+    }
+}
+
+fn run() -> Result<(), (u8, String)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = Flags(&args);
+    let usage = |e: String| (EXIT_USAGE, format!("{e}\n{USAGE}"));
+
+    let addr = flags.require("--addr").map_err(usage)?;
+    let mut client = Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
+
+    if flags.has("--shutdown") {
+        client
+            .shutdown()
+            .map_err(|e| (client_exit(&e), e.to_string()))?;
+        eprintln!("mublastp-query: server drained and shut down");
+        return Ok(());
+    }
+    if flags.has("--stats") {
+        let s = client
+            .stats()
+            .map_err(|e| (client_exit(&e), e.to_string()))?;
+        println!("queue_depth     {} / {}", s.queue_depth, s.queue_cap);
+        println!("max_depth_seen  {}", s.max_depth_seen);
+        println!("accepted        {}", s.accepted);
+        println!("rejected        {}", s.rejected);
+        println!("expired         {}", s.expired);
+        println!("completed       {}", s.completed);
+        println!("batches         {}", s.batches);
+        for (i, n) in s.batch_hist.iter().enumerate().filter(|(_, &n)| n > 0) {
+            println!("batches[{}]      {}", i + 1, n);
+        }
+        for (name, l) in [
+            ("queue_wait", s.queue_wait),
+            ("search", s.search),
+            ("total", s.total),
+        ] {
+            println!(
+                "{name:<15} n={} p50={}us p99={}us max={}us",
+                l.count, l.p50_us, l.p99_us, l.max_us
+            );
+        }
+        return Ok(());
+    }
+
+    let query_path = flags.require("--query").map_err(usage)?;
+    let engine = match flags.get("--engine").unwrap_or("mublastp") {
+        "mublastp" => EngineKind::MuBlastp,
+        "ncbi" => EngineKind::QueryIndexed,
+        "ncbi-db" => EngineKind::DbInterleaved,
+        other => {
+            return Err(usage(format!(
+                "unknown engine '{other}' (mublastp|ncbi|ncbi-db)"
+            )))
+        }
+    };
+    let overrides = ParamOverrides {
+        evalue_cutoff: match flags.get("--evalue") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| usage(format!("bad value for --evalue: '{v}'")))?,
+            ),
+            None => None,
+        },
+        max_reported: match flags.get("--max-hits") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| usage(format!("bad value for --max-hits: '{v}'")))?,
+            ),
+            None => None,
+        },
+        seg_filter: match flags.get("--seg") {
+            Some("yes") => Some(true),
+            Some("no") => Some(false),
+            Some(other) => return Err(usage(format!("bad value for --seg: '{other}'"))),
+            None => None,
+        },
+    };
+    let deadline_ms: u32 = flags.parse("--deadline-ms", 0u32).map_err(usage)?;
+
+    // The daemon parses the FASTA; we read it only to ship it.
+    let mut fasta = String::new();
+    let file = File::open(query_path)
+        .map_err(|e| (EXIT_USAGE, format!("cannot open {query_path}: {e}")))?;
+    BufReader::new(file)
+        .read_to_string(&mut fasta)
+        .map_err(|e| (EXIT_USAGE, format!("{query_path}: {e}")))?;
+    // Parse locally too, purely to pair returned results with query ids.
+    let queries =
+        read_fasta(fasta.as_bytes()).map_err(|e| (EXIT_USAGE, format!("{query_path}: {e}")))?;
+
+    let response = client
+        .search(&fasta, engine, overrides, deadline_ms)
+        .map_err(|e| (client_exit(&e), e.to_string()))?;
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for reply in &response.replies {
+        let qid = queries
+            .get(reply.result.query_index)
+            .map(|q| q.id.as_str())
+            .unwrap_or("query");
+        for (a, sid) in reply.result.alignments.iter().zip(&reply.subject_ids) {
+            // BLAST outfmt-6-like tabular shape; the identity/mismatch/gap
+            // columns need residues the client does not hold, so print the
+            // span length and the coordinates the server vouched for.
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2e}\t{:.1}",
+                qid,
+                sid,
+                a.aln.ops.len(),
+                a.aln.q_start + 1,
+                a.aln.q_end,
+                a.aln.s_start + 1,
+                a.aln.s_end,
+                a.aln.score,
+                a.evalue,
+                a.bit_score
+            )
+            .map_err(|e| (EXIT_PROTO, e.to_string()))?;
+        }
+    }
+    out.flush().map_err(|e| (EXIT_PROTO, e.to_string()))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("mublastp-query: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The muBLASTP daemon: load the database and index once, serve forever.
+//!
+//! ```text
+//! mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
+//!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
+//!           [--evalue X] [--max-hits N]
+//! ```
+//!
+//! Builds the index in-process when `--index` is not given. Runs until a
+//! client sends a `Shutdown` frame (`mublastp-query --shutdown`), then
+//! drains the admission queue — every already-accepted request still gets
+//! its reply — and exits.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bioseq::{read_fasta, Sequence, SequenceDb};
+use dbindex::{DbIndex, IndexConfig};
+use engine::{EngineKind, SearchConfig};
+use scoring::{NeighborTable, BLOSUM62};
+use serve::{serve, BatchOptions, SearchContext, TcpTransport};
+
+const USAGE: &str = "\
+mublastpd — resident-index muBLASTP search daemon
+
+USAGE:
+  mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
+            [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
+            [--evalue X] [--max-hits N]";
+
+// Exit codes (documented, stable):
+//   0 clean shutdown   2 usage error   3 cannot bind listener
+//   4 cannot load database/index
+const EXIT_USAGE: u8 = 2;
+const EXIT_BIND: u8 = 3;
+const EXIT_LOAD: u8 = 4;
+
+/// Minimal `--flag value` parser (same idiom as the mublastp CLI).
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag {name}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: '{v}'")),
+        }
+    }
+}
+
+fn load_fasta(path: &str) -> Result<Vec<Sequence>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_fasta(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), (u8, String)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = Flags(&args);
+    let usage = |e: String| (EXIT_USAGE, format!("{e}\n{USAGE}"));
+
+    let db_path = flags.require("--db").map_err(usage)?;
+    let listen = flags.get("--listen").unwrap_or("127.0.0.1:7878");
+    let threads: usize = flags
+        .parse("--threads", parallel::default_threads())
+        .map_err(usage)?;
+    let queue_cap: usize = flags.parse("--queue-cap", 64usize).map_err(usage)?;
+    let max_batch: usize = flags.parse("--max-batch", 16usize).map_err(usage)?;
+    let max_delay_us: u64 = flags.parse("--max-delay-us", 2000u64).map_err(usage)?;
+    let evalue: f64 = flags.parse("--evalue", 10.0f64).map_err(usage)?;
+    let max_hits: usize = flags.parse("--max-hits", 25usize).map_err(usage)?;
+    if queue_cap == 0 || max_batch == 0 {
+        return Err(usage(
+            "--queue-cap and --max-batch must be positive".to_string(),
+        ));
+    }
+
+    // Load everything resident, once.
+    let db: SequenceDb = load_fasta(db_path)
+        .map_err(|e| (EXIT_LOAD, e))?
+        .into_iter()
+        .collect();
+    let index = match flags.get("--index") {
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| (EXIT_LOAD, format!("cannot read {path}: {e}")))?;
+            dbindex::read_index(&bytes).map_err(|e| (EXIT_LOAD, format!("{path}: {e}")))?
+        }
+        None => DbIndex::build_parallel(&db, &IndexConfig::default(), threads),
+    };
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
+    base.params.evalue_cutoff = evalue;
+    base.params.max_reported = max_hits;
+    eprintln!(
+        "mublastpd: loaded {} sequences / {} residues, {} index blocks, {} threads",
+        db.len(),
+        db.total_residues(),
+        index.blocks().len(),
+        threads
+    );
+
+    let transport = TcpTransport::bind(listen)
+        .map_err(|e| (EXIT_BIND, format!("cannot listen on {listen}: {e}")))?;
+    match transport.local_addr() {
+        Ok(addr) => eprintln!("mublastpd: listening on {addr}"),
+        Err(_) => eprintln!("mublastpd: listening on {listen}"),
+    }
+
+    let ctx = Arc::new(SearchContext {
+        db,
+        index,
+        neighbors,
+        base,
+    });
+    let opts = BatchOptions {
+        queue_cap,
+        max_batch,
+        max_delay: Duration::from_micros(max_delay_us),
+    };
+    let mut handle = serve(transport, ctx, opts);
+    handle.wait(); // returns after a wire Shutdown finished draining
+    let report = handle.stats();
+    eprintln!(
+        "mublastpd: shut down — {} accepted, {} completed, {} rejected, {} expired, {} batches",
+        report.accepted, report.completed, report.rejected, report.expired, report.batches
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("mublastpd: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A small synchronous client for the framed protocol.
+//!
+//! Works over anything `Read + Write` — a `TcpStream` in production, a
+//! [`crate::loopback::LoopbackConn`] in tests. One request frame out, one
+//! response frame in; server-side refusals (overload, deadline, drain)
+//! surface as [`ClientError::Server`] with the typed code intact so
+//! callers (and the `mublastp-query` binary's exit codes) can tell them
+//! apart.
+
+use crate::proto::{
+    read_frame, write_frame, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse,
+    StatsReport, WireError,
+};
+use engine::EngineKind;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Everything that can go wrong on the client side of a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or keep the connection (refused, reset, closed).
+    Io(std::io::Error),
+    /// The server sent bytes that are not a valid protocol frame.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server(WireError),
+    /// The server answered with a well-formed frame of the wrong type.
+    UnexpectedFrame(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+            ClientError::UnexpectedFrame(what) => {
+                write!(f, "unexpected frame from server: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        match e {
+            ProtoError::Io(kind) => ClientError::Io(kind.into()),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client<C: Read + Write> {
+    conn: C,
+}
+
+impl Client<TcpStream> {
+    /// Dial a daemon over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Client<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client::new(stream))
+    }
+}
+
+impl<C: Read + Write> Client<C> {
+    /// Wrap an already-open connection.
+    pub fn new(conn: C) -> Client<C> {
+        Client { conn }
+    }
+
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.conn, request)?;
+        Ok(read_frame(&mut self.conn)?)
+    }
+
+    /// Run one search request and wait for its results.
+    pub fn search(
+        &mut self,
+        fasta: &str,
+        engine: EngineKind,
+        overrides: ParamOverrides,
+        deadline_ms: u32,
+    ) -> Result<SearchResponse, ClientError> {
+        let request = Frame::Search(SearchRequest {
+            fasta: fasta.to_string(),
+            engine,
+            overrides,
+            deadline_ms,
+        });
+        match self.roundtrip(&request)? {
+            Frame::Results(resp) => Ok(resp),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedFrame("wanted Results or Error")),
+        }
+    }
+
+    /// Fetch the daemon's health counters.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.roundtrip(&Frame::StatsRequest)? {
+            Frame::Stats(report) => Ok(*report),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedFrame("wanted Stats or Error")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit; returns once the drain is done.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::ShutdownAck => Ok(()),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedFrame("wanted ShutdownAck or Error")),
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Service health counters: queue depth, batch-size histogram, and
+//! per-stage latency digests.
+//!
+//! Latencies land in logarithmic buckets (one per power of two of
+//! microseconds), so the recorder is a fixed 64-slot array: O(1) record,
+//! O(64) percentile, no allocation on the hot path. Percentiles are the
+//! upper edge of the bucket holding the requested rank — a ≤2× bound,
+//! plenty for "is the queue melting" dashboards.
+
+use crate::proto::{LatencySummary, StatsReport};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Log2-bucketed latency histogram.
+#[derive(Clone, Debug)]
+pub struct LatencyRecorder {
+    buckets: [u64; 64],
+    count: u64,
+    max_us: u64,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder {
+            buckets: [0; 64],
+            count: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - us.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// The upper edge (in µs) of the bucket containing the `p`-quantile
+    /// sample, `p` in `[0, 1]`. Zero when nothing was recorded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); report the edge.
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_us
+    }
+
+    /// Digest for the wire stats frame.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_us: self.percentile_us(0.50),
+            p99_us: self.percentile_us(0.99),
+            max_us: self.max_us,
+        }
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> LatencyRecorder {
+        LatencyRecorder::new()
+    }
+}
+
+/// Everything the stats frame reports, behind one lock.
+#[derive(Debug, Default)]
+struct Inner {
+    max_depth_seen: u32,
+    accepted: u64,
+    rejected: u64,
+    expired: u64,
+    completed: u64,
+    batches: u64,
+    batch_hist: Vec<u64>,
+    queue_wait: LatencyRecorder,
+    search: LatencyRecorder,
+    total: LatencyRecorder,
+}
+
+/// Shared, thread-safe service counters.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+}
+
+fn lock(stats: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    match stats.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ServeStats {
+    /// Fresh counters.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// A request entered the queue, which now holds `depth` entries.
+    pub fn on_admit(&self, depth: usize) {
+        let mut s = lock(&self.inner);
+        s.accepted += 1;
+        s.max_depth_seen = s.max_depth_seen.max(depth as u32);
+    }
+
+    /// A request was refused because the queue was full.
+    pub fn on_reject(&self) {
+        lock(&self.inner).rejected += 1;
+    }
+
+    /// A request's deadline passed while it waited.
+    pub fn on_expire(&self) {
+        lock(&self.inner).expired += 1;
+    }
+
+    /// A batch of `size` requests was dispatched; `waits` are the
+    /// per-request queue delays and `search` the engine time.
+    pub fn on_batch(&self, size: usize, waits: &[Duration], search: Duration) {
+        let mut s = lock(&self.inner);
+        s.batches += 1;
+        if s.batch_hist.len() < size {
+            s.batch_hist.resize(size, 0);
+        }
+        s.batch_hist[size - 1] += 1;
+        for &w in waits {
+            s.queue_wait.record(w);
+        }
+        s.search.record(search);
+    }
+
+    /// A request was answered `total` after admission.
+    pub fn on_complete(&self, total: Duration) {
+        let mut s = lock(&self.inner);
+        s.completed += 1;
+        s.total.record(total);
+    }
+
+    /// Point-in-time report (`queue_depth`/`queue_cap` are owned by the
+    /// batcher and passed in).
+    pub fn snapshot(&self, queue_depth: usize, queue_cap: usize) -> StatsReport {
+        let s = lock(&self.inner);
+        StatsReport {
+            queue_depth: queue_depth as u32,
+            queue_cap: queue_cap as u32,
+            max_depth_seen: s.max_depth_seen,
+            accepted: s.accepted,
+            rejected: s.rejected,
+            expired: s.expired,
+            completed: s.completed,
+            batches: s.batches,
+            batch_hist: s.batch_hist.clone(),
+            queue_wait: s.queue_wait.summary(),
+            search: s.search.summary(),
+            total: s.total.summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_bracket_the_samples() {
+        let mut r = LatencyRecorder::new();
+        for us in [10u64, 20, 30, 40, 50, 1000] {
+            r.record(Duration::from_micros(us));
+        }
+        let p50 = r.percentile_us(0.50);
+        let p99 = r.percentile_us(0.99);
+        assert!((16..=64).contains(&p50), "p50={p50}");
+        assert!(p99 >= 1000, "p99={p99}");
+        assert!(p50 <= p99);
+        assert_eq!(r.summary().count, 6);
+        assert_eq!(r.summary().max_us, 1000);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.percentile_us(0.5), 0);
+        assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn batch_histogram_grows_to_fit() {
+        let stats = ServeStats::new();
+        stats.on_batch(1, &[Duration::from_micros(5)], Duration::from_micros(9));
+        stats.on_batch(3, &[], Duration::from_micros(9));
+        stats.on_batch(3, &[], Duration::from_micros(9));
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.batch_hist, vec![1, 0, 2]);
+        assert_eq!(report.batches, 3);
+    }
+
+    #[test]
+    fn admission_counters() {
+        let stats = ServeStats::new();
+        stats.on_admit(1);
+        stats.on_admit(2);
+        stats.on_reject();
+        stats.on_expire();
+        stats.on_complete(Duration::from_micros(100));
+        let report = stats.snapshot(2, 4);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.max_depth_seen, 2);
+        assert_eq!(report.queue_depth, 2);
+        assert_eq!(report.queue_cap, 4);
+    }
+}

@@ -1,0 +1,368 @@
+//! End-to-end service tests over the deterministic loopback transport:
+//! full frames, real threads, the real batcher — no sockets.
+//!
+//! The load-bearing test is `concurrent_clients_get_solo_identical_results`:
+//! eight clients race their queries through the micro-batcher and every one
+//! must receive results *byte-identical* (per `engine::verify::
+//! results_identical`, which compares E-value bits and tracebacks) to a
+//! direct solo `engine::search_batch` call — coalescing must be invisible.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bioseq::{Sequence, SequenceDb};
+use dbindex::{DbIndex, IndexConfig};
+use engine::{results_identical, EngineKind, SearchConfig};
+use scoring::{NeighborTable, BLOSUM62};
+use serve::proto::ErrorCode;
+use serve::{
+    loopback, serve, BatchOptions, Client, ClientError, LoopbackConnector, ParamOverrides,
+    SearchContext, ServerHandle,
+};
+
+/// A small database with deliberate shared motifs so every query aligns.
+const DB: &[&str] = &[
+    "MARNDWWWCQEGHILKWWWMFPSTWYVARND",
+    "WWWHILKMFPSTARNDWWWCQEGMARNDKLH",
+    "ARNDARNDARNDWWWCQEGHILKMFPSTWYV",
+    "MKVLAARNDGGWWWHILKMFPSTCQEGARND",
+    "CQEGHILKWWWMFPSTWYVARNDMARNDWWW",
+    "PSTWYVARNDWWWCQEGHILKARNDARNDMK",
+    "HILKMFPSTWYVWWWARNDCQEGMKVLAGGG",
+    "WYVARNDMARNDWWWCQEGHILKMFPSTPST",
+    "GGWWWHILKMFPSTCQEGARNDMKVLAARND",
+    "NDWWWCQEGHILKWWWMFPSTWYVARNDMAR",
+];
+
+fn context(threads: usize) -> Arc<SearchContext> {
+    let db: SequenceDb = DB
+        .iter()
+        .enumerate()
+        .map(
+            |(i, s)| match Sequence::from_str_checked(format!("subj{i}"), s) {
+                Ok(seq) => seq,
+                Err(b) => panic!("bad residue {b} in fixture"),
+            },
+        )
+        .collect();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
+    base.params.evalue_cutoff = 1e6; // accept everything the heuristic finds
+    Arc::new(SearchContext {
+        db,
+        index,
+        neighbors,
+        base,
+    })
+}
+
+fn start(ctx: &Arc<SearchContext>, opts: BatchOptions) -> (ServerHandle, LoopbackConnector) {
+    let (transport, connector) = loopback();
+    (serve(transport, Arc::clone(ctx), opts), connector)
+}
+
+fn fasta_for(i: usize) -> String {
+    // Queries are database sequences (plus a prefix wobble), so hits are
+    // guaranteed and differ per client.
+    format!(">client{i}\n{}\n", DB[i % DB.len()])
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn concurrent_clients_get_solo_identical_results() {
+    const CLIENTS: usize = 8;
+    let ctx = context(2);
+    // A generous forming window plus a roomy batch forces real coalescing.
+    let (mut handle, connector) = start(
+        &ctx,
+        BatchOptions {
+            queue_cap: 32,
+            max_batch: CLIENTS,
+            max_delay: Duration::from_millis(150),
+        },
+    );
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let connector = connector.clone();
+            std::thread::spawn(move || {
+                let conn = connector.connect().expect("connect");
+                let mut client = Client::new(conn);
+                let response = client
+                    .search(
+                        &fasta_for(i),
+                        EngineKind::MuBlastp,
+                        ParamOverrides::default(),
+                        0,
+                    )
+                    .expect("search should succeed");
+                (i, response)
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let (i, response) = worker.join().expect("client thread");
+        assert_eq!(response.replies.len(), 1, "one query in, one reply out");
+        let got: Vec<_> = response.replies.iter().map(|r| r.result.clone()).collect();
+
+        // The ground truth: the same single query, run solo.
+        let query = match Sequence::from_str_checked(format!("client{i}"), DB[i % DB.len()]) {
+            Ok(seq) => seq,
+            Err(b) => panic!("bad residue {b}"),
+        };
+        let solo = engine::search_batch(
+            &ctx.db,
+            Some(&ctx.index),
+            &ctx.neighbors,
+            &[query],
+            &ctx.base,
+        );
+        assert!(!solo[0].alignments.is_empty(), "fixture must produce hits");
+        if let Err(diff) = results_identical(&solo, &got) {
+            panic!("client {i}: batched results differ from solo run: {diff}");
+        }
+        // Subject ids resolved server-side line up with the alignments.
+        for (a, sid) in response.replies[0]
+            .result
+            .alignments
+            .iter()
+            .zip(&response.replies[0].subject_ids)
+        {
+            assert_eq!(sid, &ctx.db.get(a.subject).id);
+        }
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(stats.completed, CLIENTS as u64);
+    assert_eq!(stats.rejected, 0);
+    assert!(
+        stats.batches >= 1,
+        "at least one batch must have been dispatched"
+    );
+    assert!(
+        stats.batches < CLIENTS as u64,
+        "the forming window should have coalesced at least two requests \
+         into one batch (got {} batches for {CLIENTS} requests)",
+        stats.batches
+    );
+    // The batch-size histogram accounts for every request exactly once.
+    let hist_total: u64 = stats
+        .batch_hist
+        .iter()
+        .enumerate()
+        .map(|(k, &n)| (k as u64 + 1) * n)
+        .sum();
+    assert_eq!(hist_total, CLIENTS as u64);
+    assert_eq!(stats.total.count, CLIENTS as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_answers_overloaded_and_bounds_the_queue() {
+    let ctx = context(1);
+    // Tiny queue, huge forming window: submissions park in the queue, so
+    // the third concurrent request must bounce.
+    let (mut handle, connector) = start(
+        &ctx,
+        BatchOptions {
+            queue_cap: 2,
+            max_batch: 16,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+
+    let fillers: Vec<_> = (0..2)
+        .map(|i| {
+            let connector = connector.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(connector.connect().expect("connect"));
+                client.search(
+                    &fasta_for(i),
+                    EngineKind::MuBlastp,
+                    ParamOverrides::default(),
+                    0,
+                )
+            })
+        })
+        .collect();
+
+    // Stats frames bypass the admission queue, so we can watch it fill.
+    wait_until("queue to fill", || handle.stats().queue_depth == 2);
+
+    let mut client = Client::new(connector.connect().expect("connect"));
+    match client.search(
+        &fasta_for(2),
+        EngineKind::MuBlastp,
+        ParamOverrides::default(),
+        0,
+    ) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Overloaded);
+            assert!(e.retry_after_ms > 0, "overload must carry a retry hint");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Draining still answers the two parked requests.
+    handle.shutdown();
+    for filler in fillers {
+        let response = filler
+            .join()
+            .expect("filler thread")
+            .expect("parked search");
+        assert_eq!(response.replies.len(), 1);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 2);
+    assert!(
+        stats.max_depth_seen <= 2,
+        "queue depth {} exceeded its cap of 2",
+        stats.max_depth_seen
+    );
+}
+
+#[test]
+fn queued_past_deadline_gets_deadline_exceeded() {
+    let ctx = context(1);
+    // The forming window alone (400 ms) outlives a 1 ms deadline.
+    let (mut handle, connector) = start(
+        &ctx,
+        BatchOptions {
+            queue_cap: 8,
+            max_batch: 16,
+            max_delay: Duration::from_millis(400),
+        },
+    );
+    let mut client = Client::new(connector.connect().expect("connect"));
+    match client.search(
+        &fasta_for(0),
+        EngineKind::MuBlastp,
+        ParamOverrides::default(),
+        1,
+    ) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(handle.stats().expired, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn wire_shutdown_drains_queued_work_before_acking() {
+    let ctx = context(1);
+    let (mut handle, connector) = start(
+        &ctx,
+        BatchOptions {
+            queue_cap: 8,
+            max_batch: 16,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+
+    let parked: Vec<_> = (0..3)
+        .map(|i| {
+            let connector = connector.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(connector.connect().expect("connect"));
+                client.search(
+                    &fasta_for(i),
+                    EngineKind::MuBlastp,
+                    ParamOverrides::default(),
+                    0,
+                )
+            })
+        })
+        .collect();
+    wait_until("three parked requests", || handle.stats().queue_depth == 3);
+
+    let mut admin = Client::new(connector.connect().expect("connect"));
+    admin.shutdown().expect("shutdown ack");
+    // The ack arrives only after the drain: all parked work is answered.
+    for p in parked {
+        let response = p.join().expect("parked thread").expect("drained search");
+        assert!(!response.replies.is_empty());
+    }
+    assert!(handle.is_stopped());
+    assert_eq!(handle.stats().completed, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn different_overrides_are_honored_per_request() {
+    let ctx = context(1);
+    let (mut handle, connector) = start(&ctx, BatchOptions::default());
+    let mut client = Client::new(connector.connect().expect("connect"));
+
+    let loose = client
+        .search(
+            &fasta_for(0),
+            EngineKind::MuBlastp,
+            ParamOverrides::default(),
+            0,
+        )
+        .expect("loose search");
+    let strict = client
+        .search(
+            &fasta_for(0),
+            EngineKind::MuBlastp,
+            ParamOverrides {
+                max_reported: Some(1),
+                ..Default::default()
+            },
+            0,
+        )
+        .expect("strict search");
+    assert!(
+        loose.replies[0].result.alignments.len() > 1,
+        "fixture finds several hits"
+    );
+    assert_eq!(
+        strict.replies[0].result.alignments.len(),
+        1,
+        "max_reported=1 caps output"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn bad_fasta_is_a_typed_bad_request() {
+    let ctx = context(1);
+    let (mut handle, connector) = start(&ctx, BatchOptions::default());
+    let mut client = Client::new(connector.connect().expect("connect"));
+    match client.search("", EngineKind::MuBlastp, ParamOverrides::default(), 0) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_bytes_get_an_error_frame_not_a_hang() {
+    let ctx = context(1);
+    let (mut handle, connector) = start(&ctx, BatchOptions::default());
+    let mut conn = connector.connect().expect("connect");
+    // 13+ bytes of non-protocol garbage: enough for a full (bad) header.
+    conn.write_all(b"GARBAGE-GARBAGE-GARBAGE").expect("write");
+    match serve::proto::read_frame(&mut conn) {
+        Ok(serve::proto::Frame::Error(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected a BadRequest error frame, got {other:?}"),
+    }
+    // The server then hangs up on the desynchronized stream.
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest)
+        .expect("peer should close cleanly");
+    assert!(rest.is_empty());
+    handle.shutdown();
+}

@@ -1,0 +1,236 @@
+//! Property tests for the wire protocol, driven by a seeded xorshift
+//! generator (deterministic, dependency-free):
+//!
+//! * every generated frame round-trips `encode → decode` exactly;
+//! * every strict prefix of an encoding fails to decode (no partial reads
+//!   silently succeed);
+//! * arbitrary single-byte corruption and pure random byte soup never
+//!   panic the decoder — frames cross a process boundary, so "garbage in"
+//!   must always be "typed error (or valid frame) out", never a crash.
+
+use engine::{Alignment, QueryResult, StageCounts};
+use serve::proto::{
+    decode_frame, encode_frame, ErrorCode, Frame, LatencySummary, ParamOverrides, QueryReply,
+    SearchRequest, SearchResponse, StatsReport, WireError,
+};
+
+/// xorshift64* — deterministic pseudo-randomness without `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        usize::try_from(self.below(n as u64)).unwrap_or(0)
+    }
+
+    /// A finite, exactly-representable float (NaN would break equality
+    /// round-trip asserts even though the bits survive).
+    fn f64(&mut self) -> f64 {
+        (self.below(2_000_001) as f64 - 1_000_000.0) / 64.0
+    }
+
+    fn string(&mut self, max_len: usize) -> String {
+        let len = self.usize_below(max_len + 1);
+        (0..len)
+            .map(|_| char::from(b'a' + (self.below(26) as u8)))
+            .collect()
+    }
+
+    fn bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+}
+
+fn random_counts(rng: &mut Rng) -> StageCounts {
+    StageCounts {
+        hits: rng.below(1 << 40),
+        pairs: rng.below(1 << 30),
+        extensions: rng.below(1 << 20),
+        seeds: rng.below(1 << 16),
+        gapped: rng.below(1 << 12),
+        reported: rng.below(1 << 8),
+    }
+}
+
+fn random_alignment(rng: &mut Rng) -> Alignment {
+    let n_ops = rng.usize_below(12);
+    let ops = (0..n_ops)
+        .map(|_| match rng.below(3) {
+            0 => align::AlignOp::Sub,
+            1 => align::AlignOp::Ins,
+            _ => align::AlignOp::Del,
+        })
+        .collect();
+    Alignment {
+        subject: rng.below(1 << 20) as u32,
+        aln: align::GappedAlignment {
+            q_start: rng.below(500) as u32,
+            q_end: rng.below(500) as u32 + 500,
+            s_start: rng.below(500) as u32,
+            s_end: rng.below(500) as u32 + 500,
+            score: rng.below(10_000) as i32 - 5_000,
+            ops,
+        },
+        bit_score: rng.f64(),
+        evalue: rng.f64(),
+    }
+}
+
+fn random_latency(rng: &mut Rng) -> LatencySummary {
+    LatencySummary {
+        count: rng.below(1 << 30),
+        p50_us: rng.below(1 << 20),
+        p99_us: rng.below(1 << 24),
+        max_us: rng.below(1 << 28),
+    }
+}
+
+fn random_frame(rng: &mut Rng) -> Frame {
+    match rng.below(7) {
+        0 => Frame::Search(SearchRequest {
+            fasta: format!(">q\n{}\n", rng.string(64)),
+            engine: match rng.below(3) {
+                0 => engine::EngineKind::QueryIndexed,
+                1 => engine::EngineKind::DbInterleaved,
+                _ => engine::EngineKind::MuBlastp,
+            },
+            overrides: ParamOverrides {
+                evalue_cutoff: rng.bool().then(|| rng.f64()),
+                max_reported: rng.bool().then(|| rng.below(1 << 16) as u32),
+                seg_filter: rng.bool().then(|| rng.bool()),
+            },
+            deadline_ms: rng.below(1 << 20) as u32,
+        }),
+        1 => {
+            let n_replies = rng.usize_below(4);
+            let replies = (0..n_replies)
+                .map(|qi| {
+                    let n_alns = rng.usize_below(5);
+                    let alignments: Vec<_> = (0..n_alns).map(|_| random_alignment(rng)).collect();
+                    QueryReply {
+                        subject_ids: (0..n_alns).map(|_| rng.string(24)).collect(),
+                        result: QueryResult {
+                            query_index: qi,
+                            alignments,
+                            counts: random_counts(rng),
+                        },
+                    }
+                })
+                .collect();
+            Frame::Results(SearchResponse { replies })
+        }
+        2 => Frame::Error(WireError {
+            code: match rng.below(5) {
+                0 => ErrorCode::BadRequest,
+                1 => ErrorCode::Overloaded,
+                2 => ErrorCode::DeadlineExceeded,
+                3 => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Internal,
+            },
+            message: rng.string(80),
+            retry_after_ms: rng.below(10_000) as u32,
+        }),
+        3 => Frame::StatsRequest,
+        4 => Frame::Stats(Box::new(StatsReport {
+            queue_depth: rng.below(256) as u32,
+            queue_cap: rng.below(256) as u32,
+            max_depth_seen: rng.below(256) as u32,
+            accepted: rng.below(1 << 40),
+            rejected: rng.below(1 << 20),
+            expired: rng.below(1 << 16),
+            completed: rng.below(1 << 40),
+            batches: rng.below(1 << 32),
+            batch_hist: (0..rng.usize_below(9))
+                .map(|_| rng.below(1 << 20))
+                .collect(),
+            queue_wait: random_latency(rng),
+            search: random_latency(rng),
+            total: random_latency(rng),
+        })),
+        5 => Frame::Shutdown,
+        _ => Frame::ShutdownAck,
+    }
+}
+
+#[test]
+fn random_frames_roundtrip_exactly() {
+    let mut rng = Rng(0x5EED_0001);
+    for case in 0..500 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame(&frame);
+        match decode_frame(&bytes) {
+            Ok(decoded) => assert_eq!(decoded, frame, "case {case}"),
+            Err(e) => panic!("case {case}: {frame:?} failed to decode: {e}"),
+        }
+    }
+}
+
+#[test]
+fn every_strict_prefix_fails_to_decode() {
+    let mut rng = Rng(0x5EED_0002);
+    for case in 0..60 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            if let Ok(f) = decode_frame(&bytes[..cut]) {
+                panic!("case {case}: {cut}-byte prefix decoded as {f:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let mut rng = Rng(0x5EED_0003);
+    for _case in 0..120 {
+        let frame = random_frame(&mut rng);
+        let mut bytes = encode_frame(&frame);
+        let pos = rng.usize_below(bytes.len());
+        let flip = 1u8 << rng.below(8);
+        bytes[pos] ^= flip;
+        // Must return — Ok with altered content or a typed error are both
+        // acceptable; a panic or abort is not.
+        let _ = decode_frame(&bytes);
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = Rng(0x5EED_0004);
+    for _case in 0..300 {
+        let len = rng.usize_below(96);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let _ = decode_frame(&bytes);
+    }
+}
+
+#[test]
+fn valid_header_with_hostile_payload_never_panics() {
+    // Keep the header valid so corruption exercises the payload parsers,
+    // not just the magic/version checks.
+    let mut rng = Rng(0x5EED_0005);
+    for _case in 0..300 {
+        let frame_type = (rng.below(9)) as u8; // includes unknown types
+        let payload_len = rng.usize_below(48);
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.below(256) as u8).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(serve::proto::MAGIC);
+        bytes.extend_from_slice(&serve::proto::PROTO_VERSION.to_le_bytes());
+        bytes.push(frame_type);
+        bytes.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let _ = decode_frame(&bytes);
+    }
+}

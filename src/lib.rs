@@ -44,6 +44,7 @@
 //! | [`memsim`] | cache/TLB simulator replacing PMU counters (Figs. 2, 8) |
 //! | [`parallel`] | OpenMP-style dynamic parallel-for (Alg. 3) |
 //! | [`engine`] | the three engines: NCBI, NCBI-db, muBLASTP (Secs. II–IV) |
+//! | [`serve`] | resident-index daemon: admission control, micro-batching, wire protocol |
 //! | [`cluster`] | multi-node algorithm + scaling simulation (Sec. IV-D, Fig. 10) |
 //! | [`datagen`] | synthetic `uniprot_sprot` / `env_nr` stand-ins (Sec. V-A) |
 //!
@@ -61,6 +62,7 @@ pub use memsim;
 pub use parallel;
 pub use qindex;
 pub use scoring;
+pub use serve;
 pub use sorting;
 
 /// The most common imports for application code.
