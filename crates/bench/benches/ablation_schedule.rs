@@ -42,6 +42,7 @@ fn bench_schedules(c: &mut Criterion) {
                 scratch,
                 &mut counts,
                 &mut ctx,
+                &mut obsv::NoObs,
                 SortAlgo::LsdRadix,
                 true,
             );

@@ -37,6 +37,7 @@ fn capture_pairs() -> Vec<HitPair> {
             &mut scratch,
             &mut counts,
             &mut ctx,
+            &mut obsv::NoObs,
             ReorderAlgo::LsdRadix,
             true,
         );

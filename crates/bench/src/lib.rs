@@ -13,6 +13,9 @@ use dbindex::{DbIndex, IndexConfig};
 use scoring::{NeighborTable, BLOSUM62};
 use std::sync::OnceLock;
 
+pub mod report;
+pub use report::{Measurement, RunReport, REPORT_SCHEMA};
+
 /// Baseline residue counts for the two database stand-ins (the paper's
 /// databases, scaled ~50×/100× down; `MUBLASTP_SCALE` rescales).
 pub const SPROT_RESIDUES: usize = 5_000_000;

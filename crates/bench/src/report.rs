@@ -1,0 +1,264 @@
+//! Machine-readable run reports: `BENCH_<date>.json`.
+//!
+//! Every harness in this crate prints human-oriented tables; this module
+//! gives them a second, stable output channel that scripts can consume.
+//! A run report is appended to `BENCH_<YYYY-MM-DD>.json` (one file per
+//! calendar day, a JSON array of run objects) in the current directory,
+//! or in `$MUBLASTP_BENCH_DIR` when set. The schema is documented in
+//! `EXPERIMENTS.md`.
+//!
+//! The module is deliberately self-contained (std only, no serde): the
+//! container this repo grows in has no registry access, so the report
+//! path must compile with bare `rustc` alongside the obsv overhead bench
+//! that uses it.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema version stamped into every run object. Bump when a field
+/// changes meaning; additions are backward compatible and do not bump.
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// One scalar result: `{"id": "...", "value": 1.5, "unit": "s"}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Hierarchical identifier, `/`-separated by convention
+    /// (`workload/engine/metric`).
+    pub id: String,
+    pub value: f64,
+    /// Unit string (`s`, `ns`, `ratio`, `pct`, ...).
+    pub unit: String,
+}
+
+/// An in-progress run report for one harness invocation.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    harness: String,
+    env: Vec<(String, String)>,
+    measurements: Vec<Measurement>,
+}
+
+impl RunReport {
+    /// Start a report for the named harness. Captures the workload knobs
+    /// (`MUBLASTP_SCALE`, `MUBLASTP_QUERIES`) when they are set, so a
+    /// report is interpretable without the shell history that made it.
+    pub fn new(harness: &str) -> RunReport {
+        let mut env = Vec::new();
+        for key in ["MUBLASTP_SCALE", "MUBLASTP_QUERIES"] {
+            if let Ok(v) = std::env::var(key) {
+                env.push((key.to_string(), v));
+            }
+        }
+        RunReport {
+            harness: harness.to_string(),
+            env,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Record one scalar.
+    pub fn push(&mut self, id: impl Into<String>, value: f64, unit: &str) {
+        self.measurements.push(Measurement {
+            id: id.into(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Serialize this run as one JSON object.
+    pub fn to_json(&self) -> String {
+        let (secs, date) = now_civil();
+        let mut s = String::new();
+        s.push_str("{\"schema\":");
+        let _ = write!(s, "{REPORT_SCHEMA}");
+        s.push_str(",\"harness\":");
+        json_string(&mut s, &self.harness);
+        s.push_str(",\"date\":");
+        json_string(&mut s, &date);
+        let _ = write!(s, ",\"unix_time_s\":{secs}");
+        s.push_str(",\"env\":{");
+        for (i, (k, v)) in self.env.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, k);
+            s.push(':');
+            json_string(&mut s, v);
+        }
+        s.push_str("},\"measurements\":[");
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"id\":");
+            json_string(&mut s, &m.id);
+            s.push_str(",\"value\":");
+            json_number(&mut s, m.value);
+            s.push_str(",\"unit\":");
+            json_string(&mut s, &m.unit);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Append this run to today's `BENCH_<date>.json` (created on first
+    /// use; later runs the same day extend the array in place) and return
+    /// the path written. Honors `$MUBLASTP_BENCH_DIR`.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let (_, date) = now_civil();
+        let mut path = PathBuf::from(
+            std::env::var("MUBLASTP_BENCH_DIR").unwrap_or_else(|_| ".".to_string()),
+        );
+        path.push(format!("BENCH_{date}.json"));
+        let merged = match fs::read_to_string(&path) {
+            Ok(existing) => append_to_array(&existing, &self.to_json()),
+            Err(_) => format!("[\n{}\n]\n", self.to_json()),
+        };
+        fs::write(&path, merged)?;
+        Ok(path)
+    }
+}
+
+/// Insert `run` (a JSON object) before the closing `]` of `existing`.
+/// A file that does not look like a JSON array (it was not written by
+/// this module) is replaced by a fresh single-run array rather than
+/// extended into something unparseable.
+fn append_to_array(existing: &str, run: &str) -> String {
+    match existing.trim_end().strip_suffix(']') {
+        Some(head) if head.trim_start().starts_with('[') => {
+            let head = head.trim_end();
+            let sep = if head.trim_end().ends_with('[') {
+                "\n"
+            } else {
+                ",\n"
+            };
+            format!("{head}{sep}{run}\n]\n")
+        }
+        _ => format!("[\n{run}\n]\n"),
+    }
+}
+
+/// JSON string escaping per RFC 8259 (quote, backslash, control chars).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no NaN/Infinity literals; map them to `null` rather than
+/// emitting an unparseable file.
+fn json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `(unix_seconds, "YYYY-MM-DD")` for the current wall clock.
+fn now_civil() -> (u64, String) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    (secs, format!("{y:04}-{m:02}-{d:02}"))
+}
+
+/// Days-since-epoch to proleptic Gregorian calendar date (Howard
+/// Hinnant's `civil_from_days` algorithm, exact for any i64 day count
+/// this side of year ±5.8 million).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_exact() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+    }
+
+    #[test]
+    fn json_strings_escape_hostile_input() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut s = String::new();
+        json_number(&mut s, f64::NAN);
+        json_number(&mut s, f64::INFINITY);
+        assert_eq!(s, "nullnull");
+        s.clear();
+        json_number(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+    }
+
+    #[test]
+    fn report_serializes_all_fields() {
+        let mut r = RunReport::new("unit_test");
+        r.push("w/x/wall", 0.25, "s");
+        r.push("w/x/ratio", 2.0, "ratio");
+        let json = r.to_json();
+        assert!(json.contains("\"schema\":1"));
+        assert!(json.contains("\"harness\":\"unit_test\""));
+        assert!(json.contains("\"id\":\"w/x/wall\",\"value\":0.25,\"unit\":\"s\""));
+        assert!(json.contains("\"measurements\":["));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn appending_extends_the_array_in_place() {
+        let one = append_to_array("", "{\"a\":1}");
+        assert_eq!(one, "[\n{\"a\":1}\n]\n");
+        let two = append_to_array(&one, "{\"b\":2}");
+        assert_eq!(two, "[\n{\"a\":1},\n{\"b\":2}\n]\n");
+        let three = append_to_array(&two, "{\"c\":3}");
+        assert!(three.ends_with("{\"b\":2},\n{\"c\":3}\n]\n"));
+        // Garbage is replaced, not corrupted into invalid JSON.
+        assert_eq!(append_to_array("not json", "{\"d\":4}"), "[\n{\"d\":4}\n]\n");
+    }
+}

@@ -14,7 +14,8 @@ use crate::scratch::Scratch;
 use bioseq::{Sequence, SequenceDb};
 use dbindex::DbIndex;
 use memsim::NullTracer;
-use parallel::parallel_map_dynamic;
+use obsv::{Stage, StageObs, Trace, TraceSession, NO_BLOCK};
+use parallel::{parallel_map_dynamic, parallel_map_dynamic_with_state};
 use qindex::QueryIndex;
 use scoring::{NeighborTable, SearchParams};
 
@@ -102,6 +103,28 @@ pub fn search_batch(
     queries: &[Sequence],
     config: &SearchConfig,
 ) -> Vec<QueryResult> {
+    search_batch_traced(db, index, neighbors, queries, config, &TraceSession::disabled()).0
+}
+
+/// [`search_batch`] plus wall-clock stage spans: every pipeline stage of
+/// every `(query, block)` records one span into a per-worker
+/// [`obsv::Recorder`] (handed out with the worker's `Scratch`; no locks in
+/// the kernels), and the recorders are merged into one [`Trace`] after
+/// each parallel-for joins. Span `query` fields are batch indices and
+/// `trace_id` is 0 — callers coalescing several requests re-attribute
+/// with [`Trace::assign_trace_ids`]. With a disabled `session` the cost is
+/// a few never-taken branches per stage and the trace comes back empty.
+///
+/// # Panics
+/// Panics if a database-indexed engine is requested without an index.
+pub fn search_batch_traced(
+    db: &SequenceDb,
+    index: Option<&DbIndex>,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    session: &TraceSession,
+) -> (Vec<QueryResult>, Trace) {
     // SEG query masking (`blastp -seg yes`): hard-mask low-complexity
     // query regions to X before any stage, for every engine alike.
     let masked_storage: Vec<Sequence>;
@@ -130,14 +153,21 @@ pub fn search_batch(
         }
         order
     };
-    match config.kind {
+    // Per-worker state: scratch plus a span recorder (same lifecycle).
+    let worker_state = |w: usize| {
+        let mut rec = session.recorder();
+        rec.set_worker(w as u32);
+        (Scratch::new(), rec)
+    };
+    let mut trace = Trace::new();
+    let results = match config.kind {
         EngineKind::QueryIndexed => {
-            let per_query = parallel_map_dynamic(
+            let (per_query, states) = parallel_map_dynamic_with_state(
                 config.threads,
                 queries.len(),
                 config.chunk,
-                Scratch::new,
-                |scratch, slot| {
+                worker_state,
+                |(scratch, rec), slot| {
                     let qi = dispatch[slot];
                     let query = queries[qi].residues();
                     let qidx = QueryIndex::build(query, neighbors);
@@ -145,6 +175,7 @@ pub fn search_batch(
                     scratch.seeds.clear();
                     let mut nt = NullTracer;
                     let mut ctx = null_ctx(&mut nt);
+                    rec.set_ctx(0, qi as u32, NO_BLOCK);
                     query_indexed::search_db(
                         query,
                         &qidx,
@@ -153,18 +184,22 @@ pub fn search_batch(
                         scratch,
                         &mut counts,
                         &mut ctx,
+                        rec,
                         &[],
                     );
                     (qi, std::mem::take(&mut scratch.seeds), counts)
                 },
             );
+            for (_, rec) in states {
+                trace.absorb(rec);
+            }
             let mut ordered: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
                 .map(|_| (Vec::new(), StageCounts::default()))
                 .collect();
             for (qi, seeds, counts) in per_query {
                 ordered[qi] = (seeds, counts);
             }
-            finish_all(db, queries, ordered, config, db_residues, db_seqs)
+            finish_all(db, queries, ordered, config, db_residues, db_seqs, session, &mut trace)
         }
         EngineKind::DbInterleaved | EngineKind::MuBlastp => {
             let Some(index) = index else {
@@ -177,19 +212,20 @@ pub fn search_batch(
                 .map(|_| (Vec::new(), StageCounts::default()))
                 .collect();
             // Alg. 3: serial block loop, parallel query loop inside.
-            for block in index.blocks() {
-                let per_query = parallel_map_dynamic(
+            for (block_id, block) in index.blocks().iter().enumerate() {
+                let (per_query, states) = parallel_map_dynamic_with_state(
                     config.threads,
                     queries.len(),
                     config.chunk,
-                    Scratch::new,
-                    |scratch, slot| {
+                    worker_state,
+                    |(scratch, rec), slot| {
                         let qi = dispatch[slot];
                         let query = queries[qi].residues();
                         let mut counts = StageCounts::default();
                         scratch.seeds.clear();
                         let mut nt = NullTracer;
                         let mut ctx = null_ctx(&mut nt);
+                        rec.set_ctx(0, qi as u32, block_id as u32);
                         match config.kind {
                             EngineKind::DbInterleaved => db_interleaved::search_block(
                                 query,
@@ -199,6 +235,7 @@ pub fn search_batch(
                                 scratch,
                                 &mut counts,
                                 &mut ctx,
+                                rec,
                             ),
                             EngineKind::MuBlastp => mublastp::search_block(
                                 query,
@@ -208,6 +245,7 @@ pub fn search_batch(
                                 scratch,
                                 &mut counts,
                                 &mut ctx,
+                                rec,
                                 config.sort,
                                 config.prefilter,
                             ),
@@ -216,14 +254,19 @@ pub fn search_batch(
                         (qi, std::mem::take(&mut scratch.seeds), counts)
                     },
                 );
+                for (_, rec) in states {
+                    trace.absorb(rec);
+                }
                 for (qi, seeds, counts) in per_query {
                     all[qi].0.extend(seeds);
                     all[qi].1.add(&counts);
                 }
             }
-            finish_all(db, queries, all, config, db_residues, db_seqs)
+            finish_all(db, queries, all, config, db_residues, db_seqs, session, &mut trace)
         }
-    }
+    };
+    trace.normalize();
+    (results, trace)
 }
 
 /// Search a batch against index blocks arriving from a stream (e.g.
@@ -290,6 +333,7 @@ where
                         scratch,
                         &mut counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                     ),
                     EngineKind::MuBlastp => mublastp::search_block(
                         query,
@@ -299,6 +343,7 @@ where
                         scratch,
                         &mut counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                         config.sort,
                         config.prefilter,
                     ),
@@ -312,10 +357,23 @@ where
             all[qi].1.add(&counts);
         }
     }
-    finish_all(db, queries, all, config, db_residues, db_seqs)
+    let mut trace = Trace::new();
+    finish_all(
+        db,
+        queries,
+        all,
+        config,
+        db_residues,
+        db_seqs,
+        &TraceSession::disabled(),
+        &mut trace,
+    )
 }
 
 /// Second parallel pass: gapped extension, ranking, traceback per query.
+/// Records one `Finish` span per query (with the `Gapped` sub-span inside
+/// it) and absorbs the worker recorders into `trace`.
+#[allow(clippy::too_many_arguments)]
 fn finish_all(
     db: &SequenceDb,
     queries: &[Sequence],
@@ -323,16 +381,22 @@ fn finish_all(
     config: &SearchConfig,
     db_residues: usize,
     db_seqs: usize,
+    session: &TraceSession,
+    trace: &mut Trace,
 ) -> Vec<QueryResult> {
     // Move seeds into per-index slots the workers can take from.
     let slots: Vec<std::sync::Mutex<(Vec<Seed>, StageCounts)>> =
         per_query.into_iter().map(std::sync::Mutex::new).collect();
-    parallel_map_dynamic(
+    let (results, recorders) = parallel_map_dynamic_with_state(
         config.threads,
         queries.len(),
         config.chunk,
-        || (),
-        |_, qi| {
+        |w| {
+            let mut rec = session.recorder();
+            rec.set_worker(w as u32);
+            rec
+        },
+        |rec, qi| {
             // Each slot is taken exactly once; recover from poisoning rather
             // than propagating a panic from an unrelated worker.
             let mut slot = match slots[qi].lock() {
@@ -341,6 +405,8 @@ fn finish_all(
             };
             let (seeds, mut counts) = std::mem::take(&mut *slot);
             drop(slot);
+            rec.set_ctx(0, qi as u32, NO_BLOCK);
+            let span = rec.start();
             let (alignments, gapped) = finish_query(
                 queries[qi].residues(),
                 db,
@@ -348,7 +414,9 @@ fn finish_all(
                 &config.params,
                 db_residues,
                 db_seqs,
+                rec,
             );
+            rec.record(Stage::Finish, span);
             counts.gapped = gapped;
             counts.reported = alignments.len() as u64;
             QueryResult {
@@ -357,7 +425,11 @@ fn finish_all(
                 counts,
             }
         },
-    )
+    );
+    for rec in recorders {
+        trace.absorb(rec);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -480,5 +552,56 @@ mod tests {
         let config = SearchConfig::new(EngineKind::MuBlastp);
         let out = search_batch(&db, Some(&index), neighbors(), &[], &config);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tracing_on_changes_no_results_and_covers_every_stage() {
+        let (db, index, queries) = small_world();
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        for kind in [
+            EngineKind::QueryIndexed,
+            EngineKind::DbInterleaved,
+            EngineKind::MuBlastp,
+        ] {
+            let config = SearchConfig::new(kind).with_params(params.clone()).with_threads(3);
+            let off = search_batch(&db, Some(&index), neighbors(), &queries, &config);
+            let session = obsv::TraceSession::new(obsv::ObsvConfig::on());
+            let (on, trace) =
+                search_batch_traced(&db, Some(&index), neighbors(), &queries, &config, &session);
+            assert_eq!(off, on, "tracing must not perturb results ({kind:?})");
+            assert_eq!(trace.dropped, 0);
+            let stages: Vec<Stage> = trace.stage_totals().iter().map(|t| t.stage).collect();
+            assert!(stages.contains(&Stage::Seed), "{kind:?}: {stages:?}");
+            assert!(stages.contains(&Stage::Finish), "{kind:?}: {stages:?}");
+            assert!(stages.contains(&Stage::Gapped), "{kind:?}: {stages:?}");
+            if kind == EngineKind::MuBlastp {
+                assert!(stages.contains(&Stage::Reorder), "{stages:?}");
+                assert!(stages.contains(&Stage::Ungapped), "{stages:?}");
+                // One Seed span per (query, block).
+                let seed_count = trace
+                    .spans
+                    .iter()
+                    .filter(|s| s.stage == Stage::Seed)
+                    .count();
+                assert_eq!(seed_count, queries.len() * index.blocks().len());
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_session_records_nothing() {
+        let (db, index, queries) = small_world();
+        let config = SearchConfig::new(EngineKind::MuBlastp);
+        let (_, trace) = search_batch_traced(
+            &db,
+            Some(&index),
+            neighbors(),
+            &queries,
+            &config,
+            &obsv::TraceSession::disabled(),
+        );
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped, 0);
     }
 }

@@ -11,24 +11,30 @@ use crate::results::{Alignment, Seed};
 use align::assembly::assemble_ungapped;
 use align::{gapped_extend_score, gapped_extend_traceback};
 use bioseq::{SequenceDb, SequenceId};
+use obsv::{Stage, StageObs};
 use scoring::SearchParams;
 
 /// Run gapped extension, ranking and traceback for one query's seeds.
 ///
 /// Returns the reported alignments (best first) and the number of gapped
-/// extensions performed (a [`crate::results::StageCounts`] input).
-pub fn finish_query(
+/// extensions performed (a [`crate::results::StageCounts`] input). `obs`
+/// records one `Gapped` span covering assembly plus score-only gapped
+/// extension (the driver wraps the whole call in a `Finish` span, so
+/// ranking and traceback show up as `Finish` self-time).
+pub fn finish_query<O: StageObs>(
     query: &[u8],
     db: &SequenceDb,
     mut seeds: Vec<Seed>,
     params: &SearchParams,
     db_residues: usize,
     db_seqs: usize,
+    obs: &mut O,
 ) -> (Vec<Alignment>, u64) {
     if query.is_empty() || seeds.is_empty() {
         return (Vec::new(), 0);
     }
     let mut gapped_count = 0u64;
+    let span = obs.start();
 
     // Group seeds by subject (deterministically).
     seeds.sort_by_key(|s| (s.subject, s.frag_offset, s.aln));
@@ -90,6 +96,7 @@ pub fn finish_query(
             per_subject.push((subject, cands));
         }
     }
+    obs.record(Stage::Gapped, span);
 
     // Rank subjects by best gapped score; apply the E-value cutoff.
     let qlen = query.len();
@@ -185,6 +192,7 @@ mod tests {
             &SearchParams::blastp_defaults(),
             5,
             1,
+            &mut obsv::NoObs,
         );
         assert!(out.is_empty());
         assert_eq!(g, 0);
@@ -203,7 +211,7 @@ mod tests {
             aln: ua(0, 3, core.len() as u32, 120),
         }];
         let total = db.total_residues();
-        let (out, gapped) = finish_query(q.residues(), &db, seeds, &params, total, db.len());
+        let (out, gapped) = finish_query(q.residues(), &db, seeds, &params, total, db.len(), &mut obsv::NoObs);
         assert_eq!(gapped, 1);
         assert_eq!(out.len(), 1);
         let a = &out[0];
@@ -228,7 +236,7 @@ mod tests {
             Seed { subject: 0, frag_offset: 0, aln: ua(2, 2, 10, 80) },
         ];
         let total = db.total_residues();
-        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len());
+        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len(), &mut obsv::NoObs);
         assert_eq!(out.len(), 1, "{out:?}");
     }
 
@@ -244,7 +252,7 @@ mod tests {
         let seeds =
             vec![Seed { subject: 0, frag_offset: 100, aln: ua(0, 0, 15, 120) }];
         let total = db.total_residues();
-        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len());
+        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len(), &mut obsv::NoObs);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].aln.s_start, 100);
         assert_eq!(out[0].aln.s_end, 115);
@@ -264,7 +272,7 @@ mod tests {
             Seed { subject: 1, frag_offset: 0, aln: ua(0, 0, 15, 120) },
         ];
         let total = db.total_residues();
-        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len());
+        let (out, _) = finish_query(q.residues(), &db, seeds, &params, total, db.len(), &mut obsv::NoObs);
         assert!(out.len() >= 2);
         assert_eq!(out[0].subject, 1, "stronger subject first: {out:?}");
         assert!(out[0].aln.score > out[1].aln.score);
@@ -278,7 +286,7 @@ mod tests {
         params.gap_trigger = 10;
         params.evalue_cutoff = 1e-30; // nothing this small exists here
         let seeds = vec![Seed { subject: 0, frag_offset: 0, aln: ua(0, 0, 7, 60) }];
-        let (out, _) = finish_query(q.residues(), &db, seeds, &params, 7, 1);
+        let (out, _) = finish_query(q.residues(), &db, seeds, &params, 7, 1, &mut obsv::NoObs);
         assert!(out.is_empty());
     }
 }

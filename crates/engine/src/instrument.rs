@@ -98,6 +98,7 @@ pub fn trace_engine(
                 &mut scratch,
                 &mut counts,
                 &mut ctx,
+                &mut obsv::NoObs,
                 &subject_starts,
             );
         }
@@ -116,6 +117,7 @@ pub fn trace_engine(
                         &mut scratch,
                         &mut counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                     ),
                     _ => mublastp::search_block(
                         query.residues(),
@@ -125,6 +127,7 @@ pub fn trace_engine(
                         &mut scratch,
                         &mut counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                         SortAlgo::LsdRadix,
                         true,
                     ),
@@ -221,6 +224,7 @@ pub fn trace_engine_multicore(
                         &mut scratch,
                         counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                         &subject_starts,
                     );
                 }
@@ -233,6 +237,7 @@ pub fn trace_engine_multicore(
                         &mut scratch,
                         counts,
                         &mut ctx,
+                        &mut obsv::NoObs,
                     )
                 }
                 (EngineKind::MuBlastp, Work::Block(block)) => mublastp::search_block(
@@ -243,6 +248,7 @@ pub fn trace_engine_multicore(
                     &mut scratch,
                     counts,
                     &mut ctx,
+                    &mut obsv::NoObs,
                     SortAlgo::LsdRadix,
                     true,
                 ),

@@ -17,10 +17,17 @@ use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use dbindex::IndexBlock;
 use memsim::Tracer;
+use obsv::{Stage, StageObs};
 use scoring::{NeighborTable, SearchParams};
 
 /// Search one query against one index block, interleaved style.
-pub fn search_block<T: Tracer>(
+///
+/// Because the stages are fused by design (that interleaving *is* the
+/// baseline the paper measures against), `obs` sees a single `Seed`
+/// span covering the whole scan — there is no separable reorder or
+/// extension phase to time.
+#[allow(clippy::too_many_arguments)]
+pub fn search_block<T: Tracer, O: StageObs>(
     query: &[u8],
     block: &IndexBlock,
     neighbors: &NeighborTable,
@@ -28,10 +35,12 @@ pub fn search_block<T: Tracer>(
     scratch: &mut Scratch,
     counts: &mut StageCounts,
     ctx: &mut TraceCtx<'_, T>,
+    obs: &mut O,
 ) {
     if query.len() < WORD_LEN || block.n_seqs() == 0 {
         return;
     }
+    let span = obs.start();
     let qlen = query.len() as u32;
     let total_cells =
         scratch.compute_diag_bases(block.seqs().iter().map(|s| s.len), qlen);
@@ -92,6 +101,7 @@ pub fn search_block<T: Tracer>(
             }
         }
     }
+    obs.record(Stage::Seed, span);
 }
 
 #[cfg(test)]
@@ -131,6 +141,7 @@ mod tests {
                 &mut scratch,
                 &mut counts,
                 &mut ctx,
+                &mut obsv::NoObs,
             );
         }
         (scratch.seeds, counts)

@@ -30,6 +30,7 @@ use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use dbindex::IndexBlock;
 use memsim::Tracer;
+use obsv::{Stage, StageObs};
 use scoring::{NeighborTable, SearchParams};
 
 /// Which sort implements the hit-reordering phase (the paper's Sec. IV-B
@@ -46,8 +47,12 @@ pub enum ReorderAlgo {
 }
 
 /// Search one query against one block, decoupled muBLASTP style.
+///
+/// `obs` records one wall-clock span per phase (`Seed`, `Reorder`,
+/// `Ungapped`, plus `TwoHit` in post-filter mode); production callers
+/// pass [`obsv::NoObs`], which compiles away like `NullTracer` does.
 #[allow(clippy::too_many_arguments)]
-pub fn search_block<T: Tracer>(
+pub fn search_block<T: Tracer, O: StageObs>(
     query: &[u8],
     block: &IndexBlock,
     neighbors: &NeighborTable,
@@ -55,6 +60,7 @@ pub fn search_block<T: Tracer>(
     scratch: &mut Scratch,
     counts: &mut StageCounts,
     ctx: &mut TraceCtx<'_, T>,
+    obs: &mut O,
     reorder: ReorderAlgo,
     prefilter: bool,
 ) {
@@ -66,6 +72,9 @@ pub fn search_block<T: Tracer>(
     let total_cells = scratch.compute_diag_bases(block.seqs().iter().map(|s| s.len), qlen);
 
     // ---- Phase 1: hit detection (+ pre-filter) ------------------------
+    // In pre-filter mode the two-hit check is fused into this scan
+    // (Alg. 2), so its time is charged to the Seed span.
+    let span = obs.start();
     scratch.pairs.clear();
     if prefilter {
         scratch.finder.reset(total_cells, params.two_hit_window);
@@ -109,9 +118,12 @@ pub fn search_block<T: Tracer>(
         }
     }
 
+    obs.record(Stage::Seed, span);
+
     // ---- Phase 2: hit reordering --------------------------------------
     // (The sort's own memory traffic is streaming over a buffer that the
     // pre-filter kept small; we charge its reads/writes to the hit buffer.)
+    let span = obs.start();
     sort_pairs(&mut scratch.pairs, reorder);
     if ctx.regions.hitbuf != 0 {
         // Touch the buffer once per element (a simple, documented charge
@@ -120,11 +132,13 @@ pub fn search_block<T: Tracer>(
             ctx.tracer.touch(ctx.regions.hitbuf + i as u64 * 12, 12);
         }
     }
+    obs.record(Stage::Reorder, span);
 
     // ---- Phase 3: ungapped extension in sorted order -------------------
     let mut gate = ExtensionGate::new();
     let pairs = std::mem::take(&mut scratch.pairs);
     if prefilter {
+        let span = obs.start();
         extend_pairs(
             query,
             block,
@@ -136,8 +150,10 @@ pub fn search_block<T: Tracer>(
             &spec,
             &mut gate,
         );
+        obs.record(Stage::Ungapped, span);
     } else {
         // Post-filter (Alg. 1 lines 5–14): form pairs on the sorted stream.
+        let span = obs.start();
         let mut reached_key = u32::MAX;
         let mut reached_pos = i64::MIN;
         let mut filtered: Vec<HitPair> = Vec::with_capacity(pairs.len() / 8 + 8);
@@ -160,6 +176,8 @@ pub fn search_block<T: Tracer>(
             reached_key = hit.key;
             reached_pos = hit.q_off as i64;
         }
+        obs.record(Stage::TwoHit, span);
+        let span = obs.start();
         extend_pairs(
             query,
             block,
@@ -171,6 +189,7 @@ pub fn search_block<T: Tracer>(
             &spec,
             &mut gate,
         );
+        obs.record(Stage::Ungapped, span);
     }
     scratch.pairs = pairs; // return capacity to the scratch buffer
 }
@@ -297,6 +316,7 @@ mod tests {
                 &mut scratch,
                 &mut counts,
                 &mut ctx,
+                &mut obsv::NoObs,
                 reorder,
                 prefilter,
             );
@@ -389,6 +409,7 @@ mod tests {
                 &mut scratch,
                 &mut counts,
                 &mut ctx,
+                &mut obsv::NoObs,
             );
         }
         // Seed *sets* must match (muBLASTP emits in sorted subject order,

@@ -15,6 +15,7 @@ use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use bioseq::SequenceDb;
 use memsim::Tracer;
+use obsv::{Stage, StageObs};
 use qindex::QueryIndex;
 use scoring::SearchParams;
 
@@ -22,9 +23,11 @@ use scoring::SearchParams;
 /// appending seeds to `scratch.seeds` and updating `counts`.
 ///
 /// `subject_starts`, parallel to the database, gives each subject's offset
-/// inside the simulated subject region (empty when not tracing).
+/// inside the simulated subject region (empty when not tracing). The
+/// stages are fused per subject (that is the design), so `obs` records a
+/// single `Seed` span covering the whole scan.
 #[allow(clippy::too_many_arguments)]
-pub fn search_db<T: Tracer>(
+pub fn search_db<T: Tracer, O: StageObs>(
     query: &[u8],
     qidx: &QueryIndex,
     db: &SequenceDb,
@@ -32,6 +35,7 @@ pub fn search_db<T: Tracer>(
     scratch: &mut Scratch,
     counts: &mut StageCounts,
     ctx: &mut TraceCtx<'_, T>,
+    obs: &mut O,
     subject_starts: &[u64],
 ) {
     search_db_range(
@@ -43,6 +47,7 @@ pub fn search_db<T: Tracer>(
         scratch,
         counts,
         ctx,
+        obs,
         subject_starts,
     )
 }
@@ -50,7 +55,7 @@ pub fn search_db<T: Tracer>(
 /// [`search_db`] restricted to subjects `range` — the chunked multicore
 /// tracer replays the database in slices to bound trace memory.
 #[allow(clippy::too_many_arguments)]
-pub fn search_db_range<T: Tracer>(
+pub fn search_db_range<T: Tracer, O: StageObs>(
     query: &[u8],
     qidx: &QueryIndex,
     db: &SequenceDb,
@@ -59,8 +64,10 @@ pub fn search_db_range<T: Tracer>(
     scratch: &mut Scratch,
     counts: &mut StageCounts,
     ctx: &mut TraceCtx<'_, T>,
+    obs: &mut O,
     subject_starts: &[u64],
 ) {
+    let span = obs.start();
     let qlen = query.len();
     for sid in range {
         let subject_seq = db.get(sid);
@@ -119,6 +126,7 @@ pub fn search_db_range<T: Tracer>(
             }
         }
     }
+    obs.record(Stage::Seed, span);
 }
 
 #[cfg(test)]
@@ -147,7 +155,17 @@ mod tests {
         let mut counts = StageCounts::default();
         let mut nt = NullTracer;
         let mut ctx = null_ctx(&mut nt);
-        search_db(query.residues(), &qidx, &db, params, &mut scratch, &mut counts, &mut ctx, &[]);
+        search_db(
+            query.residues(),
+            &qidx,
+            &db,
+            params,
+            &mut scratch,
+            &mut counts,
+            &mut ctx,
+            &mut obsv::NoObs,
+            &[],
+        );
         (scratch.seeds, counts)
     }
 

@@ -44,7 +44,9 @@ pub mod scratch;
 pub mod twohit;
 pub mod verify;
 
-pub use driver::{search_batch, search_batch_streamed, EngineKind, SearchConfig, SortAlgo};
+pub use driver::{
+    search_batch, search_batch_streamed, search_batch_traced, EngineKind, SearchConfig, SortAlgo,
+};
 pub use hit::{HitPair, KeySpec};
 pub use instrument::{trace_engine, trace_engine_multicore, TraceReport};
 pub use longquery::{search_batch_long, LongQueryConfig};

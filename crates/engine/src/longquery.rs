@@ -106,6 +106,7 @@ pub fn search_batch_long(
                     scratch,
                     &mut counts,
                     &mut ctx,
+                    &mut obsv::NoObs,
                     config.sort,
                     config.prefilter,
                 );
@@ -175,6 +176,7 @@ pub fn search_batch_long(
                 &config.params,
                 db_residues,
                 db_seqs,
+                &mut obsv::NoObs,
             );
             counts.gapped = gapped;
             counts.reported = alignments.len() as u64;

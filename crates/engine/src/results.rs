@@ -48,14 +48,17 @@ pub struct StageCounts {
 }
 
 impl StageCounts {
-    /// Accumulate another counter set.
+    /// Accumulate another counter set. Saturates instead of wrapping: a
+    /// counter that has been accumulated across an unbounded stream of
+    /// blocks (the resident service never resets) must pin at `u64::MAX`,
+    /// not wrap to a small number that reads as a quiet server.
     pub fn add(&mut self, other: &StageCounts) {
-        self.hits += other.hits;
-        self.pairs += other.pairs;
-        self.extensions += other.extensions;
-        self.seeds += other.seeds;
-        self.gapped += other.gapped;
-        self.reported += other.reported;
+        self.hits = self.hits.saturating_add(other.hits);
+        self.pairs = self.pairs.saturating_add(other.pairs);
+        self.extensions = self.extensions.saturating_add(other.extensions);
+        self.seeds = self.seeds.saturating_add(other.seeds);
+        self.gapped = self.gapped.saturating_add(other.gapped);
+        self.reported = self.reported.saturating_add(other.reported);
     }
 
     /// Fraction of hits surviving the pre-filter (Fig. 6).
@@ -181,6 +184,29 @@ mod tests {
         assert_eq!(a.hits, 15);
         assert_eq!(a.pairs, 3);
         assert_eq!(a.extensions, 1);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut a = StageCounts {
+            hits: u64::MAX - 1,
+            pairs: u64::MAX,
+            extensions: 0,
+            ..Default::default()
+        };
+        let b = StageCounts {
+            hits: 5,
+            pairs: 1,
+            extensions: u64::MAX,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.hits, u64::MAX);
+        assert_eq!(a.pairs, u64::MAX);
+        assert_eq!(a.extensions, u64::MAX);
+        // Saturated counters stay saturated under further accumulation.
+        a.add(&b);
+        assert_eq!(a.hits, u64::MAX);
     }
 
     #[test]

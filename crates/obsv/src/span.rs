@@ -1,0 +1,175 @@
+//! Span vocabulary: the pipeline stages and the per-span record.
+//!
+//! The stage set mirrors the paper's pipeline decomposition (Fig. 2): hit
+//! detection/seeding, the two-hit pre-filter, hit reordering, ungapped
+//! extension, gapped extension, and the finishing stages — plus the three
+//! request-level stages the serving layer adds on top (queue wait, the
+//! engine call, and the whole request).
+
+/// Sentinel `block` value for spans not tied to an index block (the
+/// query-indexed engine, finish-stage spans, request-level spans).
+pub const NO_BLOCK: u32 = u32::MAX;
+
+/// Sentinel `query` value for spans not tied to one query of the batch
+/// (request-level spans).
+pub const NO_QUERY: u32 = u32::MAX;
+
+/// A pipeline stage a span can be attributed to.
+///
+/// Engine stages come first (the paper's Fig. 2 breakdown), then the
+/// serving-layer stages. Wire codes ([`Stage::code`]) are stable — they
+/// appear in the serve protocol's stats frame and in exported traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Hit detection (seeding). In the muBLASTP kernel this covers Alg. 2
+    /// (detection + fused two-hit pre-filter); in the interleaved kernels
+    /// it covers the whole fused detect/filter/extend loop, because those
+    /// engines cannot separate the stages — that inseparability is the
+    /// paper's point.
+    Seed,
+    /// Two-hit pair formation when it runs as its own pass (the muBLASTP
+    /// post-filter ablation mode, Alg. 1 lines 5–14).
+    TwoHit,
+    /// Hit reordering: the radix sort on `(sequence, diagonal)` keys.
+    Reorder,
+    /// Ungapped extension over the reordered hit stream.
+    Ungapped,
+    /// Gapped extension (score-only pass) inside the finish stage.
+    Gapped,
+    /// The whole per-query finish pass: assembly, gapped extension,
+    /// E-values, ranking, traceback.
+    Finish,
+    /// Time a request spent queued in the micro-batcher before dispatch.
+    QueueWait,
+    /// One `engine::search_batch` call made by the batcher.
+    Search,
+    /// A whole client request, admission to reply.
+    Request,
+}
+
+impl Stage {
+    /// Every stage, in code order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Seed,
+        Stage::TwoHit,
+        Stage::Reorder,
+        Stage::Ungapped,
+        Stage::Gapped,
+        Stage::Finish,
+        Stage::QueueWait,
+        Stage::Search,
+        Stage::Request,
+    ];
+
+    /// Stable numeric code (used on the wire and in exports).
+    pub fn code(self) -> u8 {
+        match self {
+            Stage::Seed => 1,
+            Stage::TwoHit => 2,
+            Stage::Reorder => 3,
+            Stage::Ungapped => 4,
+            Stage::Gapped => 5,
+            Stage::Finish => 6,
+            Stage::QueueWait => 7,
+            Stage::Search => 8,
+            Stage::Request => 9,
+        }
+    }
+
+    /// Inverse of [`Stage::code`].
+    pub fn from_code(code: u8) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.code() == code)
+    }
+
+    /// Stable lowercase name (used in exports and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Seed => "seed",
+            Stage::TwoHit => "two_hit",
+            Stage::Reorder => "reorder",
+            Stage::Ungapped => "ungapped",
+            Stage::Gapped => "gapped",
+            Stage::Finish => "finish",
+            Stage::QueueWait => "queue_wait",
+            Stage::Search => "search",
+            Stage::Request => "request",
+        }
+    }
+
+    /// Logical parent in the stage hierarchy (used by the folded-stack
+    /// export): engine stages nest under the batcher's `Search` span,
+    /// which nests — together with `QueueWait` — under `Request`; the
+    /// gapped extension nests inside `Finish`.
+    pub fn parent(self) -> Option<Stage> {
+        match self {
+            Stage::Request => None,
+            Stage::QueueWait | Stage::Search => Some(Stage::Request),
+            Stage::Gapped => Some(Stage::Finish),
+            Stage::Seed | Stage::TwoHit | Stage::Reorder | Stage::Ungapped | Stage::Finish => {
+                Some(Stage::Search)
+            }
+        }
+    }
+}
+
+/// One recorded span: a stage execution attributed to a `(trace, query,
+/// block)` coordinate, with wall-clock timing relative to the session
+/// epoch and a per-recorder sequence number (recording order survives the
+/// ring buffer's overwrite-oldest policy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Request trace id (0 until the serving layer assigns one).
+    pub trace_id: u64,
+    /// Per-recorder sequence number, monotone in recording order.
+    pub seq: u64,
+    /// The pipeline stage this span times.
+    pub stage: Stage,
+    /// Query index within the batch, or [`NO_QUERY`].
+    pub query: u32,
+    /// Index block id, or [`NO_BLOCK`].
+    pub block: u32,
+    /// Worker thread index that recorded the span.
+    pub worker: u32,
+    /// Start time in nanoseconds since the session epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Stage::ALL {
+            assert!(seen.insert(s.code()), "duplicate code for {s:?}");
+            assert_eq!(Stage::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Stage::from_code(0), None);
+        assert_eq!(Stage::from_code(200), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Stage::ALL {
+            assert!(seen.insert(s.name()), "duplicate name for {s:?}");
+        }
+    }
+
+    #[test]
+    fn parent_chains_terminate_at_request() {
+        for s in Stage::ALL {
+            let mut cur = s;
+            let mut hops = 0;
+            while let Some(p) = cur.parent() {
+                cur = p;
+                hops += 1;
+                assert!(hops < 10, "parent cycle at {s:?}");
+            }
+            assert_eq!(cur, Stage::Request);
+        }
+    }
+}

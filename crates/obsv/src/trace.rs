@@ -1,0 +1,259 @@
+//! Merged traces: absorb per-worker recorders, normalize deterministically,
+//! re-attribute spans to request trace ids, aggregate per stage.
+
+use crate::recorder::Recorder;
+use crate::span::{SpanRecord, Stage, NO_QUERY};
+
+/// A merged set of spans (plus the count of spans lost to ring overflow).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The spans, in whatever order merging produced; call
+    /// [`Trace::normalize`] for a deterministic order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans overwritten in per-worker rings before the merge.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of spans held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merge a worker's recorder into this trace (the post-parallel-for
+    /// merge step; recording order within the worker is preserved).
+    pub fn absorb(&mut self, recorder: Recorder) {
+        let (spans, dropped) = recorder.into_spans();
+        self.spans.extend(spans);
+        self.dropped += dropped;
+    }
+
+    /// Merge another trace into this one.
+    pub fn merge(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+        self.dropped += other.dropped;
+    }
+
+    /// Sort spans into a deterministic order that depends only on the
+    /// *logical* work performed — `(trace, query, block, stage, worker,
+    /// seq)` — never on wall-clock timestamps. Two runs over the same
+    /// input produce byte-identical exports modulo the timestamp fields.
+    pub fn normalize(&mut self) {
+        self.spans.sort_by_key(|s| {
+            (s.trace_id, s.query, s.block, s.stage.code(), s.worker, s.seq)
+        });
+    }
+
+    /// Re-attribute spans recorded during a coalesced batch to the
+    /// requests the batch was formed from: `sizes[k]` queries belonging to
+    /// trace `ids[k]` were concatenated in order, so a span's combined
+    /// query index is mapped to `(ids[k], query_within_request)`. Spans
+    /// not tied to a query (e.g. batch-level spans) are left untouched.
+    ///
+    /// # Panics
+    /// Panics if `sizes` and `ids` differ in length.
+    pub fn assign_trace_ids(&mut self, sizes: &[usize], ids: &[u64]) {
+        assert_eq!(sizes.len(), ids.len(), "one trace id per sub-batch");
+        // Cumulative start of each sub-batch in the combined query space.
+        let mut starts = Vec::with_capacity(sizes.len());
+        let mut acc = 0usize;
+        for &s in sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        for span in &mut self.spans {
+            if span.query == NO_QUERY || (span.query as usize) >= acc {
+                continue;
+            }
+            let q = span.query as usize;
+            // Last sub-batch whose start is <= q. `partition_point` gives
+            // the first index with start > q.
+            let k = starts.partition_point(|&s| s <= q) - 1;
+            span.trace_id = ids[k];
+            span.query = (q - starts[k]) as u32;
+        }
+    }
+
+    /// Split into one trace per id in `ids` (in order); spans whose
+    /// trace id matches none of them are discarded. The dropped count is
+    /// carried into every part (each request should know the session
+    /// overflowed).
+    pub fn partition_by_trace(self, ids: &[u64]) -> Vec<Trace> {
+        let mut parts: Vec<Trace> = ids
+            .iter()
+            .map(|_| Trace { spans: Vec::new(), dropped: self.dropped })
+            .collect();
+        for span in self.spans {
+            if let Some(k) = ids.iter().position(|&id| id == span.trace_id) {
+                parts[k].spans.push(span);
+            }
+        }
+        parts
+    }
+
+    /// Per-stage aggregate over all spans (stages with no spans omitted),
+    /// in stage-code order.
+    pub fn stage_totals(&self) -> Vec<StageTotal> {
+        let mut out: Vec<StageTotal> = Vec::new();
+        for stage in Stage::ALL {
+            let mut total = StageTotal { stage, count: 0, total_ns: 0, max_ns: 0 };
+            for s in self.spans.iter().filter(|s| s.stage == stage) {
+                total.count += 1;
+                total.total_ns = total.total_ns.saturating_add(s.dur_ns);
+                total.max_ns = total.max_ns.max(s.dur_ns);
+            }
+            if total.count > 0 {
+                out.push(total);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate timing for one stage across a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTotal {
+    /// The stage.
+    pub stage: Stage,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration (saturating).
+    pub total_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, seq: u64, stage: Stage, query: u32, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            seq,
+            stage,
+            query,
+            block: 0,
+            worker: 0,
+            start_ns: seq * 10,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn normalize_is_order_independent() {
+        let spans = vec![
+            span(1, 0, Stage::Seed, 0, 5),
+            span(1, 1, Stage::Reorder, 0, 3),
+            span(2, 0, Stage::Seed, 0, 7),
+            span(1, 0, Stage::Seed, 1, 2),
+        ];
+        let mut a = Trace { spans: spans.clone(), dropped: 0 };
+        let mut b = Trace {
+            spans: spans.into_iter().rev().collect(),
+            dropped: 0,
+        };
+        a.normalize();
+        b.normalize();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assign_trace_ids_rebases_queries() {
+        let mut t = Trace {
+            spans: vec![
+                span(0, 0, Stage::Seed, 0, 1),
+                span(0, 1, Stage::Seed, 1, 1),
+                span(0, 2, Stage::Seed, 2, 1),
+                span(0, 3, Stage::Search, NO_QUERY, 1),
+            ],
+            dropped: 0,
+        };
+        t.assign_trace_ids(&[2, 1], &[100, 200]);
+        assert_eq!((t.spans[0].trace_id, t.spans[0].query), (100, 0));
+        assert_eq!((t.spans[1].trace_id, t.spans[1].query), (100, 1));
+        assert_eq!((t.spans[2].trace_id, t.spans[2].query), (200, 0));
+        // Batch-level span untouched.
+        assert_eq!((t.spans[3].trace_id, t.spans[3].query), (0, NO_QUERY));
+    }
+
+    #[test]
+    fn partition_routes_spans_and_carries_drops() {
+        let t = Trace {
+            spans: vec![
+                span(100, 0, Stage::Seed, 0, 1),
+                span(200, 0, Stage::Seed, 0, 1),
+                span(100, 1, Stage::Finish, 0, 1),
+                span(999, 0, Stage::Seed, 0, 1),
+            ],
+            dropped: 3,
+        };
+        let parts = t.partition_by_trace(&[100, 200]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].spans.len(), 2);
+        assert_eq!(parts[1].spans.len(), 1);
+        assert!(parts.iter().all(|p| p.dropped == 3));
+    }
+
+    #[test]
+    fn stage_totals_aggregate() {
+        let t = Trace {
+            spans: vec![
+                span(0, 0, Stage::Seed, 0, 10),
+                span(0, 1, Stage::Seed, 1, 30),
+                span(0, 2, Stage::Finish, 0, 5),
+            ],
+            dropped: 0,
+        };
+        let totals = t.stage_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].stage, Stage::Seed);
+        assert_eq!((totals[0].count, totals[0].total_ns, totals[0].max_ns), (2, 40, 30));
+        assert_eq!(totals[1].stage, Stage::Finish);
+        assert_eq!(totals[1].count, 1);
+    }
+
+    #[test]
+    fn stage_totals_saturate() {
+        let t = Trace {
+            spans: vec![
+                span(0, 0, Stage::Seed, 0, u64::MAX),
+                span(0, 1, Stage::Seed, 1, u64::MAX),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(t.stage_totals()[0].total_ns, u64::MAX);
+    }
+
+    #[test]
+    fn block_and_worker_break_sort_ties() {
+        let mk = |block, worker, seq| SpanRecord {
+            trace_id: 1,
+            seq,
+            stage: Stage::Seed,
+            query: 0,
+            block,
+            worker,
+            start_ns: 0,
+            dur_ns: 1,
+        };
+        let mut t = Trace {
+            spans: vec![mk(1, 0, 5), mk(0, 1, 9), mk(0, 0, 3)],
+            dropped: 0,
+        };
+        t.normalize();
+        let key: Vec<(u32, u32, u64)> =
+            t.spans.iter().map(|s| (s.block, s.worker, s.seq)).collect();
+        assert_eq!(key, vec![(0, 0, 3), (0, 1, 9), (1, 0, 5)]);
+    }
+}

@@ -58,6 +58,12 @@ impl KarlinParams {
     pub const UNGAPPED_BLOSUM62: KarlinParams =
         KarlinParams { lambda: 0.3176, k: 0.134, h: 0.4012 };
 
+    /// Published NCBI constants for **gapped** BLOSUM62 with the blastp
+    /// default 11/1 gap penalties — the `(11, 1)` row of
+    /// [`blosum62_gapped_params`], available without a table lookup.
+    pub const GAPPED_BLOSUM62_11_1: KarlinParams =
+        KarlinParams { lambda: 0.267, k: 0.041, h: 0.14 };
+
     /// Convert a raw score to a bit score.
     #[inline]
     pub fn bit_score(&self, raw: i32) -> f64 {
@@ -262,6 +268,8 @@ mod tests {
         assert!((p.lambda - 0.267).abs() < 1e-9);
         assert!((p.k - 0.041).abs() < 1e-9);
         assert!(blosum62_gapped_params(3, 3).is_none());
+        // The named default const must stay in sync with the table row.
+        assert_eq!(Some(KarlinParams::GAPPED_BLOSUM62_11_1), blosum62_gapped_params(11, 1));
     }
 
     #[test]

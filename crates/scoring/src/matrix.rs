@@ -44,12 +44,12 @@ impl Matrix {
     /// Largest score in the matrix (used by branch-and-bound neighbor
     /// enumeration and by Karlin–Altschul parameter solving).
     pub fn max_score(&self) -> i32 {
-        self.scores.iter().flatten().map(|&s| s as i32).max().unwrap()
+        self.scores.iter().flatten().fold(i32::MIN, |m, &s| m.max(s as i32))
     }
 
     /// Smallest score in the matrix.
     pub fn min_score(&self) -> i32 {
-        self.scores.iter().flatten().map(|&s| s as i32).min().unwrap()
+        self.scores.iter().flatten().fold(i32::MAX, |m, &s| m.min(s as i32))
     }
 
     /// Per-row maximum scores: `row_max()[a]` is the best score any residue
@@ -57,7 +57,7 @@ impl Matrix {
     pub fn row_max(&self) -> [i32; ALPHABET_SIZE] {
         let mut out = [i32::MIN; ALPHABET_SIZE];
         for (a, row) in self.scores.iter().enumerate() {
-            out[a] = row.iter().map(|&s| s as i32).max().unwrap();
+            out[a] = row.iter().fold(i32::MIN, |m, &s| m.max(s as i32));
         }
         out
     }
@@ -121,8 +121,9 @@ impl Matrix {
             return Err(MatrixParseError::Empty);
         }
         // Residues the file never mentioned (possible with reduced matrices):
-        // give them the X-vs-X penalty.
-        let x = encode_residue(b'X').unwrap() as usize;
+        // give them the X-vs-X penalty. `X` is always in the alphabet
+        // (NCBI order `ARNDCQEGHILKMFPSTWYVBZX*`, code 22).
+        let x = usize::from(encode_residue(b'X').unwrap_or(22));
         let default = scores[x][x];
         for i in 0..ALPHABET_SIZE {
             for j in 0..ALPHABET_SIZE {

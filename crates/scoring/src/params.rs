@@ -5,7 +5,7 @@
 //! workspace take the same [`SearchParams`], which is what makes their
 //! outputs bit-for-bit comparable (paper Sec. V-E).
 
-use crate::karlin::{blosum62_gapped_params, KarlinParams};
+use crate::karlin::KarlinParams;
 use crate::matrix::{Matrix, BLOSUM62};
 
 /// Complete parameter set for a BLASTP search.
@@ -51,7 +51,7 @@ impl SearchParams {
     /// BLOSUM62, `T = 11`, `A = 40`, gap penalties 11/1.
     pub fn blastp_defaults() -> SearchParams {
         let ungapped = KarlinParams::UNGAPPED_BLOSUM62;
-        let gapped = blosum62_gapped_params(11, 1).expect("11/1 is in the table");
+        let gapped = KarlinParams::GAPPED_BLOSUM62_11_1;
         SearchParams {
             matrix: BLOSUM62,
             word_threshold: 11,

@@ -30,8 +30,10 @@ use crate::stats::ServeStats;
 use bioseq::{Sequence, SequenceDb};
 use dbindex::DbIndex;
 use engine::{split_batch, EngineKind, QueryResult, SearchConfig};
+use obsv::{ObsvConfig, Stage, Trace, TraceSession, NO_BLOCK, NO_QUERY};
 use scoring::NeighborTable;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -98,6 +100,13 @@ pub struct BatchOptions {
     pub max_batch: usize,
     /// Longest a queued request waits for companions before dispatch.
     pub max_delay: Duration,
+    /// Stage-span tracing, off by default. When enabled, batches that
+    /// contain a tracing request record per-stage spans and the stats
+    /// frame grows per-stage latency digests.
+    pub obsv: ObsvConfig,
+    /// Log requests slower than this (µs, admission to reply) to stderr;
+    /// 0 disables the slow-query log.
+    pub slow_query_us: u64,
 }
 
 impl Default for BatchOptions {
@@ -106,13 +115,26 @@ impl Default for BatchOptions {
             queue_cap: 64,
             max_batch: 16,
             max_delay: Duration::from_millis(2),
+            obsv: ObsvConfig::off(),
+            slow_query_us: 0,
         }
     }
 }
 
+/// Successful batch output for one submitter: per-query results in
+/// submission order, plus this request's spans when it asked to be
+/// traced under a tracing daemon (an empty [`Trace`] otherwise).
+#[derive(Clone, Debug)]
+pub struct BatchOutput {
+    pub results: Vec<QueryResult>,
+    /// The trace id the request ran under (assigned at admission).
+    pub trace_id: u64,
+    pub trace: Trace,
+}
+
 /// What a submitter eventually receives: per-query results in submission
 /// order, or a typed error (deadline expiry, internal failure).
-pub type BatchReply = Result<Vec<QueryResult>, WireError>;
+pub type BatchReply = Result<BatchOutput, WireError>;
 
 /// Why a submission was refused at the door.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +151,10 @@ struct Job {
     reply: mpsc::Sender<BatchReply>,
     admitted: Instant,
     deadline: Option<Instant>,
+    /// Assigned at admission; engine spans are rebased onto it.
+    trace_id: u64,
+    /// Whether the submitter wants its spans back with the results.
+    want_trace: bool,
 }
 
 struct QueueState {
@@ -142,6 +168,12 @@ struct Shared {
     opts: BatchOptions,
     ctx: Arc<SearchContext>,
     stats: Arc<ServeStats>,
+    /// One session per daemon lifetime: the epoch all spans are relative
+    /// to. Disabled sessions hand out recorders that never read the clock.
+    session: TraceSession,
+    /// Server-assigned trace ids (monotone from 1; 0 means "unassigned"
+    /// on the wire, so the counter never yields it).
+    next_trace: AtomicU64,
 }
 
 fn lock(queue: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
@@ -189,6 +221,8 @@ impl Batcher {
             opts,
             ctx,
             stats,
+            session: TraceSession::new(opts.obsv),
+            next_trace: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::spawn(move || worker_loop(&worker_shared));
@@ -208,7 +242,29 @@ impl Batcher {
         overrides: &ParamOverrides,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<BatchReply>, SubmitError> {
+        self.submit_traced(queries, kind, overrides, deadline, 0, false)
+            .map(|(rx, _)| rx)
+    }
+
+    /// [`Batcher::submit`] with explicit trace identity: `trace_id` 0
+    /// asks the batcher to assign one (returned alongside the receiver);
+    /// `want_trace` requests this job's spans back in its
+    /// [`BatchOutput`].
+    pub fn submit_traced(
+        &self,
+        queries: Vec<Sequence>,
+        kind: EngineKind,
+        overrides: &ParamOverrides,
+        deadline: Option<Duration>,
+        trace_id: u64,
+        want_trace: bool,
+    ) -> Result<(mpsc::Receiver<BatchReply>, u64), SubmitError> {
         let sig = self.shared.ctx.sig(kind, overrides);
+        let trace_id = if trace_id != 0 {
+            trace_id
+        } else {
+            self.shared.next_trace.fetch_add(1, Ordering::SeqCst) + 1
+        };
         let mut state = lock(&self.shared.queue);
         if state.draining {
             return Err(SubmitError::ShuttingDown);
@@ -228,12 +284,14 @@ impl Batcher {
             reply: tx,
             admitted: now,
             deadline: deadline.map(|d| now + d),
+            trace_id,
+            want_trace,
         });
         let depth = state.jobs.len();
         drop(state);
         self.shared.stats.on_admit(depth);
         self.shared.cv.notify_all();
-        Ok(rx)
+        Ok((rx, trace_id))
     }
 
     /// Requests currently waiting in the queue.
@@ -353,7 +411,9 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
     if live.is_empty() {
         return;
     }
-    // One coalesced engine run over the concatenated queries.
+    // One coalesced engine run over the concatenated queries. Tracing is
+    // per batch: the engine records only when some member asked for spans
+    // (a disabled session costs a branch per stage).
     let sizes: Vec<usize> = live.iter().map(|j| j.queries.len()).collect();
     let waits: Vec<Duration> = live
         .iter()
@@ -364,22 +424,67 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
         all_queries.append(&mut job.queries);
     }
     let config = shared.ctx.config_for(live[0].sig);
+    let session = if shared.session.is_enabled() && live.iter().any(|j| j.want_trace) {
+        shared.session
+    } else {
+        TraceSession::disabled()
+    };
     let searched_at = Instant::now();
-    let results = engine::search_batch(
+    let (results, mut trace) = engine::search_batch_traced(
         &shared.ctx.db,
         Some(&shared.ctx.index),
         &shared.ctx.neighbors,
         &all_queries,
         &config,
+        &session,
     );
+    let search_done = Instant::now();
     shared
         .stats
-        .on_batch(live.len(), &waits, searched_at.elapsed());
+        .on_batch(live.len(), &waits, search_done - searched_at);
+    // Engine spans were recorded against batch-local query slots under
+    // trace id 0; rebase them onto the per-request ids.
+    let ids: Vec<u64> = live.iter().map(|j| j.trace_id).collect();
+    trace.assign_trace_ids(&sizes, &ids);
+    // Request-level spans: queue wait, the (shared) engine run, and the
+    // whole admission-to-reply window, one set per member.
+    let replied_at = Instant::now();
+    let mut rec = session.recorder();
+    for job in &live {
+        rec.set_ctx(job.trace_id, NO_QUERY, NO_BLOCK);
+        rec.record_between(Stage::QueueWait, job.admitted, now);
+        rec.record_between(Stage::Search, searched_at, search_done);
+        rec.record_between(Stage::Request, job.admitted, replied_at);
+    }
+    trace.absorb(rec);
+    trace.normalize();
+    shared.stats.on_trace(&trace);
+    let parts = trace.partition_by_trace(&ids);
     // Demultiplex: split the combined results at the submission
     // boundaries and route each slice back to its submitter.
-    for (job, part) in live.iter().zip(split_batch(results, &sizes)) {
-        shared.stats.on_complete(job.admitted.elapsed());
-        let _ = job.reply.send(Ok(part));
+    for (i, ((job, part), spans)) in live
+        .iter()
+        .zip(split_batch(results, &sizes))
+        .zip(parts)
+        .enumerate()
+    {
+        let total = job.admitted.elapsed();
+        if shared.opts.slow_query_us > 0 && total.as_micros() >= shared.opts.slow_query_us.into() {
+            eprintln!(
+                "[slow-query] trace={} queries={} wait_us={} search_us={} total_us={}",
+                job.trace_id,
+                sizes[i],
+                waits[i].as_micros(),
+                (search_done - searched_at).as_micros(),
+                total.as_micros(),
+            );
+        }
+        shared.stats.on_complete(total);
+        let _ = job.reply.send(Ok(BatchOutput {
+            results: part,
+            trace_id: job.trace_id,
+            trace: if job.want_trace { spans } else { Trace::new() },
+        }));
     }
 }
 
@@ -428,6 +533,7 @@ mod tests {
                 queue_cap: 8,
                 max_batch: 4,
                 max_delay: Duration::from_millis(1),
+                ..BatchOptions::default()
             },
             Arc::new(ServeStats::new()),
         );
@@ -437,9 +543,106 @@ mod tests {
             &Default::default(),
             None,
         );
-        let results = rx.unwrap().recv().unwrap().unwrap();
-        assert_eq!(results.len(), 1);
-        assert!(results[0].alignments.iter().any(|a| a.subject == 0));
+        let out = rx.unwrap().recv().unwrap().unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert!(out.results[0].alignments.iter().any(|a| a.subject == 0));
+        assert!(out.trace_id > 0, "every admission gets a trace id");
+        assert!(out.trace.is_empty(), "tracing is off by default");
+    }
+
+    #[test]
+    fn traced_submission_gets_its_own_spans_back() {
+        let ctx = context();
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                obsv: ObsvConfig::on(),
+                ..BatchOptions::default()
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let (rx, assigned) = batcher
+            .submit_traced(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+                0,
+                true,
+            )
+            .unwrap();
+        assert!(assigned > 0);
+        let out = rx.recv().unwrap().unwrap();
+        assert_eq!(out.trace_id, assigned);
+        assert!(!out.trace.is_empty());
+        assert!(out.trace.spans.iter().all(|s| s.trace_id == assigned));
+        for stage in [Stage::QueueWait, Stage::Search, Stage::Request, Stage::Seed] {
+            assert!(
+                out.trace.spans.iter().any(|s| s.stage == stage),
+                "missing {stage:?} span"
+            );
+        }
+        // The request span covers its queue wait and the engine run.
+        let req = out
+            .trace
+            .spans
+            .iter()
+            .find(|s| s.stage == Stage::Request)
+            .unwrap();
+        for s in &out.trace.spans {
+            assert!(s.start_ns >= req.start_ns, "{:?} starts before Request", s.stage);
+            assert!(
+                s.start_ns + s.dur_ns <= req.start_ns + req.dur_ns,
+                "{:?} ends after Request",
+                s.stage
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_neighbors_in_a_traced_batch_get_no_spans() {
+        let ctx = context();
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            // A generous forming window so both submissions share a batch.
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(300),
+                obsv: ObsvConfig::on(),
+                ..BatchOptions::default()
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let (rx_plain, id_plain) = batcher
+            .submit_traced(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+                0,
+                false,
+            )
+            .unwrap();
+        let (rx_traced, id_traced) = batcher
+            .submit_traced(
+                query(&ctx, 1),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+                0,
+                true,
+            )
+            .unwrap();
+        assert_ne!(id_plain, id_traced);
+        let plain = rx_plain.recv().unwrap().unwrap();
+        let traced = rx_traced.recv().unwrap().unwrap();
+        assert!(plain.trace.is_empty(), "did not ask for spans");
+        assert!(!traced.trace.is_empty());
+        assert!(traced.trace.spans.iter().all(|s| s.trace_id == id_traced));
     }
 
     #[test]
@@ -453,6 +656,7 @@ mod tests {
                 queue_cap: 2,
                 max_batch: 8,
                 max_delay: Duration::from_secs(5),
+                ..BatchOptions::default()
             },
             Arc::clone(&stats),
         );
@@ -495,6 +699,7 @@ mod tests {
                 queue_cap: 8,
                 max_batch: 8,
                 max_delay: Duration::from_secs(5),
+                ..BatchOptions::default()
             },
             Arc::new(ServeStats::new()),
         );
@@ -537,6 +742,7 @@ mod tests {
                 queue_cap: 8,
                 max_batch: 8,
                 max_delay: Duration::from_millis(200),
+                ..BatchOptions::default()
             },
             Arc::new(ServeStats::new()),
         );

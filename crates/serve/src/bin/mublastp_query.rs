@@ -4,11 +4,16 @@
 //! mublastp-query --addr 127.0.0.1:7878 --query q.fasta
 //!                [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
 //!                [--seg yes|no] [--deadline-ms N]
+//!                [--trace out.json] [--trace-folded out.folded]
 //! mublastp-query --addr 127.0.0.1:7878 --stats
 //! mublastp-query --addr 127.0.0.1:7878 --shutdown
 //! ```
 //!
 //! Prints BLAST-style tabular output (one row per alignment).
+//! `--trace out.json` asks the daemon for this request's per-stage spans
+//! and writes them as a Chrome/Perfetto trace (open in `ui.perfetto.dev`
+//! or `chrome://tracing`); `--trace-folded` writes flamegraph folded
+//! stacks instead. Both require the daemon to run with `--trace`.
 //! Every failure mode exits with a distinct, stable code and a one-line
 //! diagnostic on stderr — scripts can tell "retry later" from "give up".
 
@@ -28,6 +33,7 @@ USAGE:
   mublastp-query --addr HOST:PORT --query q.fasta
                  [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
                  [--seg yes|no] [--deadline-ms N]
+                 [--trace out.json] [--trace-folded out.folded]
   mublastp-query --addr HOST:PORT --stats
   mublastp-query --addr HOST:PORT --shutdown";
 
@@ -128,6 +134,16 @@ fn run() -> Result<(), (u8, String)> {
                 l.count, l.p50_us, l.p99_us, l.max_us
             );
         }
+        for sl in &s.stages {
+            println!(
+                "stage:{:<9} n={} p50={}us p99={}us max={}us",
+                sl.stage.name(),
+                sl.latency.count,
+                sl.latency.p50_us,
+                sl.latency.p99_us,
+                sl.latency.max_us
+            );
+        }
         return Ok(());
     }
 
@@ -165,6 +181,9 @@ fn run() -> Result<(), (u8, String)> {
         },
     };
     let deadline_ms: u32 = flags.parse("--deadline-ms", 0u32).map_err(usage)?;
+    let trace_path = flags.get("--trace");
+    let folded_path = flags.get("--trace-folded");
+    let want_trace = trace_path.is_some() || folded_path.is_some();
 
     // The daemon parses the FASTA; we read it only to ship it.
     let mut fasta = String::new();
@@ -178,8 +197,42 @@ fn run() -> Result<(), (u8, String)> {
         read_fasta(fasta.as_bytes()).map_err(|e| (EXIT_USAGE, format!("{query_path}: {e}")))?;
 
     let response = client
-        .search(&fasta, engine, overrides, deadline_ms)
+        .search_traced(&fasta, engine, overrides, deadline_ms, want_trace)
         .map_err(|e| (client_exit(&e), e.to_string()))?;
+
+    if want_trace {
+        match &response.trace {
+            Some(trace) => {
+                if let Some(path) = trace_path {
+                    let mut w = BufWriter::new(
+                        File::create(path)
+                            .map_err(|e| (EXIT_USAGE, format!("cannot create {path}: {e}")))?,
+                    );
+                    obsv::write_chrome_trace(&mut w, trace)
+                        .and_then(|()| w.flush())
+                        .map_err(|e| (EXIT_PROTO, format!("{path}: {e}")))?;
+                    eprintln!(
+                        "mublastp-query: wrote {} spans (trace {}) to {path}",
+                        trace.len(),
+                        response.trace_id
+                    );
+                }
+                if let Some(path) = folded_path {
+                    let mut w = BufWriter::new(
+                        File::create(path)
+                            .map_err(|e| (EXIT_USAGE, format!("cannot create {path}: {e}")))?,
+                    );
+                    obsv::write_folded(&mut w, trace)
+                        .and_then(|()| w.flush())
+                        .map_err(|e| (EXIT_PROTO, format!("{path}: {e}")))?;
+                    eprintln!("mublastp-query: wrote folded stacks to {path}");
+                }
+            }
+            None => eprintln!(
+                "mublastp-query: no trace in response — is the daemon running with --trace?"
+            ),
+        }
+    }
 
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());

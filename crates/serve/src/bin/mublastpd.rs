@@ -3,8 +3,13 @@
 //! ```text
 //! mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
 //!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
-//!           [--evalue X] [--max-hits N]
+//!           [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]
 //! ```
+//!
+//! `--trace` enables per-stage span recording; clients that ask for a
+//! trace (`mublastp-query --trace out.json`) then get their spans back,
+//! and the stats frame reports per-stage p50/p99. `--slow-query-us N`
+//! logs any request slower than N µs (admission to reply) to stderr.
 //!
 //! Builds the index in-process when `--index` is not given. Runs until a
 //! client sends a `Shutdown` frame (`mublastp-query --shutdown`), then
@@ -29,7 +34,7 @@ mublastpd — resident-index muBLASTP search daemon
 USAGE:
   mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
             [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
-            [--evalue X] [--max-hits N]";
+            [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]";
 
 // Exit codes (documented, stable):
 //   0 clean shutdown   2 usage error   3 cannot bind listener
@@ -89,6 +94,8 @@ fn run() -> Result<(), (u8, String)> {
     let max_delay_us: u64 = flags.parse("--max-delay-us", 2000u64).map_err(usage)?;
     let evalue: f64 = flags.parse("--evalue", 10.0f64).map_err(usage)?;
     let max_hits: usize = flags.parse("--max-hits", 25usize).map_err(usage)?;
+    let trace_on = args.iter().any(|a| a == "--trace");
+    let slow_query_us: u64 = flags.parse("--slow-query-us", 0u64).map_err(usage)?;
     if queue_cap == 0 || max_batch == 0 {
         return Err(usage(
             "--queue-cap and --max-batch must be positive".to_string(),
@@ -133,10 +140,19 @@ fn run() -> Result<(), (u8, String)> {
         neighbors,
         base,
     });
+    if trace_on {
+        eprintln!("mublastpd: stage tracing enabled");
+    }
     let opts = BatchOptions {
         queue_cap,
         max_batch,
         max_delay: Duration::from_micros(max_delay_us),
+        obsv: if trace_on {
+            obsv::ObsvConfig::on()
+        } else {
+            obsv::ObsvConfig::off()
+        },
+        slow_query_us,
     };
     let mut handle = serve(transport, ctx, opts);
     handle.wait(); // returns after a wire Shutdown finished draining

@@ -86,11 +86,27 @@ impl<C: Read + Write> Client<C> {
         overrides: ParamOverrides,
         deadline_ms: u32,
     ) -> Result<SearchResponse, ClientError> {
+        self.search_traced(fasta, engine, overrides, deadline_ms, false)
+    }
+
+    /// [`Client::search`], optionally asking the daemon to return the
+    /// request's per-stage spans (`response.trace`, populated only when
+    /// the daemon runs with tracing enabled).
+    pub fn search_traced(
+        &mut self,
+        fasta: &str,
+        engine: EngineKind,
+        overrides: ParamOverrides,
+        deadline_ms: u32,
+        want_trace: bool,
+    ) -> Result<SearchResponse, ClientError> {
         let request = Frame::Search(SearchRequest {
             fasta: fasta.to_string(),
             engine,
             overrides,
             deadline_ms,
+            trace_id: 0,
+            want_trace,
         });
         match self.roundtrip(&request)? {
             Frame::Results(resp) => Ok(resp),

@@ -15,6 +15,16 @@
 //! read is bounds-checked, and any malformed input yields a typed
 //! [`ProtoError`] instead of a panic — frames cross a process boundary,
 //! so "garbage in" must always be "error out".
+//!
+//! ## Versioning
+//!
+//! Version 2 added observability fields (per-request trace ids, optional
+//! span traces in results, per-stage latency digests in stats). The
+//! protocol stays backward compatible: a peer may speak any version in
+//! `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are *appended* to v1
+//! payloads and simply omitted when encoding for a v1 peer, and the
+//! server always answers with the version the request arrived in (see
+//! [`read_frame_versioned`] / [`write_frame_v`]).
 
 use engine::{Alignment, QueryResult, StageCounts};
 use std::fmt;
@@ -22,8 +32,13 @@ use std::io::{self, Read, Write};
 
 /// Frame magic ("muBLASTP query protocol").
 pub const MAGIC: &[u8; 4] = b"MUBQ";
-/// Protocol version carried in every frame header.
-pub const PROTO_VERSION: u32 = 1;
+/// Newest protocol version this build speaks (and the default for
+/// encoding). v2 added trace ids, optional span traces, and per-stage
+/// latency digests.
+pub const PROTO_VERSION: u32 = 2;
+/// Oldest protocol version still accepted. v1 frames decode with the v2
+/// fields at their defaults (no trace requested, no stage digests).
+pub const MIN_PROTO_VERSION: u32 = 1;
 /// Upper bound on a single frame's payload (defensive: a corrupt or
 /// hostile length field must not trigger a giant allocation).
 pub const MAX_PAYLOAD: u32 = 256 << 20;
@@ -135,6 +150,12 @@ pub struct SearchRequest {
     pub overrides: ParamOverrides,
     /// Per-request deadline in milliseconds; 0 means none.
     pub deadline_ms: u32,
+    /// Client-proposed trace id; 0 asks the server to assign one
+    /// (v2+; v1 peers always get a server-assigned id).
+    pub trace_id: u64,
+    /// Ask the server to return per-stage spans with the results (v2+).
+    /// Honored only when the daemon runs with tracing enabled.
+    pub want_trace: bool,
 }
 
 /// One query's results: the exact `QueryResult` the engine produced plus
@@ -151,6 +172,23 @@ pub struct QueryReply {
 #[derive(Clone, Debug, PartialEq)]
 pub struct SearchResponse {
     pub replies: Vec<QueryReply>,
+    /// The trace id this request ran under (server-assigned when the
+    /// request carried 0). Always 0 on the v1 wire.
+    pub trace_id: u64,
+    /// Per-stage spans for this request, present when the request set
+    /// `want_trace` and the daemon traces (v2+ only; dropped on v1).
+    pub trace: Option<obsv::Trace>,
+}
+
+impl SearchResponse {
+    /// A response carrying only replies (no trace attached).
+    pub fn untraced(replies: Vec<QueryReply>) -> SearchResponse {
+        SearchResponse {
+            replies,
+            trace_id: 0,
+            trace: None,
+        }
+    }
 }
 
 /// Latency digest for one pipeline stage.
@@ -189,6 +227,16 @@ pub struct StatsReport {
     pub search: LatencySummary,
     /// Admission to reply.
     pub total: LatencySummary,
+    /// Per-pipeline-stage span latency digests, populated when the daemon
+    /// runs with tracing enabled (v2+ only; dropped on the v1 wire).
+    pub stages: Vec<StageLatency>,
+}
+
+/// Latency digest for one traced pipeline stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageLatency {
+    pub stage: obsv::Stage,
+    pub latency: LatencySummary,
 }
 
 /// Every message that can cross the wire.
@@ -305,6 +353,23 @@ fn put_latency(out: &mut Vec<u8>, l: &LatencySummary) {
     put_u64(out, l.max_us);
 }
 
+/// Span trace, appended to v2 Results payloads. The per-span `trace_id`
+/// is *not* serialized — a response carries exactly one trace, so the
+/// decoder restamps every span with the response-level id.
+fn put_trace(out: &mut Vec<u8>, t: &obsv::Trace) {
+    put_u64(out, t.dropped);
+    put_u32(out, t.spans.len() as u32);
+    for s in &t.spans {
+        put_u8(out, s.stage.code());
+        put_u32(out, s.query);
+        put_u32(out, s.block);
+        put_u32(out, s.worker);
+        put_u64(out, s.seq);
+        put_u64(out, s.start_ns);
+        put_u64(out, s.dur_ns);
+    }
+}
+
 fn frame_type(frame: &Frame) -> u8 {
     match frame {
         Frame::Search(_) => 1,
@@ -317,7 +382,8 @@ fn frame_type(frame: &Frame) -> u8 {
     }
 }
 
-fn encode_payload(frame: &Frame) -> Vec<u8> {
+fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
+    let v2 = version >= 2;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -345,11 +411,25 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                 None => put_u8(&mut p, 0),
             }
             put_u32(&mut p, req.deadline_ms);
+            if v2 {
+                put_u64(&mut p, req.trace_id);
+                put_u8(&mut p, u8::from(req.want_trace));
+            }
         }
         Frame::Results(resp) => {
             put_u32(&mut p, resp.replies.len() as u32);
             for r in &resp.replies {
                 put_reply(&mut p, r);
+            }
+            if v2 {
+                put_u64(&mut p, resp.trace_id);
+                match &resp.trace {
+                    Some(t) => {
+                        put_u8(&mut p, 1);
+                        put_trace(&mut p, t);
+                    }
+                    None => put_u8(&mut p, 0),
+                }
             }
         }
         Frame::Error(e) => {
@@ -374,28 +454,47 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_latency(&mut p, &s.queue_wait);
             put_latency(&mut p, &s.search);
             put_latency(&mut p, &s.total);
+            if v2 {
+                put_u32(&mut p, s.stages.len() as u32);
+                for sl in &s.stages {
+                    put_u8(&mut p, sl.stage.code());
+                    put_latency(&mut p, &sl.latency);
+                }
+            }
         }
     }
     p
 }
 
-/// Encode a frame to bytes (header + payload).
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let payload = encode_payload(frame);
+/// Encode a frame to bytes (header + payload) at a specific protocol
+/// version. Fields a v1 peer does not understand are omitted.
+pub fn encode_frame_v(frame: &Frame, version: u32) -> Vec<u8> {
+    let payload = encode_payload(frame, version);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(MAGIC);
-    put_u32(&mut out, PROTO_VERSION);
+    put_u32(&mut out, version);
     put_u8(&mut out, frame_type(frame));
     put_u32(&mut out, payload.len() as u32);
     out.extend_from_slice(&payload);
     out
 }
 
-/// Write one frame to a stream and flush it.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtoError> {
-    w.write_all(&encode_frame(frame))?;
+/// Encode a frame at the current [`PROTO_VERSION`].
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_v(frame, PROTO_VERSION)
+}
+
+/// Write one frame to a stream at a specific version and flush it. The
+/// server uses this to answer every request in the version it arrived in.
+pub fn write_frame_v<W: Write>(w: &mut W, frame: &Frame, version: u32) -> Result<(), ProtoError> {
+    w.write_all(&encode_frame_v(frame, version))?;
     w.flush()?;
     Ok(())
+}
+
+/// Write one frame to a stream at the current [`PROTO_VERSION`].
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtoError> {
+    write_frame_v(w, frame, PROTO_VERSION)
 }
 
 // ---------------------------------------------------------------------
@@ -529,7 +628,32 @@ fn get_latency(data: &mut &[u8]) -> Result<LatencySummary, ProtoError> {
     })
 }
 
-fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
+/// Span trace as appended to v2 Results payloads; spans are restamped
+/// with `trace_id` (the response-level id) since it is not on the wire.
+fn get_trace(data: &mut &[u8], trace_id: u64) -> Result<obsv::Trace, ProtoError> {
+    let dropped = get_u64(data)?;
+    let n = get_u32(data)? as usize;
+    // Each span is 37 bytes on the wire; cap pre-allocation accordingly.
+    let mut spans = Vec::with_capacity(n.min(data.len() / 37 + 1));
+    for _ in 0..n {
+        let stage = obsv::Stage::from_code(get_u8(data)?)
+            .ok_or(ProtoError::Malformed("unknown stage code"))?;
+        spans.push(obsv::SpanRecord {
+            trace_id,
+            stage,
+            query: get_u32(data)?,
+            block: get_u32(data)?,
+            worker: get_u32(data)?,
+            seq: get_u64(data)?,
+            start_ns: get_u64(data)?,
+            dur_ns: get_u64(data)?,
+        });
+    }
+    Ok(obsv::Trace { spans, dropped })
+}
+
+fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, ProtoError> {
+    let v2 = version >= 2;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -551,6 +675,11 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
                 None
             };
             let deadline_ms = get_u32(data)?;
+            let (trace_id, want_trace) = if v2 {
+                (get_u64(data)?, get_u8(data)? != 0)
+            } else {
+                (0, false)
+            };
             Frame::Search(SearchRequest {
                 fasta,
                 engine,
@@ -560,6 +689,8 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
                     seg_filter,
                 },
                 deadline_ms,
+                trace_id,
+                want_trace,
             })
         }
         2 => {
@@ -568,7 +699,22 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
             for _ in 0..n {
                 replies.push(get_reply(data)?);
             }
-            Frame::Results(SearchResponse { replies })
+            let (trace_id, trace) = if v2 {
+                let trace_id = get_u64(data)?;
+                let trace = if get_u8(data)? != 0 {
+                    Some(get_trace(data, trace_id)?)
+                } else {
+                    None
+                };
+                (trace_id, trace)
+            } else {
+                (0, None)
+            };
+            Frame::Results(SearchResponse {
+                replies,
+                trace_id,
+                trace,
+            })
         }
         3 => {
             let code = ErrorCode::from_wire(get_u16(data)?)?;
@@ -595,6 +741,24 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
             for _ in 0..n {
                 batch_hist.push(get_u64(data)?);
             }
+            let queue_wait = get_latency(data)?;
+            let search = get_latency(data)?;
+            let total = get_latency(data)?;
+            let stages = if v2 {
+                let n = get_u32(data)? as usize;
+                let mut stages = Vec::with_capacity(n.min(data.len() / 33 + 1));
+                for _ in 0..n {
+                    let stage = obsv::Stage::from_code(get_u8(data)?)
+                        .ok_or(ProtoError::Malformed("unknown stage code"))?;
+                    stages.push(StageLatency {
+                        stage,
+                        latency: get_latency(data)?,
+                    });
+                }
+                stages
+            } else {
+                Vec::new()
+            };
             Frame::Stats(Box::new(StatsReport {
                 queue_depth,
                 queue_cap,
@@ -605,9 +769,10 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
                 completed,
                 batches,
                 batch_hist,
-                queue_wait: get_latency(data)?,
-                search: get_latency(data)?,
-                total: get_latency(data)?,
+                queue_wait,
+                search,
+                total,
+                stages,
             }))
         }
         6 => Frame::Shutdown,
@@ -620,18 +785,20 @@ fn decode_payload(frame_type: u8, mut p: &[u8]) -> Result<Frame, ProtoError> {
     Ok(frame)
 }
 
-/// Read one frame from a stream.
+/// Read one frame from a stream, returning the protocol version it was
+/// encoded at (any of `MIN_PROTO_VERSION..=PROTO_VERSION`). The server
+/// echoes this version when replying so old clients keep working.
 ///
 /// A clean close at a frame boundary surfaces as
 /// `ProtoError::Io(ErrorKind::UnexpectedEof)`.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+pub fn read_frame_versioned<R: Read>(r: &mut R) -> Result<(Frame, u32), ProtoError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     if &header[..4] != MAGIC {
         return Err(ProtoError::BadMagic);
     }
     let version = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let frame_type = header[8];
@@ -641,7 +808,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
     }
     let mut payload = vec![0u8; payload_len as usize];
     r.read_exact(&mut payload)?;
-    decode_payload(frame_type, &payload)
+    decode_payload(frame_type, &payload, version).map(|f| (f, version))
+}
+
+/// Read one frame from a stream (version discarded).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    read_frame_versioned(r).map(|(f, _)| f)
 }
 
 /// Decode one frame from a byte slice (must contain exactly one frame).
@@ -676,8 +848,130 @@ mod tests {
                 seg_filter: Some(true),
             },
             deadline_ms: 250,
+            trace_id: 0xDEAD_BEEF,
+            want_trace: true,
         });
         assert_eq!(decode_frame(&encode_frame(&f)), Ok(f));
+    }
+
+    fn sample_trace(trace_id: u64) -> obsv::Trace {
+        obsv::Trace {
+            spans: vec![
+                obsv::SpanRecord {
+                    trace_id,
+                    seq: 0,
+                    stage: obsv::Stage::Seed,
+                    query: 0,
+                    block: 1,
+                    worker: 2,
+                    start_ns: 10,
+                    dur_ns: 90,
+                },
+                obsv::SpanRecord {
+                    trace_id,
+                    seq: 1,
+                    stage: obsv::Stage::Finish,
+                    query: 0,
+                    block: obsv::NO_BLOCK,
+                    worker: 2,
+                    start_ns: 100,
+                    dur_ns: 40,
+                },
+            ],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn v2_results_roundtrip_the_trace() {
+        let f = Frame::Results(SearchResponse {
+            replies: Vec::new(),
+            trace_id: 77,
+            trace: Some(sample_trace(77)),
+        });
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f));
+    }
+
+    #[test]
+    fn v1_encoding_drops_v2_fields_and_decodes_with_defaults() {
+        // A v2-rich request encoded for a v1 peer loses only the v2 fields.
+        let req = SearchRequest {
+            fasta: ">q\nMKV\n".to_string(),
+            engine: engine::EngineKind::QueryIndexed,
+            overrides: ParamOverrides::default(),
+            deadline_ms: 9,
+            trace_id: 1234,
+            want_trace: true,
+        };
+        let bytes = encode_frame_v(&Frame::Search(req.clone()), 1);
+        match decode_frame(&bytes) {
+            Ok(Frame::Search(got)) => {
+                assert_eq!(got.trace_id, 0, "v1 wire carries no trace id");
+                assert!(!got.want_trace);
+                assert_eq!(got.fasta, req.fasta);
+                assert_eq!(got.deadline_ms, req.deadline_ms);
+            }
+            other => panic!("expected Search, got {other:?}"),
+        }
+        // Same for a traced response.
+        let resp = Frame::Results(SearchResponse {
+            replies: Vec::new(),
+            trace_id: 42,
+            trace: Some(sample_trace(42)),
+        });
+        match decode_frame(&encode_frame_v(&resp, 1)) {
+            Ok(Frame::Results(got)) => {
+                assert_eq!(got.trace_id, 0);
+                assert!(got.trace.is_none());
+            }
+            other => panic!("expected Results, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_stage_digests_survive_v2_and_vanish_on_v1() {
+        let report = StatsReport {
+            stages: vec![
+                StageLatency {
+                    stage: obsv::Stage::Seed,
+                    latency: LatencySummary {
+                        count: 4,
+                        p50_us: 7,
+                        p99_us: 20,
+                        max_us: 21,
+                    },
+                },
+                StageLatency {
+                    stage: obsv::Stage::Gapped,
+                    latency: LatencySummary::default(),
+                },
+            ],
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report.clone()));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 1)) {
+            Ok(Frame::Stats(got)) => assert!(got.stages.is_empty()),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_stage_code_is_malformed_not_a_panic() {
+        let f = Frame::Results(SearchResponse {
+            replies: Vec::new(),
+            trace_id: 1,
+            trace: Some(sample_trace(1)),
+        });
+        let mut bytes = encode_frame(&f);
+        // Payload: count u32 (=0 replies), trace_id u64, has_trace u8,
+        // dropped u64, n_spans u32 — the first span's stage byte follows.
+        let stage_at = HEADER_LEN + 4 + 8 + 1 + 8 + 4;
+        bytes[stage_at] = 0xFF;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(ProtoError::Malformed("unknown stage code"))
+        );
     }
 
     #[test]
@@ -698,6 +992,22 @@ mod tests {
         let mut bytes = encode_frame(&Frame::StatsRequest);
         bytes[4] = 9;
         assert_eq!(decode_frame(&bytes), Err(ProtoError::BadVersion(9)));
+        // Version 0 predates MIN_PROTO_VERSION and is rejected too.
+        let mut bytes = encode_frame(&Frame::StatsRequest);
+        bytes[4] = 0;
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::BadVersion(0)));
+    }
+
+    #[test]
+    fn both_supported_versions_are_accepted() {
+        for v in MIN_PROTO_VERSION..=PROTO_VERSION {
+            let bytes = encode_frame_v(&Frame::StatsRequest, v);
+            let mut cursor = &bytes[..];
+            assert_eq!(
+                read_frame_versioned(&mut cursor),
+                Ok((Frame::StatsRequest, v))
+            );
+        }
     }
 
     #[test]

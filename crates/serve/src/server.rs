@@ -8,8 +8,8 @@
 
 use crate::batcher::{BatchOptions, Batcher, SearchContext, SubmitError};
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, Frame, ProtoError, QueryReply, SearchRequest,
-    SearchResponse, StatsReport, WireError,
+    read_frame_versioned, write_frame_v, ErrorCode, Frame, ProtoError, QueryReply, SearchRequest,
+    SearchResponse, StatsReport, WireError, PROTO_VERSION,
 };
 use crate::stats::ServeStats;
 use crate::transport::Transport;
@@ -124,17 +124,20 @@ fn handle_connection<C: Read + Write>(
     stop: &AtomicBool,
 ) {
     loop {
-        let frame = match read_frame(&mut conn) {
-            Ok(frame) => frame,
+        // Every reply is encoded at the version the request arrived in,
+        // so a v1 client never sees v2 fields it cannot parse.
+        let (frame, version) = match read_frame_versioned(&mut conn) {
+            Ok(pair) => pair,
             Err(ProtoError::Io(_)) => return, // peer closed or transport died
             Err(e) => {
-                let _ = write_frame(
+                let _ = write_frame_v(
                     &mut conn,
                     &Frame::Error(WireError {
                         code: ErrorCode::BadRequest,
                         message: e.to_string(),
                         retry_after_ms: 0,
                     }),
+                    PROTO_VERSION,
                 );
                 return;
             }
@@ -149,22 +152,23 @@ fn handle_connection<C: Read + Write>(
                 // client the queue has been fully answered.
                 stop.store(true, Ordering::SeqCst);
                 batcher.shutdown();
-                let _ = write_frame(&mut conn, &Frame::ShutdownAck);
+                let _ = write_frame_v(&mut conn, &Frame::ShutdownAck, version);
                 return;
             }
             _ => {
-                let _ = write_frame(
+                let _ = write_frame_v(
                     &mut conn,
                     &Frame::Error(WireError {
                         code: ErrorCode::BadRequest,
                         message: "unexpected frame type from client".to_string(),
                         retry_after_ms: 0,
                     }),
+                    version,
                 );
                 return;
             }
         };
-        if write_frame(&mut conn, &reply).is_err() {
+        if write_frame_v(&mut conn, &reply, version).is_err() {
             return;
         }
     }
@@ -189,8 +193,15 @@ fn handle_search(req: SearchRequest, ctx: &SearchContext, batcher: &Batcher) -> 
         });
     }
     let deadline = (req.deadline_ms > 0).then(|| Duration::from_millis(u64::from(req.deadline_ms)));
-    let rx = match batcher.submit(queries, req.engine, &req.overrides, deadline) {
-        Ok(rx) => rx,
+    let (rx, _trace_id) = match batcher.submit_traced(
+        queries,
+        req.engine,
+        &req.overrides,
+        deadline,
+        req.trace_id,
+        req.want_trace,
+    ) {
+        Ok(pair) => pair,
         Err(SubmitError::Overloaded { retry_after_ms }) => {
             return Frame::Error(WireError {
                 code: ErrorCode::Overloaded,
@@ -207,8 +218,9 @@ fn handle_search(req: SearchRequest, ctx: &SearchContext, batcher: &Batcher) -> 
         }
     };
     match rx.recv() {
-        Ok(Ok(results)) => {
-            let replies = results
+        Ok(Ok(out)) => {
+            let replies = out
+                .results
                 .into_iter()
                 .map(|result| QueryReply {
                     subject_ids: result
@@ -219,7 +231,11 @@ fn handle_search(req: SearchRequest, ctx: &SearchContext, batcher: &Batcher) -> 
                     result,
                 })
                 .collect();
-            Frame::Results(SearchResponse { replies })
+            Frame::Results(SearchResponse {
+                replies,
+                trace_id: out.trace_id,
+                trace: req.want_trace.then_some(out.trace),
+            })
         }
         Ok(Err(wire_error)) => Frame::Error(wire_error),
         Err(_) => Frame::Error(WireError {

@@ -7,7 +7,7 @@
 //! upper edge of the bucket holding the requested rank — a ≤2× bound,
 //! plenty for "is the queue melting" dashboards.
 
-use crate::proto::{LatencySummary, StatsReport};
+use crate::proto::{LatencySummary, StageLatency, StatsReport};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -29,31 +29,49 @@ impl LatencyRecorder {
         }
     }
 
-    /// Record one duration.
+    /// Record one duration. Sub-microsecond (including zero) durations
+    /// land in bucket 0, whose upper edge is 0 µs.
     pub fn record(&mut self, d: Duration) {
         let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        // 0 µs → bucket 0; otherwise value v lands in bucket
+        // floor(log2 v) + 1, i.e. bucket i holds [2^(i-1), 2^i).
         let bucket = (64 - us.leading_zeros()).min(63) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.max_us = self.max_us.max(us);
     }
 
     /// The upper edge (in µs) of the bucket containing the `p`-quantile
-    /// sample, `p` in `[0, 1]`. Zero when nothing was recorded.
+    /// sample, capped at the true maximum so the report never exceeds
+    /// any observed value. `p` is clamped to `[0, 1]` (`p = 0` is the
+    /// lowest occupied bucket, `p = 1` the highest). Zero when nothing
+    /// was recorded.
     pub fn percentile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let p = p.clamp(0.0, 1.0);
         let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket i holds values in [2^(i-1), 2^i); report the edge.
-                return if i == 0 { 0 } else { 1u64 << i };
+                // Bucket i holds values in [2^(i-1), 2^i); report the
+                // edge, but never more than the largest sample (a lone
+                // 1000 µs sample must not read as "1024 µs").
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).min(self.max_us)
+                };
             }
         }
         self.max_us
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
     }
 
     /// Digest for the wire stats frame.
@@ -86,6 +104,9 @@ struct Inner {
     queue_wait: LatencyRecorder,
     search: LatencyRecorder,
     total: LatencyRecorder,
+    /// One recorder per traced pipeline stage, indexed by
+    /// `Stage::code() - 1`. Only fed when the daemon traces.
+    stage_lat: [LatencyRecorder; obsv::Stage::ALL.len()],
 }
 
 /// Shared, thread-safe service counters.
@@ -146,6 +167,20 @@ impl ServeStats {
         s.total.record(total);
     }
 
+    /// Digest the span durations of a traced batch into the per-stage
+    /// latency recorders. A no-op for empty traces, so untraced
+    /// deployments never take the lock here.
+    pub fn on_trace(&self, trace: &obsv::Trace) {
+        if trace.spans.is_empty() {
+            return;
+        }
+        let mut s = lock(&self.inner);
+        for span in &trace.spans {
+            let idx = (span.stage.code() - 1) as usize;
+            s.stage_lat[idx].record(Duration::from_nanos(span.dur_ns));
+        }
+    }
+
     /// Point-in-time report (`queue_depth`/`queue_cap` are owned by the
     /// batcher and passed in).
     pub fn snapshot(&self, queue_depth: usize, queue_cap: usize) -> StatsReport {
@@ -163,6 +198,16 @@ impl ServeStats {
             queue_wait: s.queue_wait.summary(),
             search: s.search.summary(),
             total: s.total.summary(),
+            stages: obsv::Stage::ALL
+                .iter()
+                .filter_map(|&stage| {
+                    let summary = s.stage_lat[(stage.code() - 1) as usize].summary();
+                    (summary.count > 0).then_some(StageLatency {
+                        stage,
+                        latency: summary,
+                    })
+                })
+                .collect(),
         }
     }
 }
@@ -191,6 +236,96 @@ mod tests {
         let r = LatencyRecorder::new();
         assert_eq!(r.percentile_us(0.5), 0);
         assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn zero_duration_records_and_reports_zero() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::ZERO);
+        r.record(Duration::from_nanos(500)); // sub-µs truncates to 0 µs
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.percentile_us(0.5), 0);
+        assert_eq!(r.percentile_us(1.0), 0);
+        assert_eq!(r.summary().max_us, 0);
+    }
+
+    /// Exhaustive power-of-two boundaries: 1 µs below, at, and above each
+    /// boundary must land in the documented bucket and report a
+    /// percentile that brackets the sample without ever exceeding it.
+    #[test]
+    fn power_of_two_boundaries_bucket_and_bound_correctly() {
+        for k in 1..=40u32 {
+            let edge = 1u64 << k;
+            for us in [edge - 1, edge, edge + 1] {
+                let mut r = LatencyRecorder::new();
+                r.record(Duration::from_micros(us));
+                let p100 = r.percentile_us(1.0);
+                // Sole sample: every percentile is the same bucket.
+                assert_eq!(r.percentile_us(0.0), p100, "us={us}");
+                assert_eq!(r.percentile_us(0.5), p100, "us={us}");
+                // The reported edge never exceeds the observed maximum...
+                assert!(p100 <= us, "us={us}: p100={p100} exceeds the sample");
+                // ...and stays within the log2 bucket below it.
+                assert!(p100 * 2 > us, "us={us}: p100={p100} is over 2x low");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_p_is_clamped_to_the_unit_interval() {
+        let mut r = LatencyRecorder::new();
+        for us in [3u64, 300, 30_000] {
+            r.record(Duration::from_micros(us));
+        }
+        assert_eq!(r.percentile_us(-1.0), r.percentile_us(0.0));
+        assert_eq!(r.percentile_us(2.0), r.percentile_us(1.0));
+        assert!(r.percentile_us(1.0) <= 30_000, "cap at the true maximum");
+    }
+
+    #[test]
+    fn percentile_never_exceeds_max_even_mid_bucket() {
+        // 1000 µs lands in the [512, 1024) bucket whose raw edge, 1024,
+        // exceeds the sample — the cap must bring it back to 1000.
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_micros(1000));
+        assert_eq!(r.percentile_us(0.99), 1000);
+    }
+
+    #[test]
+    fn stage_digests_appear_only_for_observed_stages() {
+        let stats = ServeStats::new();
+        let trace = obsv::Trace {
+            spans: vec![
+                obsv::SpanRecord {
+                    trace_id: 1,
+                    seq: 0,
+                    stage: obsv::Stage::Seed,
+                    query: 0,
+                    block: 0,
+                    worker: 0,
+                    start_ns: 0,
+                    dur_ns: 2_000_000, // 2 ms
+                },
+                obsv::SpanRecord {
+                    trace_id: 1,
+                    seq: 1,
+                    stage: obsv::Stage::Seed,
+                    query: 1,
+                    block: 0,
+                    worker: 0,
+                    start_ns: 0,
+                    dur_ns: 4_000_000,
+                },
+            ],
+            dropped: 0,
+        };
+        stats.on_trace(&trace);
+        stats.on_trace(&obsv::Trace::new()); // empty: must be a no-op
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].stage, obsv::Stage::Seed);
+        assert_eq!(report.stages[0].latency.count, 2);
+        assert_eq!(report.stages[0].latency.max_us, 4_000);
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn concurrent_clients_get_solo_identical_results() {
             queue_cap: 32,
             max_batch: CLIENTS,
             max_delay: Duration::from_millis(150),
+            ..BatchOptions::default()
         },
     );
 
@@ -179,6 +180,7 @@ fn saturation_answers_overloaded_and_bounds_the_queue() {
             queue_cap: 2,
             max_batch: 16,
             max_delay: Duration::from_secs(30),
+            ..BatchOptions::default()
         },
     );
 
@@ -243,6 +245,7 @@ fn queued_past_deadline_gets_deadline_exceeded() {
             queue_cap: 8,
             max_batch: 16,
             max_delay: Duration::from_millis(400),
+            ..BatchOptions::default()
         },
     );
     let mut client = Client::new(connector.connect().expect("connect"));
@@ -268,6 +271,7 @@ fn wire_shutdown_drains_queued_work_before_acking() {
             queue_cap: 8,
             max_batch: 16,
             max_delay: Duration::from_secs(30),
+            ..BatchOptions::default()
         },
     );
 
@@ -344,6 +348,156 @@ fn bad_fasta_is_a_typed_bad_request() {
     match client.search("", EngineKind::MuBlastp, ParamOverrides::default(), 0) {
         Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
         other => panic!("expected BadRequest, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// The v2 observability path end-to-end: a traced request gets back its
+/// own spans, stamped with its trace id, properly nested (engine stages
+/// inside the Search window, everything inside the Request window), with
+/// one Seed span per (query, block), and the stats frame grows per-stage
+/// digests.
+#[test]
+fn traced_request_returns_nested_spans_with_its_trace_id() {
+    let ctx = context(2);
+    let (mut handle, connector) = start(
+        &ctx,
+        BatchOptions {
+            obsv: obsv::ObsvConfig::on(),
+            ..BatchOptions::default()
+        },
+    );
+    let mut client = Client::new(connector.connect().expect("connect"));
+    let response = client
+        .search_traced(
+            &fasta_for(0),
+            EngineKind::MuBlastp,
+            ParamOverrides::default(),
+            0,
+            true,
+        )
+        .expect("traced search");
+    assert!(response.trace_id > 0, "server must assign a trace id");
+    let trace = response.trace.as_ref().expect("trace requested");
+    assert_eq!(trace.dropped, 0);
+    assert!(trace.spans.iter().all(|s| s.trace_id == response.trace_id));
+
+    use obsv::Stage;
+    let find = |stage: Stage| trace.spans.iter().find(|s| s.stage == stage);
+    let request = find(Stage::Request).expect("Request span");
+    let search = find(Stage::Search).expect("Search span");
+    let queue_wait = find(Stage::QueueWait).expect("QueueWait span");
+
+    // Nesting: QueueWait and Search inside Request; engine stages inside
+    // Search (they run within the engine call the Search span times).
+    let within = |inner: &obsv::SpanRecord, outer: &obsv::SpanRecord| {
+        inner.start_ns >= outer.start_ns
+            && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+    };
+    assert!(within(queue_wait, request), "QueueWait outside Request");
+    assert!(within(search, request), "Search outside Request");
+    for s in &trace.spans {
+        if s.stage.parent() == Some(Stage::Search) {
+            assert!(within(s, search), "{:?} outside Search", s.stage);
+        }
+    }
+
+    // One Seed span per (query, block) — the acceptance shape.
+    let seeds = trace
+        .spans
+        .iter()
+        .filter(|s| s.stage == Stage::Seed)
+        .count();
+    assert_eq!(seeds, ctx.index.blocks().len(), "one query, one span/block");
+    for stage in [Stage::Reorder, Stage::Ungapped, Stage::Finish, Stage::Gapped] {
+        assert!(find(stage).is_some(), "missing {stage:?} span");
+    }
+
+    // The stats frame now carries per-stage digests.
+    let stats = handle.stats();
+    assert!(
+        stats
+            .stages
+            .iter()
+            .any(|sl| sl.stage == Stage::Seed && sl.latency.count >= 1),
+        "stats must digest Seed spans, got {:?}",
+        stats.stages
+    );
+    handle.shutdown();
+}
+
+/// Tracing must be invisible in the results: the same query against a
+/// tracing daemon (spans requested and not) and a plain daemon produces
+/// byte-identical results (E-value bits, tracebacks, everything).
+#[test]
+fn results_are_byte_identical_with_tracing_on_and_off() {
+    let ctx = context(1);
+    let (mut plain_handle, plain_conn) = start(&ctx, BatchOptions::default());
+    let (mut traced_handle, traced_conn) = start(
+        &ctx,
+        BatchOptions {
+            obsv: obsv::ObsvConfig::on(),
+            ..BatchOptions::default()
+        },
+    );
+    let fasta = fasta_for(3);
+    let get = |connector: &LoopbackConnector, want_trace: bool| {
+        let mut client = Client::new(connector.connect().expect("connect"));
+        let resp = client
+            .search_traced(
+                &fasta,
+                EngineKind::MuBlastp,
+                ParamOverrides::default(),
+                0,
+                want_trace,
+            )
+            .expect("search");
+        resp.replies
+            .iter()
+            .map(|r| r.result.clone())
+            .collect::<Vec<_>>()
+    };
+    let baseline = get(&plain_conn, false);
+    assert!(!baseline[0].alignments.is_empty(), "fixture must hit");
+    for (what, got) in [
+        ("traced daemon, no spans requested", get(&traced_conn, false)),
+        ("traced daemon, spans requested", get(&traced_conn, true)),
+    ] {
+        if let Err(diff) = results_identical(&baseline, &got) {
+            panic!("{what}: results differ from untraced run: {diff}");
+        }
+    }
+    plain_handle.shutdown();
+    traced_handle.shutdown();
+}
+
+/// A v1 client must keep working against this server: its frames decode
+/// (trace fields defaulted) and the reply comes back encoded at v1.
+#[test]
+fn v1_client_roundtrips_against_a_v2_server() {
+    use serve::proto::{read_frame_versioned, write_frame_v, Frame, SearchRequest};
+    let ctx = context(1);
+    let (mut handle, connector) = start(&ctx, BatchOptions::default());
+    let mut conn = connector.connect().expect("connect");
+    let req = Frame::Search(SearchRequest {
+        fasta: fasta_for(1),
+        engine: EngineKind::MuBlastp,
+        overrides: ParamOverrides::default(),
+        deadline_ms: 0,
+        trace_id: 0,
+        want_trace: false,
+    });
+    write_frame_v(&mut conn, &req, 1).expect("write v1 frame");
+    let (reply, version) = read_frame_versioned(&mut conn).expect("read reply");
+    assert_eq!(version, 1, "server must answer in the request's version");
+    match reply {
+        Frame::Results(resp) => {
+            assert_eq!(resp.replies.len(), 1);
+            assert!(!resp.replies[0].result.alignments.is_empty());
+            assert_eq!(resp.trace_id, 0, "v1 wire carries no trace id");
+            assert!(resp.trace.is_none());
+        }
+        other => panic!("expected Results, got {other:?}"),
     }
     handle.shutdown();
 }

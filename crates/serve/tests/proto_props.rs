@@ -10,8 +10,8 @@
 
 use engine::{Alignment, QueryResult, StageCounts};
 use serve::proto::{
-    decode_frame, encode_frame, ErrorCode, Frame, LatencySummary, ParamOverrides, QueryReply,
-    SearchRequest, SearchResponse, StatsReport, WireError,
+    decode_frame, encode_frame, encode_frame_v, ErrorCode, Frame, LatencySummary, ParamOverrides,
+    QueryReply, SearchRequest, SearchResponse, StageLatency, StatsReport, WireError,
 };
 
 /// xorshift64* — deterministic pseudo-randomness without `rand`.
@@ -97,6 +97,32 @@ fn random_latency(rng: &mut Rng) -> LatencySummary {
     }
 }
 
+fn random_stage(rng: &mut Rng) -> obsv::Stage {
+    let all = obsv::Stage::ALL;
+    all[rng.usize_below(all.len())]
+}
+
+/// A trace as it appears inside a decoded response: every span stamped
+/// with the response's trace id (the per-span id is not on the wire).
+fn random_trace(rng: &mut Rng, trace_id: u64) -> obsv::Trace {
+    let n = rng.usize_below(6);
+    obsv::Trace {
+        spans: (0..n)
+            .map(|i| obsv::SpanRecord {
+                trace_id,
+                seq: i as u64,
+                stage: random_stage(rng),
+                query: rng.below(8) as u32,
+                block: rng.below(4) as u32,
+                worker: rng.below(4) as u32,
+                start_ns: rng.below(1 << 40),
+                dur_ns: rng.below(1 << 30),
+            })
+            .collect(),
+        dropped: rng.below(4),
+    }
+}
+
 fn random_frame(rng: &mut Rng) -> Frame {
     match rng.below(7) {
         0 => Frame::Search(SearchRequest {
@@ -112,6 +138,8 @@ fn random_frame(rng: &mut Rng) -> Frame {
                 seg_filter: rng.bool().then(|| rng.bool()),
             },
             deadline_ms: rng.below(1 << 20) as u32,
+            trace_id: rng.below(1 << 48),
+            want_trace: rng.bool(),
         }),
         1 => {
             let n_replies = rng.usize_below(4);
@@ -129,7 +157,13 @@ fn random_frame(rng: &mut Rng) -> Frame {
                     }
                 })
                 .collect();
-            Frame::Results(SearchResponse { replies })
+            let trace_id = rng.below(1 << 48);
+            let trace = rng.bool().then(|| random_trace(rng, trace_id));
+            Frame::Results(SearchResponse {
+                replies,
+                trace_id,
+                trace,
+            })
         }
         2 => Frame::Error(WireError {
             code: match rng.below(5) {
@@ -158,6 +192,12 @@ fn random_frame(rng: &mut Rng) -> Frame {
             queue_wait: random_latency(rng),
             search: random_latency(rng),
             total: random_latency(rng),
+            stages: (0..rng.usize_below(4))
+                .map(|_| StageLatency {
+                    stage: random_stage(rng),
+                    latency: random_latency(rng),
+                })
+                .collect(),
         })),
         5 => Frame::Shutdown,
         _ => Frame::ShutdownAck,
@@ -173,6 +213,30 @@ fn random_frames_roundtrip_exactly() {
         match decode_frame(&bytes) {
             Ok(decoded) => assert_eq!(decoded, frame, "case {case}"),
             Err(e) => panic!("case {case}: {frame:?} failed to decode: {e}"),
+        }
+    }
+}
+
+/// Backward compatibility: every frame also encodes at protocol v1
+/// (dropping the v2 observability fields) and still decodes cleanly.
+#[test]
+fn v1_encodings_always_decode() {
+    let mut rng = Rng(0x5EED_0006);
+    for case in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_v(&frame, 1);
+        match decode_frame(&bytes) {
+            Ok(Frame::Search(req)) => {
+                assert_eq!(req.trace_id, 0, "case {case}");
+                assert!(!req.want_trace, "case {case}");
+            }
+            Ok(Frame::Results(resp)) => {
+                assert_eq!(resp.trace_id, 0, "case {case}");
+                assert!(resp.trace.is_none(), "case {case}");
+            }
+            Ok(Frame::Stats(s)) => assert!(s.stages.is_empty(), "case {case}"),
+            Ok(_) => {}
+            Err(e) => panic!("case {case}: v1 encoding failed to decode: {e}"),
         }
     }
 }
