@@ -1,0 +1,102 @@
+//! **Sharded-search scaling** — K per-shard engines vs the serial K=1
+//! baseline (paper Sec. V: partitioned database, whole-database
+//! statistics, byte-identical merge).
+//!
+//! Each row searches the same query batch against the same database split
+//! into K balanced shards with K concurrent shard tasks. Outputs are
+//! verified byte-identical to the unsharded engine before any time is
+//! reported. Two time columns:
+//!
+//! * **wall** — what this machine actually did; on fewer than K cores the
+//!   shard tasks time-slice and the column flattens.
+//! * **makespan** — the longest single shard's search time, i.e. the wall
+//!   time of an ideal K-core run (shards are independent, the merge is
+//!   microseconds). This carries the scaling shape on starved machines,
+//!   like fig9's cycle-model column.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin shards
+//! ```
+
+use bench::{batch_size, default_index, neighbors, query_batch, sprot};
+use dbindex::{IndexConfig, ShardedIndex};
+use engine::{
+    results_identical, search_batch, search_batch_sharded_traced, EngineKind, SearchConfig,
+};
+use obsv::TraceSession;
+use std::time::Instant;
+
+fn main() {
+    let db = sprot();
+    let queries = query_batch(db, 128, batch_size());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "Sharded search scaling — {} residues, {} queries, {} cores\n",
+        db.total_residues(),
+        queries.len(),
+        cores
+    );
+
+    let reference = {
+        let index = default_index(db);
+        let config = SearchConfig::new(EngineKind::MuBlastp);
+        search_batch(db, Some(&index), neighbors(), &queries, &config)
+    };
+
+    let mut report = bench::RunReport::new("shards");
+    report.push("shards/cores", cores as f64, "count");
+
+    println!(
+        "{:>3} {:>10} {:>10} {:>12} {:>14}",
+        "K", "wall (s)", "vs K=1", "makespan (s)", "vs K=1 (ideal)"
+    );
+    let mut wall1 = 0.0f64;
+    let mut makespan1 = 0.0f64;
+    for k in [1usize, 2, 4, 8] {
+        let sharded = ShardedIndex::build_parallel(db, &IndexConfig::default(), k, cores);
+        let session = TraceSession::disabled();
+        let config = SearchConfig::new(EngineKind::MuBlastp).with_threads(k);
+        let t0 = Instant::now();
+        let out = search_batch_sharded_traced(&sharded, neighbors(), &queries, &config, &session);
+        let wall = t0.elapsed().as_secs_f64();
+        results_identical(&reference, &out.results)
+            .unwrap_or_else(|e| panic!("K={k} diverged from the unsharded engine: {e}"));
+        // Ideal-parallel wall time: the slowest shard (LPT makespan),
+        // with per-shard times taken from a *serial* pass so CPU
+        // time-slicing on an undersized machine cannot pollute them.
+        let serial = SearchConfig::new(EngineKind::MuBlastp).with_threads(1);
+        let timed =
+            search_batch_sharded_traced(&sharded, neighbors(), &queries, &serial, &session);
+        results_identical(&reference, &timed.results)
+            .unwrap_or_else(|e| panic!("K={k} serial pass diverged: {e}"));
+        let makespan = timed
+            .timings
+            .iter()
+            .map(|t| t.search.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        if k == 1 {
+            wall1 = wall;
+            makespan1 = makespan;
+        }
+        let speedup_wall = wall1 / wall;
+        let speedup_ideal = makespan1 / makespan;
+        println!(
+            "{:>3} {:>10.3} {:>9.2}x {:>12.3} {:>13.2}x",
+            k, wall, speedup_wall, makespan, speedup_ideal
+        );
+        report.push(format!("shards/k{k}/wall"), wall, "s");
+        report.push(format!("shards/k{k}/speedup_wall"), speedup_wall, "ratio");
+        report.push(format!("shards/k{k}/makespan"), makespan, "s");
+        report.push(format!("shards/k{k}/speedup_ideal"), speedup_ideal, "ratio");
+    }
+
+    println!(
+        "\nOutputs verified byte-identical to the unsharded engine at every K.\n\
+         Expected shape: makespan speedup tracks K while shards stay balanced;\n\
+         wall speedup follows it once the machine has >= K cores."
+    );
+    match report.write() {
+        Ok(path) => eprintln!("shards: run report appended to {}", path.display()),
+        Err(e) => eprintln!("shards: could not write run report: {e}"),
+    }
+}

@@ -14,8 +14,8 @@
 
 use crate::mpi::{run_world, Comm};
 use bioseq::{Sequence, SequenceDb, SequenceId};
-use dbindex::{DbIndex, IndexConfig};
-use engine::{search_batch, Alignment, QueryResult, SearchConfig};
+use dbindex::{DbIndex, IndexConfig, ShardPlan};
+use engine::{merge_shard_alignments, search_batch, Alignment, QueryResult, SearchConfig};
 use scoring::NeighborTable;
 
 /// Outcome of a distributed search.
@@ -41,17 +41,23 @@ pub fn distributed_search(
     ranks: usize,
 ) -> DistributedResult {
     assert!(ranks > 0);
-    // Step 1: length sort + round-robin partitions, remembering the map
-    // from (rank, local id) back to the sorted-database global id.
+    // Step 1: length sort, then the shared shard planner's round-robin
+    // partitioner (the same `dbindex::ShardPlan` the in-process sharded
+    // driver and the cluster simulator use), remembering the map from
+    // (rank, local id) back to the sorted-database global id.
     let sorted = db.sorted_by_length();
     let global_residues = sorted.total_residues();
     let global_seqs = sorted.len();
+    let lens: Vec<usize> = sorted.sequences().iter().map(|s| s.len()).collect();
+    let plan = ShardPlan::round_robin(&lens, ranks);
     let mut partitions: Vec<SequenceDb> = vec![SequenceDb::new(); ranks];
     let mut id_maps: Vec<Vec<SequenceId>> = vec![Vec::new(); ranks];
-    for (gid, seq) in sorted.iter() {
-        let r = gid as usize % ranks;
-        partitions[r].push(seq.clone());
-        id_maps[r].push(gid);
+    for r in 0..ranks {
+        for &gid in plan.members(r) {
+            let gid = gid as SequenceId;
+            partitions[r].push(sorted.get(gid).clone());
+            id_maps[r].push(gid);
+        }
     }
 
     // Steps 2–4 run SPMD: every rank searches its partition, then gathers.
@@ -84,17 +90,11 @@ pub fn distributed_search(
                     local[qi].alignments.extend(alignments);
                 }
             }
-            // Re-rank and truncate exactly like a single-node search.
+            // Re-rank and truncate exactly like a single-node search: the
+            // shared statistics-correct merge (subject-level truncation +
+            // the canonical total order).
             for qr in &mut local {
-                qr.alignments.sort_by(|a, b| {
-                    b.aln
-                        .score
-                        .cmp(&a.aln.score)
-                        .then(a.subject.cmp(&b.subject))
-                        .then(a.aln.q_start.cmp(&b.aln.q_start))
-                        .then(a.aln.s_start.cmp(&b.aln.s_start))
-                });
-                qr.alignments.truncate(config.params.max_reported);
+                merge_shard_alignments(&mut qr.alignments, config.params.max_reported);
                 qr.counts.reported = qr.alignments.len() as u64;
             }
             local
@@ -176,6 +176,43 @@ mod tests {
                     "rank count {ranks}, query {}",
                     a.query_index
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_in_process_sharded_search() {
+        // The MPI path and the in-process sharded driver share the
+        // planner and the merge; given the same partitioning they must
+        // produce the same bytes.
+        let db = toy_db();
+        let sorted = db.sorted_by_length();
+        let queries: Vec<Sequence> = (0..4)
+            .map(|i| {
+                Sequence::from_encoded(format!("q{i}"), db.get(i * 5).residues().to_vec())
+            })
+            .collect();
+        let lens: Vec<usize> = sorted.sequences().iter().map(|s| s.len()).collect();
+        for ranks in [2usize, 5] {
+            let plan = ShardPlan::round_robin(&lens, ranks);
+            let sharded =
+                dbindex::ShardedIndex::build_with_plan(&sorted, &index_config(), &plan);
+            let in_process = engine::search_batch_sharded(
+                &sharded,
+                neighbors(),
+                &queries,
+                &config().with_threads(2),
+            );
+            let dist = distributed_search(
+                &db,
+                &queries,
+                neighbors(),
+                &index_config(),
+                &config(),
+                ranks,
+            );
+            for (a, b) in in_process.iter().zip(&dist.results) {
+                assert_eq!(a.alignments, b.alignments, "ranks {ranks}");
             }
         }
     }

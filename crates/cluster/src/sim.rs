@@ -17,6 +17,7 @@
 //!   scale (the paper measures 31–57 %).
 
 use crate::model::{CalibratedCost, ClusterParams};
+use dbindex::ShardPlan;
 
 /// Result of one simulated run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,17 +40,15 @@ impl SimOutcome {
     }
 }
 
-/// Split `total` work items round-robin after a descending sort — returns
-/// per-bin summed residues. (Round-robin over a length-sorted list is the
-/// paper's partitioner; bins end up within one sequence of each other.)
+/// Per-bin residue totals under the paper's partitioner: sort by length,
+/// deal round-robin. Delegates to the *same* [`ShardPlan`] the sharded
+/// in-process driver and the distributed path use, so the simulator's
+/// partitions are the real planner's partitions (bins end up within one
+/// sequence of each other).
 fn round_robin_residues(seq_lens: &[usize], bins: usize) -> Vec<usize> {
     let mut sorted: Vec<usize> = seq_lens.to_vec();
     sorted.sort_unstable();
-    let mut out = vec![0usize; bins];
-    for (i, len) in sorted.iter().enumerate() {
-        out[i % bins] += len;
-    }
-    out
+    ShardPlan::round_robin(&sorted, bins).residue_totals().to_vec()
 }
 
 /// Contiguous chunk partitioning of the *unsorted* sequence list into
@@ -314,6 +313,25 @@ mod tests {
             "round robin must conserve residues"
         );
         assert_eq!(ch.iter().sum::<usize>(), seq_lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn lpt_plan_balances_at_least_as_well_as_round_robin() {
+        // The in-process sharded driver uses the LPT variant of the same
+        // planner; on the simulator's workload it must not balance worse
+        // than the paper's round-robin dealing.
+        let (seq_lens, _) = workload();
+        for bins in [4usize, 16, 64] {
+            let lpt = ShardPlan::balance(&seq_lens, bins);
+            let mut sorted = seq_lens.clone();
+            sorted.sort_unstable();
+            let rr = ShardPlan::round_robin(&sorted, bins);
+            assert!(lpt.spread() <= rr.spread() + 1e-12, "bins {bins}");
+            assert_eq!(
+                lpt.residue_totals().iter().sum::<usize>(),
+                rr.residue_totals().iter().sum::<usize>()
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct DbSpec {
     pub conservation: f64,
     /// Number of distinct ancestor segments in the pool.
     pub ancestors: usize,
+    /// Per-residue probability of replacing a standard residue with one of
+    /// the special codes B (Asx), Z (Glx) or X (unknown). Real databases
+    /// carry a sprinkling of these — selenocysteine `U` and other rare
+    /// letters fold to X at encode time (see `bioseq::alphabet`), so X here
+    /// stands in for the whole tail. Zero (the constructors' default)
+    /// leaves the residue stream bit-identical to earlier versions.
+    pub special_residue_rate: f64,
 }
 
 impl DbSpec {
@@ -63,6 +70,7 @@ impl DbSpec {
             homology_fraction: 0.35,
             conservation: 0.72,
             ancestors: 64,
+            special_residue_rate: 0.0,
         }
     }
 
@@ -78,7 +86,16 @@ impl DbSpec {
             homology_fraction: 0.35,
             conservation: 0.72,
             ancestors: 64,
+            special_residue_rate: 0.0,
         }
+    }
+
+    /// Sprinkle B/Z/X special residues into every synthesized sequence at
+    /// the given per-residue rate (builder-style; used by the differential
+    /// harness to exercise ambiguity-code scoring paths).
+    pub fn with_special_residues(mut self, rate: f64) -> DbSpec {
+        self.special_residue_rate = rate;
+        self
     }
 
     /// Sample one sequence length.
@@ -95,6 +112,10 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
+
+/// Encoded special residues: B (Asx), Z (Glx), X (unknown) in the 24-letter
+/// NCBI alphabet (`bioseq::alphabet` folds U/J/O to X, so X covers those).
+const SPECIAL_CODES: [u8; 3] = [20, 21, 22];
 
 /// Cumulative table for background residue sampling (20 standard residues).
 fn background_cdf() -> [f64; 20] {
@@ -144,6 +165,16 @@ pub fn synthesize_db(spec: &DbSpec, target_residues: usize, seed: u64) -> Sequen
                     if rng.gen_bool(spec.conservation) {
                         residues[dst + k] = anc[src + k];
                     }
+                }
+            }
+        }
+        if spec.special_residue_rate > 0.0 {
+            // Inject ambiguity codes after homology planting so conserved
+            // segments pick them up too. The rate-0 guard keeps the rng
+            // stream — and thus every existing seeded database — unchanged.
+            for r in residues.iter_mut() {
+                if rng.gen_bool(spec.special_residue_rate) {
+                    *r = SPECIAL_CODES[rng.gen_range(0..SPECIAL_CODES.len())];
                 }
             }
         }
@@ -284,6 +315,37 @@ mod tests {
     fn query_longer_than_everything_panics() {
         let db = synthesize_db(&DbSpec::env_nr(), 10_000, 2);
         sample_queries(&db, 100_000, 1, 0);
+    }
+
+    #[test]
+    fn special_residues_appear_at_requested_rate_and_zero_is_identical() {
+        let base = DbSpec::uniprot_sprot();
+        let plain = synthesize_db(&base, 60_000, 17);
+        // rate 0.0 must not perturb the rng stream: bit-identical output.
+        let zeroed = synthesize_db(&base.clone().with_special_residues(0.0), 60_000, 17);
+        assert_eq!(plain.sequences(), zeroed.sequences());
+
+        let spiked = synthesize_db(&base.with_special_residues(0.05), 60_000, 17);
+        let total: usize = spiked.sequences().iter().map(|s| s.len()).sum();
+        let specials: usize = spiked
+            .sequences()
+            .iter()
+            .flat_map(|s| s.residues())
+            .filter(|&&r| SPECIAL_CODES.contains(&r))
+            .count();
+        let rate = specials as f64 / total as f64;
+        assert!((0.03..=0.07).contains(&rate), "special rate {rate}");
+        // All three codes show up and decode to the expected letters.
+        for (code, letter) in [(20u8, 'B'), (21, 'Z'), (22, 'X')] {
+            assert!(
+                spiked
+                    .sequences()
+                    .iter()
+                    .any(|s| s.residues().contains(&code)),
+                "no {letter} planted"
+            );
+            assert_eq!(bioseq::alphabet::decode_residue(code), letter as u8);
+        }
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod block;
 pub mod config;
 pub mod crc;
 pub mod serial;
+pub mod shard;
 
 pub use block::{BlockSeq, DbIndex, IndexBlock};
 pub use config::{optimal_block_bytes, IndexConfig};
 pub use serial::{read_index, write_index, BlockStream, SerialError};
+pub use shard::{DbShard, ShardPlan, ShardedIndex};

@@ -139,15 +139,8 @@ pub fn finish_query<O: StageObs>(
             });
         }
     }
-    // Best first, fully deterministic.
-    out.sort_by(|a, b| {
-        b.aln
-            .score
-            .cmp(&a.aln.score)
-            .then(a.subject.cmp(&b.subject))
-            .then(a.aln.q_start.cmp(&b.aln.q_start))
-            .then(a.aln.s_start.cmp(&b.aln.s_start))
-    });
+    // Best first, fully deterministic (total order — see compare_alignments).
+    out.sort_by(crate::results::compare_alignments);
     (out, gapped_count)
 }
 

@@ -41,6 +41,7 @@ pub mod longquery;
 pub mod report;
 pub mod results;
 pub mod scratch;
+pub mod sharded;
 pub mod twohit;
 pub mod verify;
 
@@ -51,5 +52,9 @@ pub use hit::{HitPair, KeySpec};
 pub use instrument::{trace_engine, trace_engine_multicore, TraceReport};
 pub use longquery::{search_batch_long, LongQueryConfig};
 pub use report::{tabular_rows, write_tabular, write_tabular_commented, TabularRow};
-pub use results::{split_batch, Alignment, QueryResult, StageCounts};
+pub use results::{compare_alignments, split_batch, Alignment, QueryResult, StageCounts};
+pub use sharded::{
+    merge_shard_alignments, search_batch_sharded, search_batch_sharded_traced, ShardTiming,
+    ShardedOutput,
+};
 pub use verify::results_identical;

@@ -29,6 +29,30 @@ pub struct Alignment {
     pub evalue: f64,
 }
 
+/// Canonical ordering of reported alignments: best raw score first, then
+/// subject id, then query/subject start, then query/subject *end*.
+///
+/// This is the one sort key every result producer uses — the per-query
+/// finish stage, the sharded merge, and the distributed merge — so equal
+/// ranked output never depends on arrival order. The end coordinates
+/// matter: two tracebacks from different seeds can tie on
+/// `(score, subject, q_start, s_start)` and still span different ranges,
+/// and a key that stopped there would let thread or shard scheduling
+/// leak into the reported order. On the full key, alignments that still
+/// compare equal are identical records (`bit_score`/`evalue` are
+/// functions of the score), so the order is total over distinct
+/// alignments.
+pub fn compare_alignments(a: &Alignment, b: &Alignment) -> std::cmp::Ordering {
+    b.aln
+        .score
+        .cmp(&a.aln.score)
+        .then(a.subject.cmp(&b.subject))
+        .then(a.aln.q_start.cmp(&b.aln.q_start))
+        .then(a.aln.s_start.cmp(&b.aln.s_start))
+        .then(a.aln.q_end.cmp(&b.aln.q_end))
+        .then(a.aln.s_end.cmp(&b.aln.s_end))
+}
+
 /// Per-stage work counters (paper Figs. 2 and 6 report these shapes).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageCounts {

@@ -1,0 +1,404 @@
+//! Sharded search: K independent per-shard engines, one statistics-correct
+//! merge (paper Sec. V).
+//!
+//! The paper scales past one index by partitioning the database, searching
+//! the partitions independently, and merging with E-values computed
+//! against the *whole* database. This driver is the in-process version of
+//! that design:
+//!
+//! * shards fan out over the same dynamic scheduler the block loop uses
+//!   (one task per shard, largest shard dispatched first so the straggler
+//!   tail shrinks — LPT, mirroring the query dispatch heuristic);
+//! * each shard task runs the full per-shard pipeline single-threaded with
+//!   its own scratch (parallelism comes from shards; pick `K ≥ threads`),
+//!   with [`SearchConfig::effective_db`] pinned to the **global**
+//!   database size so per-shard E-values and bit scores are already in
+//!   global units;
+//! * the merge re-ranks subjects exactly like the finish stage does
+//!   (best gapped score, then subject id), truncates at the *subject*
+//!   level, and orders alignments with the canonical total order — so the
+//!   output is byte-identical to an unsharded search of the same
+//!   database, which `tests/shard_equivalence.rs` locks in for K up to
+//!   one-sequence-per-shard.
+//!
+//! Why identity holds: a subject's sequences never span shards, the
+//! per-shard subject ranking is order-compatible with the global ranking
+//! restricted to the shard (so each shard's top `max_reported` subjects
+//! are a superset of the global top subjects that live there), and every
+//! per-alignment E-value check already ran against the global search
+//! space inside the shard.
+
+use crate::driver::{search_batch_traced, SearchConfig};
+use crate::results::{compare_alignments, Alignment, QueryResult, StageCounts};
+use bioseq::{Sequence, SequenceId};
+use dbindex::ShardedIndex;
+use obsv::{Stage, Trace, TraceSession, NO_QUERY};
+use parallel::parallel_map_dynamic_with_state;
+use scoring::NeighborTable;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting for one shard of a sharded batch search.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardTiming {
+    /// Shard id (index into [`ShardedIndex::shards`]).
+    pub shard: usize,
+    /// Time the shard task waited for a scheduler worker (queue depth made
+    /// visible as wait: with `K > threads` later shards queue behind
+    /// earlier ones).
+    pub queued: Duration,
+    /// Time the shard's search ran.
+    pub search: Duration,
+}
+
+/// Results of a traced sharded search.
+#[derive(Debug)]
+pub struct ShardedOutput {
+    /// Merged per-query results, byte-identical to an unsharded search.
+    pub results: Vec<QueryResult>,
+    /// Merged spans: one `Shard` span per shard plus the per-shard engine
+    /// spans (whose `block` fields are *shard-local* block ids).
+    pub trace: Trace,
+    /// Per-shard wall-clock timings, indexed by shard id.
+    pub timings: Vec<ShardTiming>,
+}
+
+/// Search a query batch against a sharded database index.
+///
+/// `config.threads` is the number of concurrent shard tasks; each shard
+/// searches single-threaded. E-value statistics use the sharded index's
+/// global database size unless `config.effective_db` overrides it.
+pub fn search_batch_sharded(
+    sharded: &ShardedIndex,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+) -> Vec<QueryResult> {
+    search_batch_sharded_traced(sharded, neighbors, queries, config, &TraceSession::disabled())
+        .results
+}
+
+/// [`search_batch_sharded`] plus per-shard spans and timings. Each shard
+/// task records one [`Stage::Shard`] span whose `block` field carries the
+/// shard id; the per-shard engine spans ride along with shard-local block
+/// ids.
+pub fn search_batch_sharded_traced(
+    sharded: &ShardedIndex,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    session: &TraceSession,
+) -> ShardedOutput {
+    let k = sharded.num_shards();
+    let global = config
+        .effective_db
+        .unwrap_or((sharded.global_residues(), sharded.global_seqs()));
+    // LPT dispatch: largest shard first.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(sharded.shards()[s].db.total_residues()));
+    let epoch = Instant::now();
+    let (per_shard, recorders) = parallel_map_dynamic_with_state(
+        config.threads.max(1),
+        k,
+        1,
+        |w| {
+            let mut rec = session.recorder();
+            rec.set_worker(w as u32);
+            rec
+        },
+        |rec, slot| {
+            let s = order[slot];
+            let shard = &sharded.shards()[s];
+            let started = Instant::now();
+            let mut inner = config.clone();
+            inner.threads = 1;
+            inner.effective_db = Some(global);
+            let (mut results, shard_trace) = search_batch_traced(
+                &shard.db,
+                Some(&shard.index),
+                neighbors,
+                queries,
+                &inner,
+                session,
+            );
+            // Report in global subject ids.
+            for qr in &mut results {
+                for a in &mut qr.alignments {
+                    a.subject = shard.ids[a.subject as usize];
+                }
+            }
+            let done = Instant::now();
+            rec.set_ctx(0, NO_QUERY, s as u32);
+            rec.record_between(Stage::Shard, started, done);
+            let timing = ShardTiming { shard: s, queued: started - epoch, search: done - started };
+            (s, results, shard_trace, timing)
+        },
+    );
+
+    let mut trace = Trace::new();
+    for rec in recorders {
+        trace.absorb(rec);
+    }
+    let mut merged: Vec<QueryResult> = (0..queries.len())
+        .map(|qi| QueryResult {
+            query_index: qi,
+            alignments: Vec::new(),
+            counts: StageCounts::default(),
+        })
+        .collect();
+    let mut timings: Vec<ShardTiming> =
+        vec![ShardTiming { shard: 0, queued: Duration::ZERO, search: Duration::ZERO }; k];
+    for (s, results, shard_trace, timing) in per_shard {
+        trace.merge(shard_trace);
+        timings[s] = timing;
+        for qr in results {
+            let slot = &mut merged[qr.query_index];
+            slot.alignments.extend(qr.alignments);
+            slot.counts.add(&qr.counts);
+        }
+    }
+    for qr in &mut merged {
+        merge_shard_alignments(&mut qr.alignments, config.params.max_reported);
+        qr.counts.reported = qr.alignments.len() as u64;
+    }
+    trace.normalize();
+    ShardedOutput { results: merged, trace, timings }
+}
+
+/// Merge the concatenated alignments of independent database partitions
+/// into the ranked list an unsharded search would report.
+///
+/// Reproduces the finish stage's ranking exactly: subjects are ranked by
+/// `(best gapped score, subject id)` and truncated to `max_reported`
+/// *subjects* (not alignments — a kept subject reports all its
+/// alignments, as `finish_query` does), then the survivors are ordered by
+/// [`compare_alignments`]. Input order is irrelevant: the canonical sort
+/// is a total order over distinct alignments, so any shard or rank
+/// interleaving merges to the same bytes.
+pub fn merge_shard_alignments(alignments: &mut Vec<Alignment>, max_reported: usize) {
+    alignments.sort_by(compare_alignments);
+    // After the canonical sort, subjects first occur in exactly the
+    // finish stage's subject-rank order (best score first, ties toward
+    // the lower subject id), so keeping the first `max_reported` distinct
+    // subjects reproduces its subject-level truncation.
+    let mut kept: Vec<SequenceId> = Vec::new();
+    alignments.retain(|a| {
+        if kept.contains(&a.subject) {
+            true
+        } else if kept.len() < max_reported {
+            kept.push(a.subject);
+            true
+        } else {
+            false
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{search_batch, EngineKind};
+    use crate::results::compare_alignments;
+    use bioseq::SequenceDb;
+    use dbindex::{IndexConfig, ShardPlan};
+    use scoring::{SearchParams, BLOSUM62};
+    use std::sync::OnceLock;
+
+    fn neighbors() -> &'static NeighborTable {
+        static T: OnceLock<NeighborTable> = OnceLock::new();
+        T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+    }
+
+    fn toy_db() -> SequenceDb {
+        let motifs = ["WCHWMYFWCHW", "MKVLAARND", "HILKMFPSTW", "CQEGHILKMF"];
+        (0..30)
+            .map(|i| {
+                let m = motifs[i % motifs.len()];
+                let pad_a = "AG".repeat(3 + i % 5);
+                let pad_b = "VL".repeat(2 + i % 7);
+                Sequence::from_str_checked(format!("s{i}"), &format!("{pad_a}{m}{pad_b}{m}"))
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn index_config() -> IndexConfig {
+        IndexConfig { block_bytes: 1024, offset_bits: 15, frag_overlap: 8 }
+    }
+
+    fn config() -> SearchConfig {
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        SearchConfig::new(EngineKind::MuBlastp).with_params(params)
+    }
+
+    fn queries(db: &SequenceDb) -> Vec<Sequence> {
+        (0..5)
+            .map(|i| Sequence::from_encoded(format!("q{i}"), db.get(i * 5).residues().to_vec()))
+            .collect()
+    }
+
+    /// Satellite: the effective search space under sharding is the global
+    /// database length — sharded output matches the unsharded engine
+    /// bit-for-bit, E-values included.
+    #[test]
+    fn merged_statistics_use_global_search_space() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = config();
+        let index = dbindex::DbIndex::build(&db, &index_config());
+        let reference = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+        let sharded = ShardedIndex::build(&db, &index_config(), 3);
+        let out = search_batch_sharded(&sharded, neighbors(), &queries, &cfg.clone().with_threads(3));
+        assert!(reference.iter().any(|r| !r.alignments.is_empty()));
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.alignments, b.alignments, "query {}", a.query_index);
+        }
+    }
+
+    /// Satellite (convicted mutation): computing E-values from *per-shard*
+    /// database lengths — the bug the global `effective_db` override
+    /// exists to prevent — produces different E-values, so the equality
+    /// test above really does guard the statistics.
+    #[test]
+    fn per_shard_statistics_would_diverge() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = config();
+        let index = dbindex::DbIndex::build(&db, &index_config());
+        let reference = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+        let sharded = ShardedIndex::build(&db, &index_config(), 3);
+        // Mutant merge: each shard computes statistics from its own size.
+        let mut mutant: Vec<Vec<Alignment>> = vec![Vec::new(); queries.len()];
+        for shard in sharded.shards() {
+            let local = search_batch(&shard.db, Some(&shard.index), neighbors(), &queries, &cfg);
+            for (qi, qr) in local.into_iter().enumerate() {
+                mutant[qi].extend(qr.alignments.into_iter().map(|mut a| {
+                    a.subject = shard.ids[a.subject as usize];
+                    a
+                }));
+            }
+        }
+        let mut diverged = false;
+        for (qi, alignments) in mutant.iter_mut().enumerate() {
+            merge_shard_alignments(alignments, cfg.params.max_reported);
+            for (a, b) in reference[qi].alignments.iter().zip(alignments.iter()) {
+                // Shard databases are smaller than the whole, so the
+                // mutant's effective search space — and E-value — shifts.
+                // (The direction can flip on tiny databases: the Karlin
+                // length adjustment shrinks with the space, which inflates
+                // the m' factor — so only divergence is asserted.)
+                if a.subject == b.subject && (a.evalue - b.evalue).abs() > 1e-12 * a.evalue {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "per-shard statistics must be observably wrong");
+    }
+
+    /// The merge truncates at the subject level, exactly like the finish
+    /// stage: a kept subject reports all its alignments, and the cut
+    /// falls on subjects ranked past `max_reported`.
+    #[test]
+    fn merge_truncates_subjects_not_alignments() {
+        let mk = |subject: SequenceId, score: i32, q_start: u32| Alignment {
+            subject,
+            aln: align::GappedAlignment {
+                score,
+                q_start,
+                q_end: q_start + 10,
+                s_start: 0,
+                s_end: 10,
+                ops: Vec::new(),
+            },
+            bit_score: score as f64,
+            evalue: 1.0 / score as f64,
+        };
+        // Subject 7: best 100 plus a weak 20. Subject 3: best 90.
+        // Subject 5: best 50 — ranked third, must be cut at max=2 even
+        // though its score beats subject 7's weak alignment.
+        let mut alignments = vec![mk(5, 50, 0), mk(7, 20, 4), mk(3, 90, 0), mk(7, 100, 0)];
+        merge_shard_alignments(&mut alignments, 2);
+        let got: Vec<(SequenceId, i32)> =
+            alignments.iter().map(|a| (a.subject, a.aln.score)).collect();
+        assert_eq!(got, vec![(7, 100), (3, 90), (7, 20)]);
+    }
+
+    /// Pin: the canonical order is a total order over distinct
+    /// alignments, so any input permutation merges identically — the
+    /// property that makes results independent of shard/thread arrival
+    /// order. Also convicts the old 4-field key: these records tie on
+    /// `(score, subject, q_start, s_start)` and only the end coordinates
+    /// separate them.
+    #[test]
+    fn merge_order_ignores_arrival_order() {
+        let mk = |q_end: u32, s_end: u32| Alignment {
+            subject: 1,
+            aln: align::GappedAlignment {
+                score: 42,
+                q_start: 0,
+                q_end,
+                s_start: 0,
+                s_end,
+                ops: Vec::new(),
+            },
+            bit_score: 10.0,
+            evalue: 0.5,
+        };
+        let a = mk(10, 12);
+        let b = mk(10, 14);
+        let c = mk(11, 12);
+        assert_eq!(compare_alignments(&a, &b), std::cmp::Ordering::Less);
+        assert_eq!(compare_alignments(&b, &c), std::cmp::Ordering::Less);
+        let mut fwd = vec![a.clone(), b.clone(), c.clone()];
+        let mut rev = vec![c, b, a];
+        merge_shard_alignments(&mut fwd, 10);
+        merge_shard_alignments(&mut rev, 10);
+        assert_eq!(fwd, rev);
+    }
+
+    /// Degenerate plans search fine: empty shards contribute nothing and
+    /// a one-sequence-per-shard plan still merges to the reference.
+    #[test]
+    fn empty_and_singleton_shards() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = config();
+        let index = dbindex::DbIndex::build(&db, &index_config());
+        let reference = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+        for k in [db.len(), db.len() + 5] {
+            let plan = ShardPlan::balance_db(&db, k);
+            let sharded = ShardedIndex::build_with_plan(&db, &index_config(), &plan);
+            let out =
+                search_batch_sharded(&sharded, neighbors(), &queries, &cfg.clone().with_threads(4));
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.alignments, b.alignments, "k={k} query {}", a.query_index);
+            }
+        }
+    }
+
+    /// Traced sharded search: results unperturbed, one Shard span per
+    /// shard (empty shards included), timings indexed by shard id.
+    #[test]
+    fn traced_shard_spans_and_timings() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = config().with_threads(2);
+        let sharded = ShardedIndex::build(&db, &index_config(), 4);
+        let plain = search_batch_sharded(&sharded, neighbors(), &queries, &cfg);
+        let session = TraceSession::new(obsv::ObsvConfig::on());
+        let out = search_batch_sharded_traced(&sharded, neighbors(), &queries, &cfg, &session);
+        assert_eq!(plain, out.results);
+        let shard_spans: Vec<u32> = out
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::Shard)
+            .map(|s| s.block)
+            .collect();
+        assert_eq!(shard_spans, vec![0, 1, 2, 3]);
+        assert_eq!(out.timings.len(), 4);
+        for (s, t) in out.timings.iter().enumerate() {
+            assert_eq!(t.shard, s);
+        }
+    }
+}

@@ -45,11 +45,15 @@ pub enum Stage {
     Search,
     /// A whole client request, admission to reply.
     Request,
+    /// One database shard searched by the sharded driver: the span's
+    /// `block` field carries the *shard id* (shards contain whole blocks,
+    /// so the two namespaces never collide within one span).
+    Shard,
 }
 
 impl Stage {
     /// Every stage, in code order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Seed,
         Stage::TwoHit,
         Stage::Reorder,
@@ -59,6 +63,7 @@ impl Stage {
         Stage::QueueWait,
         Stage::Search,
         Stage::Request,
+        Stage::Shard,
     ];
 
     /// Stable numeric code (used on the wire and in exports).
@@ -73,6 +78,7 @@ impl Stage {
             Stage::QueueWait => 7,
             Stage::Search => 8,
             Stage::Request => 9,
+            Stage::Shard => 10,
         }
     }
 
@@ -93,6 +99,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::Search => "search",
             Stage::Request => "request",
+            Stage::Shard => "shard",
         }
     }
 
@@ -105,6 +112,7 @@ impl Stage {
             Stage::Request => None,
             Stage::QueueWait | Stage::Search => Some(Stage::Request),
             Stage::Gapped => Some(Stage::Finish),
+            Stage::Shard => Some(Stage::Search),
             Stage::Seed | Stage::TwoHit | Stage::Reorder | Stage::Ungapped | Stage::Finish => {
                 Some(Stage::Search)
             }

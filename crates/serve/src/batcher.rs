@@ -28,7 +28,7 @@
 use crate::proto::{ErrorCode, ParamOverrides, WireError};
 use crate::stats::ServeStats;
 use bioseq::{Sequence, SequenceDb};
-use dbindex::DbIndex;
+use dbindex::{DbIndex, ShardedIndex};
 use engine::{split_batch, EngineKind, QueryResult, SearchConfig};
 use obsv::{ObsvConfig, Stage, Trace, TraceSession, NO_BLOCK, NO_QUERY};
 use scoring::NeighborTable;
@@ -39,12 +39,42 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The resident index a daemon serves from: either one monolithic block
+/// index, or K per-shard indexes searched concurrently and merged with
+/// global-database statistics (paper Sec. V; `mublastpd --shards K`).
+/// Sharding is invisible in the results — the merge is byte-identical to
+/// an unsharded search — so the choice is purely an execution-shape knob.
+pub enum ResidentIndex {
+    /// One index over the whole database (the default).
+    Single(DbIndex),
+    /// A partitioned database with one index per shard.
+    Sharded(ShardedIndex),
+}
+
+impl ResidentIndex {
+    /// The monolithic index, when this is the unsharded variant.
+    pub fn as_single(&self) -> Option<&DbIndex> {
+        match self {
+            ResidentIndex::Single(index) => Some(index),
+            ResidentIndex::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded index, when this is the sharded variant.
+    pub fn as_sharded(&self) -> Option<&ShardedIndex> {
+        match self {
+            ResidentIndex::Single(_) => None,
+            ResidentIndex::Sharded(sharded) => Some(sharded),
+        }
+    }
+}
+
 /// Everything the daemon loads once and then serves from: the database,
-/// its resident index, the neighbor table, and the base search
-/// configuration (threads, chunking, sort algorithm).
+/// its resident index (monolithic or sharded), the neighbor table, and
+/// the base search configuration (threads, chunking, sort algorithm).
 pub struct SearchContext {
     pub db: SequenceDb,
-    pub index: DbIndex,
+    pub index: ResidentIndex,
     pub neighbors: NeighborTable,
     pub base: SearchConfig,
 }
@@ -212,6 +242,16 @@ impl Batcher {
     pub fn new(ctx: Arc<SearchContext>, opts: BatchOptions, stats: Arc<ServeStats>) -> Batcher {
         assert!(opts.queue_cap > 0, "queue_cap must be positive");
         assert!(opts.max_batch > 0, "max_batch must be positive");
+        if let ResidentIndex::Sharded(sharded) = &ctx.index {
+            // Declare the shard layout once so stats frames carry one
+            // row per shard from the first snapshot on.
+            let info: Vec<(u64, u64)> = sharded
+                .shards()
+                .iter()
+                .map(|s| (s.db.len() as u64, s.db.total_residues() as u64))
+                .collect();
+            stats.init_shards(&info);
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -430,14 +470,27 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
         TraceSession::disabled()
     };
     let searched_at = Instant::now();
-    let (results, mut trace) = engine::search_batch_traced(
-        &shared.ctx.db,
-        Some(&shared.ctx.index),
-        &shared.ctx.neighbors,
-        &all_queries,
-        &config,
-        &session,
-    );
+    let (results, mut trace) = match &shared.ctx.index {
+        ResidentIndex::Single(index) => engine::search_batch_traced(
+            &shared.ctx.db,
+            Some(index),
+            &shared.ctx.neighbors,
+            &all_queries,
+            &config,
+            &session,
+        ),
+        ResidentIndex::Sharded(sharded) => {
+            let out = engine::search_batch_sharded_traced(
+                sharded,
+                &shared.ctx.neighbors,
+                &all_queries,
+                &config,
+                &session,
+            );
+            shared.stats.on_shard_batch(&out.timings);
+            (out.results, out.trace)
+        }
+    };
     let search_done = Instant::now();
     shared
         .stats
@@ -494,8 +547,8 @@ mod tests {
     use dbindex::IndexConfig;
     use scoring::BLOSUM62;
 
-    fn context() -> Arc<SearchContext> {
-        let db: SequenceDb = [
+    fn fixture_db() -> SequenceDb {
+        [
             "MARNDWWWCQEG",
             "WWWHILKMFPST",
             "ARNDARNDARND",
@@ -504,8 +557,10 @@ mod tests {
         .iter()
         .enumerate()
         .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
-        .collect();
-        let index = DbIndex::build(&db, &IndexConfig::default());
+        .collect()
+    }
+
+    fn context_with(index: ResidentIndex, db: SequenceDb) -> Arc<SearchContext> {
         let neighbors = NeighborTable::build(&BLOSUM62, 11);
         let mut base = SearchConfig::new(EngineKind::MuBlastp);
         base.params.evalue_cutoff = 1e9;
@@ -515,6 +570,22 @@ mod tests {
             neighbors,
             base,
         })
+    }
+
+    fn context() -> Arc<SearchContext> {
+        let db = fixture_db();
+        let index = ResidentIndex::Single(DbIndex::build(&db, &IndexConfig::default()));
+        context_with(index, db)
+    }
+
+    fn sharded_context(shards: usize) -> Arc<SearchContext> {
+        let db = fixture_db();
+        let index = ResidentIndex::Sharded(dbindex::ShardedIndex::build(
+            &db,
+            &IndexConfig::default(),
+            shards,
+        ));
+        context_with(index, db)
     }
 
     fn query(ctx: &SearchContext, i: u32) -> Vec<Sequence> {
@@ -548,6 +619,56 @@ mod tests {
         assert!(out.results[0].alignments.iter().any(|a| a.subject == 0));
         assert!(out.trace_id > 0, "every admission gets a trace id");
         assert!(out.trace.is_empty(), "tracing is off by default");
+    }
+
+    /// A sharded context answers with exactly the bytes the monolithic
+    /// context produces, and every dispatch feeds the per-shard stats
+    /// rows (one row per shard, counted once per dispatched batch).
+    #[test]
+    fn sharded_context_matches_single_and_feeds_shard_rows() {
+        let opts = BatchOptions {
+            queue_cap: 8,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..BatchOptions::default()
+        };
+        let single_ctx = context();
+        let single = Batcher::new(Arc::clone(&single_ctx), opts, Arc::new(ServeStats::new()));
+        let stats = Arc::new(ServeStats::new());
+        let sharded_ctx = sharded_context(3);
+        let sharded = Batcher::new(Arc::clone(&sharded_ctx), opts, Arc::clone(&stats));
+        for i in 0..4u32 {
+            let rx_a = single
+                .submit(
+                    query(&single_ctx, i),
+                    EngineKind::MuBlastp,
+                    &Default::default(),
+                    None,
+                )
+                .unwrap();
+            let rx_b = sharded
+                .submit(
+                    query(&sharded_ctx, i),
+                    EngineKind::MuBlastp,
+                    &Default::default(),
+                    None,
+                )
+                .unwrap();
+            let a = rx_a.recv().unwrap().unwrap();
+            let b = rx_b.recv().unwrap().unwrap();
+            assert_eq!(a.results, b.results, "query {i}");
+        }
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.shards.len(), 3, "one stats row per shard");
+        let total_seqs: u64 = report.shards.iter().map(|s| s.seqs).sum();
+        assert_eq!(total_seqs, sharded_ctx.db.len() as u64);
+        for row in &report.shards {
+            assert_eq!(
+                row.search.count, report.batches,
+                "every dispatch touches every shard"
+            );
+            assert_eq!(row.queued.count, row.search.count);
+        }
     }
 
     #[test]

@@ -144,6 +144,21 @@ fn run() -> Result<(), (u8, String)> {
                 sl.latency.max_us
             );
         }
+        for sh in &s.shards {
+            println!(
+                "shard[{}]        seqs={} residues={} searches={} \
+                 queued p50={}us p99={}us | search p50={}us p99={}us max={}us",
+                sh.shard,
+                sh.seqs,
+                sh.residues,
+                sh.search.count,
+                sh.queued.p50_us,
+                sh.queued.p99_us,
+                sh.search.p50_us,
+                sh.search.p99_us,
+                sh.search.max_us
+            );
+        }
         return Ok(());
     }
 

@@ -1,10 +1,17 @@
 //! The muBLASTP daemon: load the database and index once, serve forever.
 //!
 //! ```text
-//! mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
+//! mublastpd --db db.fasta [--index db.mbi] [--shards K]
+//!           [--listen 127.0.0.1:7878]
 //!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
 //!           [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]
 //! ```
+//!
+//! `--shards K` partitions the database into K balanced shards, each with
+//! its own index, searched concurrently (one engine per shard, fanned
+//! over `--threads` workers) and merged with whole-database statistics —
+//! results are byte-identical to the unsharded daemon, and the stats
+//! frame grows one queue-wait/search-latency row per shard.
 //!
 //! `--trace` enables per-stage span recording; clients that ask for a
 //! trace (`mublastp-query --trace out.json`) then get their spans back,
@@ -23,16 +30,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bioseq::{read_fasta, Sequence, SequenceDb};
-use dbindex::{DbIndex, IndexConfig};
+use dbindex::{DbIndex, IndexConfig, ShardedIndex};
 use engine::{EngineKind, SearchConfig};
 use scoring::{NeighborTable, BLOSUM62};
-use serve::{serve, BatchOptions, SearchContext, TcpTransport};
+use serve::{serve, BatchOptions, ResidentIndex, SearchContext, TcpTransport};
 
 const USAGE: &str = "\
 mublastpd — resident-index muBLASTP search daemon
 
 USAGE:
-  mublastpd --db db.fasta [--index db.mbi] [--listen 127.0.0.1:7878]
+  mublastpd --db db.fasta [--index db.mbi] [--shards K]
+            [--listen 127.0.0.1:7878]
             [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
             [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]";
 
@@ -96,9 +104,19 @@ fn run() -> Result<(), (u8, String)> {
     let max_hits: usize = flags.parse("--max-hits", 25usize).map_err(usage)?;
     let trace_on = args.iter().any(|a| a == "--trace");
     let slow_query_us: u64 = flags.parse("--slow-query-us", 0u64).map_err(usage)?;
+    let shards: usize = flags.parse("--shards", 1usize).map_err(usage)?;
     if queue_cap == 0 || max_batch == 0 {
         return Err(usage(
             "--queue-cap and --max-batch must be positive".to_string(),
+        ));
+    }
+    if shards == 0 {
+        return Err(usage("--shards must be positive".to_string()));
+    }
+    if shards > 1 && flags.get("--index").is_some() {
+        return Err(usage(
+            "--index cannot be combined with --shards (per-shard indexes are built in-process)"
+                .to_string(),
         ));
     }
 
@@ -107,25 +125,47 @@ fn run() -> Result<(), (u8, String)> {
         .map_err(|e| (EXIT_LOAD, e))?
         .into_iter()
         .collect();
-    let index = match flags.get("--index") {
-        Some(path) => {
-            let bytes =
-                std::fs::read(path).map_err(|e| (EXIT_LOAD, format!("cannot read {path}: {e}")))?;
-            dbindex::read_index(&bytes).map_err(|e| (EXIT_LOAD, format!("{path}: {e}")))?
+    let index = if shards > 1 {
+        let sharded = ShardedIndex::build_parallel(&db, &IndexConfig::default(), shards, threads);
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            eprintln!(
+                "mublastpd: shard {i}: {} sequences / {} residues / {} index blocks",
+                shard.db.len(),
+                shard.db.total_residues(),
+                shard.index.blocks().len()
+            );
         }
-        None => DbIndex::build_parallel(&db, &IndexConfig::default(), threads),
+        ResidentIndex::Sharded(sharded)
+    } else {
+        ResidentIndex::Single(match flags.get("--index") {
+            Some(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| (EXIT_LOAD, format!("cannot read {path}: {e}")))?;
+                dbindex::read_index(&bytes).map_err(|e| (EXIT_LOAD, format!("{path}: {e}")))?
+            }
+            None => DbIndex::build_parallel(&db, &IndexConfig::default(), threads),
+        })
     };
     let neighbors = NeighborTable::build(&BLOSUM62, 11);
     let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
     base.params.evalue_cutoff = evalue;
     base.params.max_reported = max_hits;
-    eprintln!(
-        "mublastpd: loaded {} sequences / {} residues, {} index blocks, {} threads",
-        db.len(),
-        db.total_residues(),
-        index.blocks().len(),
-        threads
-    );
+    match &index {
+        ResidentIndex::Single(index) => eprintln!(
+            "mublastpd: loaded {} sequences / {} residues, {} index blocks, {} threads",
+            db.len(),
+            db.total_residues(),
+            index.blocks().len(),
+            threads
+        ),
+        ResidentIndex::Sharded(sharded) => eprintln!(
+            "mublastpd: loaded {} sequences / {} residues, {} shards, {} threads",
+            db.len(),
+            db.total_residues(),
+            sharded.num_shards(),
+            threads
+        ),
+    }
 
     let transport = TcpTransport::bind(listen)
         .map_err(|e| (EXIT_BIND, format!("cannot listen on {listen}: {e}")))?;

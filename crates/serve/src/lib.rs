@@ -36,12 +36,12 @@ pub mod server;
 pub mod stats;
 pub mod transport;
 
-pub use batcher::{BatchOptions, BatchOutput, Batcher, SearchContext, SubmitError};
+pub use batcher::{BatchOptions, BatchOutput, Batcher, ResidentIndex, SearchContext, SubmitError};
 pub use client::{Client, ClientError};
 pub use loopback::{loopback, LoopbackConn, LoopbackConnector, LoopbackTransport};
 pub use proto::{
-    ErrorCode, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse, StageLatency,
-    StatsReport, WireError,
+    ErrorCode, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse, ShardStat,
+    StageLatency, StatsReport, WireError,
 };
 pub use server::{serve, ServerHandle};
 pub use stats::ServeStats;

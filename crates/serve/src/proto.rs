@@ -19,12 +19,14 @@
 //! ## Versioning
 //!
 //! Version 2 added observability fields (per-request trace ids, optional
-//! span traces in results, per-stage latency digests in stats). The
-//! protocol stays backward compatible: a peer may speak any version in
-//! `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are *appended* to v1
-//! payloads and simply omitted when encoding for a v1 peer, and the
-//! server always answers with the version the request arrived in (see
-//! [`read_frame_versioned`] / [`write_frame_v`]).
+//! span traces in results, per-stage latency digests in stats). Version 3
+//! added per-shard rows to the stats frame (sharded daemons,
+//! `mublastpd --shards K`). The protocol stays backward compatible: a
+//! peer may speak any version in `MIN_PROTO_VERSION..=PROTO_VERSION`,
+//! new fields are *appended* to older payloads and simply omitted when
+//! encoding for an older peer, and the server always answers with the
+//! version the request arrived in (see [`read_frame_versioned`] /
+//! [`write_frame_v`]).
 
 use engine::{Alignment, QueryResult, StageCounts};
 use std::fmt;
@@ -34,10 +36,11 @@ use std::io::{self, Read, Write};
 pub const MAGIC: &[u8; 4] = b"MUBQ";
 /// Newest protocol version this build speaks (and the default for
 /// encoding). v2 added trace ids, optional span traces, and per-stage
-/// latency digests.
-pub const PROTO_VERSION: u32 = 2;
-/// Oldest protocol version still accepted. v1 frames decode with the v2
-/// fields at their defaults (no trace requested, no stage digests).
+/// latency digests; v3 added per-shard stats rows.
+pub const PROTO_VERSION: u32 = 3;
+/// Oldest protocol version still accepted. Older frames decode with the
+/// newer fields at their defaults (no trace requested, no stage digests,
+/// no shard rows).
 pub const MIN_PROTO_VERSION: u32 = 1;
 /// Upper bound on a single frame's payload (defensive: a corrupt or
 /// hostile length field must not trigger a giant allocation).
@@ -230,6 +233,10 @@ pub struct StatsReport {
     /// Per-pipeline-stage span latency digests, populated when the daemon
     /// runs with tracing enabled (v2+ only; dropped on the v1 wire).
     pub stages: Vec<StageLatency>,
+    /// Per-shard rows, one per database shard in shard order; empty
+    /// unless the daemon serves a sharded index (v3+ only; dropped on
+    /// older wires).
+    pub shards: Vec<ShardStat>,
 }
 
 /// Latency digest for one traced pipeline stage.
@@ -237,6 +244,22 @@ pub struct StatsReport {
 pub struct StageLatency {
     pub stage: obsv::Stage,
     pub latency: LatencySummary,
+}
+
+/// One database shard's health row in a sharded daemon (v3+).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard id (position in the shard plan).
+    pub shard: u32,
+    /// Sequences resident in this shard.
+    pub seqs: u64,
+    /// Residues resident in this shard.
+    pub residues: u64,
+    /// Per-dispatch scheduler wait — how long the shard's task sat queued
+    /// behind other shards (queue depth made visible as latency).
+    pub queued: LatencySummary,
+    /// Per-dispatch search time on this shard.
+    pub search: LatencySummary,
 }
 
 /// Every message that can cross the wire.
@@ -384,6 +407,7 @@ fn frame_type(frame: &Frame) -> u8 {
 
 fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
     let v2 = version >= 2;
+    let v3 = version >= 3;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -459,6 +483,16 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                 for sl in &s.stages {
                     put_u8(&mut p, sl.stage.code());
                     put_latency(&mut p, &sl.latency);
+                }
+            }
+            if v3 {
+                put_u32(&mut p, s.shards.len() as u32);
+                for sh in &s.shards {
+                    put_u32(&mut p, sh.shard);
+                    put_u64(&mut p, sh.seqs);
+                    put_u64(&mut p, sh.residues);
+                    put_latency(&mut p, &sh.queued);
+                    put_latency(&mut p, &sh.search);
                 }
             }
         }
@@ -654,6 +688,7 @@ fn get_trace(data: &mut &[u8], trace_id: u64) -> Result<obsv::Trace, ProtoError>
 
 fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, ProtoError> {
     let v2 = version >= 2;
+    let v3 = version >= 3;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -759,6 +794,23 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             } else {
                 Vec::new()
             };
+            let shards = if v3 {
+                let n = get_u32(data)? as usize;
+                // Each shard row is 84 bytes; cap pre-allocation.
+                let mut shards = Vec::with_capacity(n.min(data.len() / 84 + 1));
+                for _ in 0..n {
+                    shards.push(ShardStat {
+                        shard: get_u32(data)?,
+                        seqs: get_u64(data)?,
+                        residues: get_u64(data)?,
+                        queued: get_latency(data)?,
+                        search: get_latency(data)?,
+                    });
+                }
+                shards
+            } else {
+                Vec::new()
+            };
             Frame::Stats(Box::new(StatsReport {
                 queue_depth,
                 queue_cap,
@@ -773,6 +825,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 search,
                 total,
                 stages,
+                shards,
             }))
         }
         6 => Frame::Shutdown,
@@ -953,6 +1006,47 @@ mod tests {
         match decode_frame(&encode_frame_v(&f, 1)) {
             Ok(Frame::Stats(got)) => assert!(got.stages.is_empty()),
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_shard_rows_survive_v3_and_vanish_on_older_wires() {
+        let report = StatsReport {
+            shards: vec![
+                ShardStat {
+                    shard: 0,
+                    seqs: 10,
+                    residues: 1234,
+                    queued: LatencySummary {
+                        count: 3,
+                        p50_us: 1,
+                        p99_us: 9,
+                        max_us: 11,
+                    },
+                    search: LatencySummary {
+                        count: 3,
+                        p50_us: 400,
+                        p99_us: 900,
+                        max_us: 950,
+                    },
+                },
+                ShardStat {
+                    shard: 1,
+                    seqs: 9,
+                    residues: 1190,
+                    ..ShardStat::default()
+                },
+            ],
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        // A v2 or v1 peer never sees the rows — append-only versioning.
+        for v in [1, 2] {
+            match decode_frame(&encode_frame_v(&f, v)) {
+                Ok(Frame::Stats(got)) => assert!(got.shards.is_empty(), "version {v}"),
+                other => panic!("expected Stats, got {other:?}"),
+            }
         }
     }
 

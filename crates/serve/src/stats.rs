@@ -7,7 +7,8 @@
 //! upper edge of the bucket holding the requested rank — a ≤2× bound,
 //! plenty for "is the queue melting" dashboards.
 
-use crate::proto::{LatencySummary, StageLatency, StatsReport};
+use crate::proto::{LatencySummary, ShardStat, StageLatency, StatsReport};
+use engine::ShardTiming;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -91,6 +92,16 @@ impl Default for LatencyRecorder {
     }
 }
 
+/// One shard's counters in a sharded daemon: the static shard shape plus
+/// the scheduler-wait and search-time digests fed on every dispatch.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    seqs: u64,
+    residues: u64,
+    queued: LatencyRecorder,
+    search: LatencyRecorder,
+}
+
 /// Everything the stats frame reports, behind one lock.
 #[derive(Debug, Default)]
 struct Inner {
@@ -107,6 +118,9 @@ struct Inner {
     /// One recorder per traced pipeline stage, indexed by
     /// `Stage::code() - 1`. Only fed when the daemon traces.
     stage_lat: [LatencyRecorder; obsv::Stage::ALL.len()],
+    /// One slot per database shard; empty unless the daemon serves a
+    /// sharded index (see [`ServeStats::init_shards`]).
+    shards: Vec<ShardSlot>,
 }
 
 /// Shared, thread-safe service counters.
@@ -167,6 +181,37 @@ impl ServeStats {
         s.total.record(total);
     }
 
+    /// Declare the shard layout of a sharded daemon (`(sequences,
+    /// residues)` per shard, in shard order). Called once at startup;
+    /// every snapshot thereafter carries one [`ShardStat`] row per shard,
+    /// even before the first dispatch.
+    pub fn init_shards(&self, info: &[(u64, u64)]) {
+        let mut s = lock(&self.inner);
+        s.shards = info
+            .iter()
+            .map(|&(seqs, residues)| ShardSlot {
+                seqs,
+                residues,
+                queued: LatencyRecorder::new(),
+                search: LatencyRecorder::new(),
+            })
+            .collect();
+    }
+
+    /// Record one sharded dispatch: each shard's scheduler wait (queue
+    /// depth made visible as latency) and search time land in that
+    /// shard's digests. Timings for shards never declared via
+    /// [`ServeStats::init_shards`] are ignored.
+    pub fn on_shard_batch(&self, timings: &[ShardTiming]) {
+        let mut s = lock(&self.inner);
+        for t in timings {
+            if let Some(slot) = s.shards.get_mut(t.shard) {
+                slot.queued.record(t.queued);
+                slot.search.record(t.search);
+            }
+        }
+    }
+
     /// Digest the span durations of a traced batch into the per-stage
     /// latency recorders. A no-op for empty traces, so untraced
     /// deployments never take the lock here.
@@ -206,6 +251,18 @@ impl ServeStats {
                         stage,
                         latency: summary,
                     })
+                })
+                .collect(),
+            shards: s
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, sh)| ShardStat {
+                    shard: i as u32,
+                    seqs: sh.seqs,
+                    residues: sh.residues,
+                    queued: sh.queued.summary(),
+                    search: sh.search.summary(),
                 })
                 .collect(),
         }
@@ -337,6 +394,44 @@ mod tests {
         let report = stats.snapshot(0, 8);
         assert_eq!(report.batch_hist, vec![1, 0, 2]);
         assert_eq!(report.batches, 3);
+    }
+
+    #[test]
+    fn shard_rows_carry_shape_and_per_dispatch_digests() {
+        let stats = ServeStats::new();
+        // No rows before the layout is declared.
+        assert!(stats.snapshot(0, 4).shards.is_empty());
+        stats.init_shards(&[(10, 1_000), (12, 900)]);
+        // Declared but idle: rows appear with empty digests.
+        let idle = stats.snapshot(0, 4);
+        assert_eq!(idle.shards.len(), 2);
+        assert_eq!(idle.shards[1].seqs, 12);
+        assert_eq!(idle.shards[1].residues, 900);
+        assert_eq!(idle.shards[0].search.count, 0);
+        stats.on_shard_batch(&[
+            ShardTiming {
+                shard: 0,
+                queued: Duration::from_micros(3),
+                search: Duration::from_micros(700),
+            },
+            ShardTiming {
+                shard: 1,
+                queued: Duration::from_micros(650),
+                search: Duration::from_micros(500),
+            },
+            // Out-of-range shard ids are ignored, not a panic.
+            ShardTiming {
+                shard: 9,
+                queued: Duration::ZERO,
+                search: Duration::ZERO,
+            },
+        ]);
+        let report = stats.snapshot(0, 4);
+        assert_eq!(report.shards[0].shard, 0);
+        assert_eq!(report.shards[0].search.count, 1);
+        assert!(report.shards[0].search.max_us >= 500);
+        assert_eq!(report.shards[1].queued.count, 1);
+        assert!(report.shards[1].queued.max_us >= 512);
     }
 
     #[test]

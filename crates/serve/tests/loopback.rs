@@ -18,7 +18,7 @@ use scoring::{NeighborTable, BLOSUM62};
 use serve::proto::ErrorCode;
 use serve::{
     loopback, serve, BatchOptions, Client, ClientError, LoopbackConnector, ParamOverrides,
-    SearchContext, ServerHandle,
+    ResidentIndex, SearchContext, ServerHandle,
 };
 
 /// A small database with deliberate shared motifs so every query aligns.
@@ -35,9 +35,8 @@ const DB: &[&str] = &[
     "NDWWWCQEGHILKWWWMFPSTWYVARNDMAR",
 ];
 
-fn context(threads: usize) -> Arc<SearchContext> {
-    let db: SequenceDb = DB
-        .iter()
+fn fixture_db() -> SequenceDb {
+    DB.iter()
         .enumerate()
         .map(
             |(i, s)| match Sequence::from_str_checked(format!("subj{i}"), s) {
@@ -45,11 +44,33 @@ fn context(threads: usize) -> Arc<SearchContext> {
                 Err(b) => panic!("bad residue {b} in fixture"),
             },
         )
-        .collect();
-    let index = DbIndex::build(&db, &IndexConfig::default());
+        .collect()
+}
+
+fn context(threads: usize) -> Arc<SearchContext> {
+    let db = fixture_db();
+    let index = ResidentIndex::Single(DbIndex::build(&db, &IndexConfig::default()));
     let neighbors = NeighborTable::build(&BLOSUM62, 11);
     let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
     base.params.evalue_cutoff = 1e6; // accept everything the heuristic finds
+    Arc::new(SearchContext {
+        db,
+        index,
+        neighbors,
+        base,
+    })
+}
+
+fn sharded_context(threads: usize, shards: usize) -> Arc<SearchContext> {
+    let db = fixture_db();
+    let index = ResidentIndex::Sharded(dbindex::ShardedIndex::build(
+        &db,
+        &IndexConfig::default(),
+        shards,
+    ));
+    let neighbors = NeighborTable::build(&BLOSUM62, 11);
+    let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
+    base.params.evalue_cutoff = 1e6;
     Arc::new(SearchContext {
         db,
         index,
@@ -123,7 +144,7 @@ fn concurrent_clients_get_solo_identical_results() {
         };
         let solo = engine::search_batch(
             &ctx.db,
-            Some(&ctx.index),
+            ctx.index.as_single(),
             &ctx.neighbors,
             &[query],
             &ctx.base,
@@ -408,7 +429,13 @@ fn traced_request_returns_nested_spans_with_its_trace_id() {
         .iter()
         .filter(|s| s.stage == Stage::Seed)
         .count();
-    assert_eq!(seeds, ctx.index.blocks().len(), "one query, one span/block");
+    let blocks = ctx
+        .index
+        .as_single()
+        .expect("unsharded fixture")
+        .blocks()
+        .len();
+    assert_eq!(seeds, blocks, "one query, one span/block");
     for stage in [Stage::Reorder, Stage::Ungapped, Stage::Finish, Stage::Gapped] {
         assert!(find(stage).is_some(), "missing {stage:?} span");
     }
@@ -500,6 +527,56 @@ fn v1_client_roundtrips_against_a_v2_server() {
         other => panic!("expected Results, got {other:?}"),
     }
     handle.shutdown();
+}
+
+/// The sharded daemon end-to-end: a `--shards K`-style context answers
+/// every client with bytes identical to the unsharded daemon (statistics
+/// included — `results_identical` compares E-value bits), and the stats
+/// frame carries one queue-wait/latency row per shard, fed per dispatch.
+#[test]
+fn sharded_server_matches_unsharded_and_reports_shard_rows() {
+    const SHARDS: usize = 3;
+    let plain_ctx = context(2);
+    let sharded_ctx = sharded_context(2, SHARDS);
+    let (mut plain_handle, plain_conn) = start(&plain_ctx, BatchOptions::default());
+    let (mut sharded_handle, sharded_conn) = start(&sharded_ctx, BatchOptions::default());
+
+    for i in 0..DB.len() {
+        let fasta = fasta_for(i);
+        let get = |connector: &LoopbackConnector| {
+            let mut client = Client::new(connector.connect().expect("connect"));
+            let resp = client
+                .search(&fasta, EngineKind::MuBlastp, ParamOverrides::default(), 0)
+                .expect("search");
+            resp.replies
+                .iter()
+                .map(|r| r.result.clone())
+                .collect::<Vec<_>>()
+        };
+        let baseline = get(&plain_conn);
+        let sharded = get(&sharded_conn);
+        assert!(!baseline[0].alignments.is_empty(), "fixture must hit");
+        if let Err(diff) = results_identical(&baseline, &sharded) {
+            panic!("client {i}: sharded results differ from unsharded: {diff}");
+        }
+    }
+
+    // The unsharded daemon reports no shard rows; the sharded one reports
+    // one row per shard covering the whole database, with every dispatch
+    // recorded against every shard.
+    assert!(plain_handle.stats().shards.is_empty());
+    let stats = sharded_handle.stats();
+    assert_eq!(stats.shards.len(), SHARDS);
+    let total_seqs: u64 = stats.shards.iter().map(|s| s.seqs).sum();
+    let total_residues: u64 = stats.shards.iter().map(|s| s.residues).sum();
+    assert_eq!(total_seqs, sharded_ctx.db.len() as u64);
+    assert_eq!(total_residues, sharded_ctx.db.total_residues() as u64);
+    for row in &stats.shards {
+        assert_eq!(row.search.count, stats.batches, "shard {}", row.shard);
+        assert_eq!(row.queued.count, stats.batches, "shard {}", row.shard);
+    }
+    plain_handle.shutdown();
+    sharded_handle.shutdown();
 }
 
 #[test]

@@ -13,7 +13,7 @@
 
 use datagen::{sample_queries, synthesize_db, DbSpec};
 use mublastp::prelude::*;
-use serve::{loopback, serve, BatchOptions, Client, ParamOverrides, SearchContext};
+use serve::{loopback, serve, BatchOptions, Client, ParamOverrides, ResidentIndex, SearchContext};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,7 +36,7 @@ fn main() {
     let queries = sample_queries(&db, 200, 6, 7);
     let ctx = Arc::new(SearchContext {
         db,
-        index,
+        index: ResidentIndex::Single(index),
         neighbors,
         base,
     });
@@ -51,6 +51,7 @@ fn main() {
             queue_cap: 32,
             max_batch: 8,
             max_delay: Duration::from_millis(20),
+            ..BatchOptions::default()
         },
     );
 

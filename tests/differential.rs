@@ -1,0 +1,203 @@
+//! Differential-testing harness (ISSUE 4): random databases, three
+//! engines, one sharded driver, one exact reference.
+//!
+//! For several datagen seeds, database shapes and special-residue rates
+//! (B/Z/X planted by the generator, U folded to X by the alphabet), the
+//! harness checks that
+//!
+//! * all three engines report the identical alignment set above the
+//!   E-value threshold, and the sharded driver merges to the same bytes;
+//! * every reported alignment replays to its claimed score: walking the
+//!   traceback ops over the *reported coordinates* with BLOSUM62 and the
+//!   affine gap model reproduces `score` exactly;
+//! * the `align::sw` Smith–Waterman reference bounds it from above, both
+//!   on the reported rectangle and on the whole sequence pair — the
+//!   heuristic may stop early, but it may never overclaim.
+
+use datagen::{sample_mixed_queries, sample_queries, synthesize_db, DbSpec};
+use dbindex::ShardedIndex;
+use engine::{compare_alignments, search_batch_sharded};
+use mublastp::prelude::*;
+use scoring::Matrix;
+
+fn neighbors() -> NeighborTable {
+    NeighborTable::build(&BLOSUM62, 11)
+}
+
+fn config(kind: EngineKind) -> SearchConfig {
+    let mut c = SearchConfig::new(kind);
+    // Small synthetic search spaces push E-values way past the default 10.
+    c.params.evalue_cutoff = 1e6;
+    c
+}
+
+/// Recompute an alignment's score from its reported coordinates and
+/// traceback ops: BLOSUM62 over substitution columns, `open + L·extend`
+/// per maximal gap run. Also re-derives the residue spans consumed, so a
+/// mismatch between ops and coordinates shows up as a panic here.
+fn replay_score(
+    matrix: &Matrix,
+    q: &[u8],
+    s: &[u8],
+    a: &align::GappedAlignment,
+    open: i32,
+    extend: i32,
+) -> i32 {
+    let (mut qi, mut si) = (a.q_start as usize, a.s_start as usize);
+    let mut score = 0i32;
+    let ops = &a.ops;
+    let mut i = 0usize;
+    while i < ops.len() {
+        match ops[i] {
+            align::AlignOp::Sub => {
+                score += matrix.score(q[qi], s[si]);
+                qi += 1;
+                si += 1;
+                i += 1;
+            }
+            gap => {
+                let mut len = 0i32;
+                while i < ops.len() && ops[i] == gap {
+                    match gap {
+                        align::AlignOp::Ins => qi += 1,
+                        _ => si += 1,
+                    }
+                    len += 1;
+                    i += 1;
+                }
+                score -= open + extend * len;
+            }
+        }
+    }
+    assert_eq!((qi, si), (a.q_end as usize, a.s_end as usize), "ops drift off the coordinates");
+    score
+}
+
+/// One random world: a synthesized database plus sampled queries, with one
+/// hand-built query carrying every special residue the alphabet admits.
+fn world(spec: &DbSpec, residues: usize, seed: u64) -> (SequenceDb, Vec<Sequence>) {
+    let db = synthesize_db(spec, residues, seed);
+    let mut queries = sample_queries(&db, 128, 3, seed.wrapping_add(1));
+    queries.extend(sample_mixed_queries(&db, 2, seed.wrapping_add(2)));
+
+    // Selenocysteine folds to X at encode time — the special-residue paths
+    // must behave identically whether X arrives as 'X' or as 'U'.
+    let enc = |c: u8| bioseq::alphabet::encode_residue(c).unwrap();
+    assert_eq!(enc(b'U'), enc(b'X'));
+    let mut special = db.get(0).residues().to_vec();
+    special.truncate(80.min(special.len()));
+    for (pos, code) in [(5, enc(b'B')), (11, enc(b'Z')), (17, enc(b'X')), (23, enc(b'U'))] {
+        if pos < special.len() {
+            special[pos] = code;
+        }
+    }
+    queries.push(Sequence::from_encoded("q|special|BZXU", special));
+    (db, queries)
+}
+
+/// Run one world through all engines and the exact reference.
+fn check_world(spec: &DbSpec, residues: usize, seed: u64) -> usize {
+    let (db, queries) = world(spec, residues, seed);
+    let neighbors = neighbors();
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let run = |kind| search_batch(&db, Some(&index), &neighbors, &queries, &config(kind));
+
+    // 1. The three engines agree exactly.
+    let ncbi = run(EngineKind::QueryIndexed);
+    let ncbi_db = run(EngineKind::DbInterleaved);
+    let mu = run(EngineKind::MuBlastp);
+    results_identical(&ncbi, &ncbi_db).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    results_identical(&ncbi_db, &mu).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+    // 2. The sharded driver merges to the same bytes as the unsharded run.
+    let sharded = ShardedIndex::build(&db, &IndexConfig::default(), 3);
+    let merged = search_batch_sharded(
+        &sharded,
+        &neighbors,
+        &queries,
+        &config(EngineKind::MuBlastp).with_threads(3),
+    );
+    results_identical(&mu, &merged).unwrap_or_else(|e| panic!("seed {seed} sharded: {e}"));
+
+    // 3. Every reported alignment survives the exact reference.
+    let params = SearchParams::default();
+    let (open, extend) = (params.gap_open, params.gap_extend);
+    let mut total = 0usize;
+    for (result, query) in mu.iter().zip(&queries) {
+        let q = query.residues();
+        for a in &result.alignments {
+            assert!(a.aln.validate(), "seed {seed}: inconsistent traceback {a:?}");
+            let s = db.get(a.subject).residues();
+            assert!(a.aln.q_end as usize <= q.len() && a.aln.s_end as usize <= s.len());
+
+            let replayed = replay_score(&BLOSUM62, q, s, &a.aln, open, extend);
+            assert_eq!(
+                replayed, a.aln.score,
+                "seed {seed}: ops over the reported coordinates score {replayed}, \
+                 engine claimed {} ({a:?})",
+                a.aln.score
+            );
+
+            // Smith–Waterman on the reported rectangle, then on the whole
+            // pair: each is an upper bound on the one before.
+            let rect = align::smith_waterman(
+                &BLOSUM62,
+                &q[a.aln.q_start as usize..a.aln.q_end as usize],
+                &s[a.aln.s_start as usize..a.aln.s_end as usize],
+                open,
+                extend,
+            );
+            assert!(
+                a.aln.score <= rect.score,
+                "seed {seed}: reported {} beats Smith–Waterman {} on its own rectangle",
+                a.aln.score,
+                rect.score
+            );
+            let full = align::smith_waterman(&BLOSUM62, q, s, open, extend);
+            assert!(rect.score <= full.score, "seed {seed}: rectangle beats the whole pair");
+
+            assert!(a.evalue >= 0.0 && a.bit_score.is_finite());
+            total += 1;
+        }
+        // Reported best-first under the canonical total order.
+        assert!(result
+            .alignments
+            .windows(2)
+            .all(|w| compare_alignments(&w[0], &w[1]) != std::cmp::Ordering::Greater));
+    }
+    total
+}
+
+#[test]
+fn sprot_world_plain() {
+    let n = check_world(&DbSpec::uniprot_sprot(), 90_000, 101);
+    assert!(n > 0, "world produced no alignments at all");
+}
+
+#[test]
+fn envnr_world_with_special_residues() {
+    let spec = DbSpec::env_nr().with_special_residues(0.03);
+    let n = check_world(&spec, 70_000, 202);
+    assert!(n > 0, "world produced no alignments at all");
+}
+
+#[test]
+fn sprot_world_heavy_specials_small() {
+    let spec = DbSpec::uniprot_sprot().with_special_residues(0.06);
+    let n = check_world(&spec, 50_000, 303);
+    assert!(n > 0, "world produced no alignments at all");
+}
+
+#[test]
+fn fourth_seed_long_queries() {
+    // A fourth seed with longer windows exercises the long-query split in
+    // the same differential frame.
+    let (db, _) = world(&DbSpec::uniprot_sprot(), 60_000, 404);
+    let neighbors = neighbors();
+    let queries = sample_queries(&db, 256, 2, 405);
+    let index = DbIndex::build(&db, &IndexConfig::default());
+    let run = |kind| search_batch(&db, Some(&index), &neighbors, &queries, &config(kind));
+    let a = run(EngineKind::QueryIndexed);
+    let b = run(EngineKind::MuBlastp);
+    results_identical(&a, &b).unwrap();
+}

@@ -1,0 +1,141 @@
+//! Shard-equivalence property (ISSUE 4, paper Sec. V): partitioning the
+//! database changes *nothing* about the answer.
+//!
+//! For K ∈ {1, 2, 3, 7, num_seqs} — plus plans with empty shards and
+//! one-sequence shards — the sharded driver's merged output must be
+//! byte-identical to the unsharded engine: same alignments in the same
+//! order, same scores, and bit-for-bit equal E-values and bit scores
+//! (compared through `f64::to_bits`, stricter than `==`).
+
+use datagen::{sample_mixed_queries, sample_queries, synthesize_db, DbSpec};
+use dbindex::{ShardPlan, ShardedIndex};
+use engine::search_batch_sharded;
+use mublastp::prelude::*;
+use std::sync::OnceLock;
+
+fn neighbors() -> &'static NeighborTable {
+    static T: OnceLock<NeighborTable> = OnceLock::new();
+    T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+}
+
+fn world() -> &'static (SequenceDb, Vec<Sequence>) {
+    static W: OnceLock<(SequenceDb, Vec<Sequence>)> = OnceLock::new();
+    W.get_or_init(|| {
+        let db = synthesize_db(&DbSpec::uniprot_sprot(), 80_000, 2026);
+        let mut queries = sample_queries(&db, 128, 3, 7);
+        queries.extend(sample_mixed_queries(&db, 2, 8));
+        (db, queries)
+    })
+}
+
+fn config() -> SearchConfig {
+    let mut c = SearchConfig::new(EngineKind::MuBlastp);
+    c.params.evalue_cutoff = 1e6;
+    c
+}
+
+/// Byte-level equality: everything `results_identical` checks plus
+/// bit-exact floating-point fields and identical stable ordering.
+fn assert_bytes_identical(label: &str, a: &[engine::QueryResult], b: &[engine::QueryResult]) {
+    results_identical(a, b).unwrap_or_else(|e| panic!("{label}: {e}"));
+    for (x, y) in a.iter().zip(b) {
+        for (p, q) in x.alignments.iter().zip(&y.alignments) {
+            assert_eq!(
+                p.evalue.to_bits(),
+                q.evalue.to_bits(),
+                "{label}: query {} subject {}: E-values differ in bits",
+                x.query_index,
+                p.subject
+            );
+            assert_eq!(
+                p.bit_score.to_bits(),
+                q.bit_score.to_bits(),
+                "{label}: query {} subject {}: bit scores differ in bits",
+                x.query_index,
+                p.subject
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_is_byte_identical_for_all_k() {
+    let (db, queries) = world();
+    let cfg = config();
+    let index = DbIndex::build(db, &IndexConfig::default());
+    let reference = search_batch(db, Some(&index), neighbors(), queries, &cfg);
+    assert!(
+        reference.iter().map(|r| r.alignments.len()).sum::<usize>() > 0,
+        "test world produced no alignments at all"
+    );
+    let one_shard = {
+        let sharded = ShardedIndex::build(db, &IndexConfig::default(), 1);
+        search_batch_sharded(&sharded, neighbors(), queries, &cfg)
+    };
+    assert_bytes_identical("K=1 vs unsharded", &reference, &one_shard);
+    for k in [2usize, 3, 7, db.len()] {
+        let sharded = ShardedIndex::build(db, &IndexConfig::default(), k);
+        assert_eq!(sharded.num_shards(), k);
+        let got =
+            search_batch_sharded(&sharded, neighbors(), queries, &cfg.clone().with_threads(4));
+        assert_bytes_identical(&format!("K={k}"), &one_shard, &got);
+    }
+}
+
+#[test]
+fn subject_truncation_is_shard_invariant() {
+    // A small `max_reported` makes the merge's subject-level cut do real
+    // work: per-shard lists are truncated locally, merged globally.
+    let (db, queries) = world();
+    let mut cfg = config();
+    cfg.params.max_reported = 3;
+    let index = DbIndex::build(db, &IndexConfig::default());
+    let reference = search_batch(db, Some(&index), neighbors(), queries, &cfg);
+    for k in [2usize, 5] {
+        let sharded = ShardedIndex::build(db, &IndexConfig::default(), k);
+        let got =
+            search_batch_sharded(&sharded, neighbors(), queries, &cfg.clone().with_threads(2));
+        assert_bytes_identical(&format!("max_reported=3 K={k}"), &reference, &got);
+    }
+}
+
+#[test]
+fn empty_shards_change_nothing() {
+    // More shards than sequences: the balance plan leaves empty shards,
+    // which must search as no-ops and merge invisibly.
+    let (db, queries) = world();
+    let cfg = config();
+    let tiny: SequenceDb = db.sequences()[..5].iter().cloned().collect();
+    let index = DbIndex::build(&tiny, &IndexConfig::default());
+    let reference = search_batch(&tiny, Some(&index), neighbors(), queries, &cfg);
+    let plan = ShardPlan::balance_db(&tiny, 9);
+    assert!(
+        (0..plan.shards()).any(|s| plan.members(s).is_empty()),
+        "plan should have empty shards"
+    );
+    let sharded = ShardedIndex::build_with_plan(&tiny, &IndexConfig::default(), &plan);
+    let got = search_batch_sharded(&sharded, neighbors(), queries, &cfg.clone().with_threads(3));
+    assert_bytes_identical("empty shards", &reference, &got);
+}
+
+#[test]
+fn single_sequence_shards_and_single_sequence_db() {
+    let (db, queries) = world();
+    let cfg = config();
+    // One sequence per shard over a slice of the world.
+    let slice: SequenceDb = db.sequences()[..12].iter().cloned().collect();
+    let index = DbIndex::build(&slice, &IndexConfig::default());
+    let reference = search_batch(&slice, Some(&index), neighbors(), queries, &cfg);
+    let sharded = ShardedIndex::build(&slice, &IndexConfig::default(), slice.len());
+    assert!(sharded.shards().iter().all(|s| s.db.len() <= 1));
+    let got = search_batch_sharded(&sharded, neighbors(), queries, &cfg.clone().with_threads(4));
+    assert_bytes_identical("one-sequence shards", &reference, &got);
+
+    // Degenerate database: one sequence, more shards than content.
+    let single: SequenceDb = db.sequences()[..1].iter().cloned().collect();
+    let index1 = DbIndex::build(&single, &IndexConfig::default());
+    let ref1 = search_batch(&single, Some(&index1), neighbors(), queries, &cfg);
+    let sharded1 = ShardedIndex::build(&single, &IndexConfig::default(), 3);
+    let got1 = search_batch_sharded(&sharded1, neighbors(), queries, &cfg);
+    assert_bytes_identical("one-sequence database", &ref1, &got1);
+}
