@@ -18,14 +18,29 @@ use dbindex::{DbIndex, IndexConfig, ShardPlan};
 use engine::{merge_shard_alignments, search_batch, Alignment, QueryResult, SearchConfig};
 use scoring::NeighborTable;
 
+/// Fault site: a rank's whole search fails (keyed by rank id via
+/// `fire_at`, so "rank 2 dies" is scheduler-order independent). The merge
+/// degrades to the surviving ranks — same contract as the in-process
+/// sharded driver's `engine.shard` site.
+pub const FAULT_RANK: &str = "cluster.rank";
+
 /// Outcome of a distributed search.
 #[derive(Clone, Debug)]
 pub struct DistributedResult {
     /// Merged per-query results with subjects in *global* (length-sorted
-    /// database) ids, best alignment first.
+    /// database) ids, best alignment first. When `failed_ranks` is
+    /// non-empty these cover only the surviving partitions; surviving
+    /// rows are identical to a fault-free run's because every rank
+    /// scores against the global statistics.
     pub results: Vec<QueryResult>,
     /// Number of ranks used.
     pub ranks: usize,
+    /// Ranks whose search failed (injected), ascending; empty normally.
+    pub failed_ranks: Vec<usize>,
+    /// Residues actually searched (surviving partitions).
+    pub covered_residues: usize,
+    /// Residues in the whole database.
+    pub total_residues: usize,
 }
 
 /// Run a distributed search over `ranks` simulated nodes.
@@ -61,48 +76,87 @@ pub fn distributed_search(
     }
 
     // Steps 2–4 run SPMD: every rank searches its partition, then gathers.
-    type Msg = Vec<(usize, Vec<Alignment>)>; // (query index, local alignments)
-    let per_rank: Vec<Vec<QueryResult>> = run_world::<Msg, _, _>(ranks, |comm: &Comm<Msg>| {
-        let rank = comm.rank();
-        let part = &partitions[rank];
-        let map = &id_maps[rank];
-        let index = DbIndex::build(part, index_config);
-        let mut cfg = config.clone();
-        // Global statistics so partition E-values merge consistently.
-        cfg.effective_db = Some((global_residues, global_seqs));
-        let mut local = search_batch(part, Some(&index), neighbors, queries, &cfg);
-        // Translate local subject ids to global ids.
-        for qr in &mut local {
-            for a in &mut qr.alignments {
-                a.subject = map[a.subject as usize];
-            }
-        }
-        // One merge message per rank, containing the whole batch.
-        let payload: Msg = local
-            .iter()
-            .map(|qr| (qr.query_index, qr.alignments.clone()))
-            .collect();
-        let gathered = comm.gather_to_root(payload);
-        if rank == 0 {
-            // Fold every rank's alignments into the root's results.
-            for (_src, batch) in gathered {
-                for (qi, alignments) in batch {
-                    local[qi].alignments.extend(alignments);
+    // Each message carries the sender's health alongside its alignments so
+    // the root can degrade the merge to the survivors.
+    type Msg = (bool, Vec<(usize, Vec<Alignment>)>); // (failed, (query idx, alignments))
+    let per_rank: Vec<(Vec<QueryResult>, Vec<usize>)> =
+        run_world::<Msg, _, _>(ranks, |comm: &Comm<Msg>| {
+            let rank = comm.rank();
+            let part = &partitions[rank];
+            let map = &id_maps[rank];
+            let failed = config.faults.fire_at(FAULT_RANK, rank as u64);
+            let mut local = if failed {
+                // Empty per-query scaffolding keeps the root's fold simple.
+                (0..queries.len())
+                    .map(|query_index| QueryResult {
+                        query_index,
+                        alignments: Vec::new(),
+                        counts: Default::default(),
+                    })
+                    .collect()
+            } else {
+                let index = DbIndex::build(part, index_config);
+                let mut cfg = config.clone();
+                // Global statistics so partition E-values merge consistently.
+                cfg.effective_db = Some((global_residues, global_seqs));
+                let mut local = search_batch(part, Some(&index), neighbors, queries, &cfg);
+                // Translate local subject ids to global ids.
+                for qr in &mut local {
+                    for a in &mut qr.alignments {
+                        a.subject = map[a.subject as usize];
+                    }
                 }
+                local
+            };
+            // One merge message per rank, containing the whole batch.
+            let payload: Msg = (
+                failed,
+                local
+                    .iter()
+                    .map(|qr| (qr.query_index, qr.alignments.clone()))
+                    .collect(),
+            );
+            let gathered = comm.gather_to_root(payload);
+            if rank == 0 {
+                let mut failed_ranks: Vec<usize> = if failed { vec![0] } else { Vec::new() };
+                // Fold every surviving rank's alignments into the root's
+                // results (a failed rank's payload is empty anyway, but
+                // recording it keeps the coverage accounting honest).
+                for (src, (src_failed, batch)) in gathered {
+                    if src_failed {
+                        failed_ranks.push(src);
+                        continue;
+                    }
+                    for (qi, alignments) in batch {
+                        local[qi].alignments.extend(alignments);
+                    }
+                }
+                failed_ranks.sort_unstable();
+                // Re-rank and truncate exactly like a single-node search: the
+                // shared statistics-correct merge (subject-level truncation +
+                // the canonical total order).
+                for qr in &mut local {
+                    merge_shard_alignments(&mut qr.alignments, config.params.max_reported);
+                    qr.counts.reported = qr.alignments.len() as u64;
+                }
+                (local, failed_ranks)
+            } else {
+                (Vec::new(), Vec::new())
             }
-            // Re-rank and truncate exactly like a single-node search: the
-            // shared statistics-correct merge (subject-level truncation +
-            // the canonical total order).
-            for qr in &mut local {
-                merge_shard_alignments(&mut qr.alignments, config.params.max_reported);
-                qr.counts.reported = qr.alignments.len() as u64;
-            }
-            local
-        } else {
-            Vec::new()
-        }
-    });
-    DistributedResult { results: per_rank.into_iter().next().unwrap(), ranks }
+        });
+    let (results, failed_ranks) = per_rank.into_iter().next().unwrap();
+    let covered_residues = global_residues
+        - failed_ranks
+            .iter()
+            .map(|&r| partitions[r].total_residues())
+            .sum::<usize>();
+    DistributedResult {
+        results,
+        ranks,
+        failed_ranks,
+        covered_residues,
+        total_residues: global_residues,
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +268,55 @@ mod tests {
             for (a, b) in in_process.iter().zip(&dist.results) {
                 assert_eq!(a.alignments, b.alignments, "ranks {ranks}");
             }
+        }
+    }
+
+    #[test]
+    fn injected_rank_failure_degrades_to_the_survivors() {
+        // One plan arms both the cluster's rank site and the in-process
+        // driver's shard site with the same schedule: rank 1 dying must
+        // leave exactly the bytes an in-process sharded search produces
+        // when shard 1 dies, because both share the planner and merge.
+        let db = toy_db();
+        let sorted = db.sorted_by_length();
+        let queries: Vec<Sequence> = (0..4)
+            .map(|i| {
+                Sequence::from_encoded(format!("q{i}"), db.get(i * 5).residues().to_vec())
+            })
+            .collect();
+        let lens: Vec<usize> = sorted.sequences().iter().map(|s| s.len()).collect();
+        let ranks = 3usize;
+        let mut cfg = config();
+        cfg.faults = faultfn::FaultPlan::new(5)
+            .with(FAULT_RANK, faultfn::Schedule::Nth(1))
+            .with(engine::FAULT_SHARD, faultfn::Schedule::Nth(1))
+            .build();
+        let dist = distributed_search(
+            &db,
+            &queries,
+            neighbors(),
+            &index_config(),
+            &cfg,
+            ranks,
+        );
+        assert_eq!(dist.failed_ranks, vec![1]);
+        let plan = ShardPlan::round_robin(&lens, ranks);
+        let lost: usize = plan
+            .members(1)
+            .iter()
+            .map(|&gid| sorted.get(gid as SequenceId).len())
+            .sum();
+        assert_eq!(dist.covered_residues, dist.total_residues - lost);
+        let sharded =
+            dbindex::ShardedIndex::build_with_plan(&sorted, &index_config(), &plan);
+        let in_process = engine::search_batch_sharded(
+            &sharded,
+            neighbors(),
+            &queries,
+            &cfg.clone().with_threads(2),
+        );
+        for (a, b) in in_process.iter().zip(&dist.results) {
+            assert_eq!(a.alignments, b.alignments, "query {}", a.query_index);
         }
     }
 

@@ -34,5 +34,8 @@ pub mod shard;
 
 pub use block::{BlockSeq, DbIndex, IndexBlock};
 pub use config::{optimal_block_bytes, IndexConfig};
-pub use serial::{read_index, write_index, BlockStream, SerialError};
+pub use serial::{
+    load_index_resilient, read_index, write_index, BlockStream, LoadOutcome, SerialError,
+    FAULT_LOAD,
+};
 pub use shard::{DbShard, ShardPlan, ShardedIndex};

@@ -217,6 +217,67 @@ fn get_u32s(data: &mut &[u8], n: usize) -> Result<Vec<u32>, SerialError> {
         .collect())
 }
 
+/// Fault-injection site consulted once per [`load_index_resilient`] read
+/// attempt: a firing flips one byte of the freshly read image (offset
+/// chosen from the plan's seed), exercising the CRC/parse rejection path
+/// exactly like on-disk bit rot would.
+pub const FAULT_LOAD: &str = "dbindex.load";
+
+/// How [`load_index_resilient`] obtained a usable index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The first read parsed and checksummed clean.
+    Loaded,
+    /// Early reads failed; attempt number `attempts` (1-based) succeeded.
+    Recovered {
+        /// Total read attempts made, including the successful one.
+        attempts: u32,
+    },
+    /// Every read attempt failed; the index was rebuilt from the
+    /// database. Slower than a load, but the daemon still comes up.
+    Rebuilt,
+}
+
+/// Load a serialized index with retry, falling back to an in-memory
+/// rebuild — the resident daemon's answer to a corrupt or flaky index
+/// file: never serve garbage (the CRC sees to that), never refuse to
+/// start over a file that can be regenerated from the database.
+///
+/// `read` produces the serialized image and is invoked up to
+/// `1 + retries` times; any image that fails [`read_index`] (or any
+/// `read` that returns an I/O error) is discarded and retried. If no
+/// attempt yields a clean index, the index is rebuilt from `db` with
+/// `config` — the same bytes-in-memory either way, so callers cannot
+/// tell a rebuilt index from a loaded one except through the returned
+/// [`LoadOutcome`].
+pub fn load_index_resilient<F>(
+    mut read: F,
+    db: &bioseq::SequenceDb,
+    config: &IndexConfig,
+    retries: u32,
+    faults: &faultfn::Faults,
+) -> (DbIndex, LoadOutcome)
+where
+    F: FnMut() -> std::io::Result<Vec<u8>>,
+{
+    for attempt in 0..=retries {
+        let Ok(mut bytes) = read() else { continue };
+        if faults.fire(FAULT_LOAD) && !bytes.is_empty() {
+            let pos = faults.rand(FAULT_LOAD, u64::from(attempt)) as usize % bytes.len();
+            bytes[pos] ^= 0x40;
+        }
+        if let Ok(index) = read_index(&bytes) {
+            let outcome = if attempt == 0 {
+                LoadOutcome::Loaded
+            } else {
+                LoadOutcome::Recovered { attempts: attempt + 1 }
+            };
+            return (index, outcome);
+        }
+    }
+    (DbIndex::build(db, config), LoadOutcome::Rebuilt)
+}
+
 /// Streaming reader: yields one [`IndexBlock`] at a time from any
 /// `Read`, so an index larger than memory can be searched block by block
 /// — the access pattern the paper's block loop (Alg. 1/3) is built for.
@@ -381,18 +442,24 @@ mod tests {
     use crate::block::DbIndex;
     use bioseq::{Sequence, SequenceDb};
 
-    fn sample_index() -> DbIndex {
-        let db: SequenceDb = ["MARNDWWWCQEG", "WWWHILKMFPST", "ARNDARNDARND", "MKVL"]
+    fn sample_db() -> SequenceDb {
+        ["MARNDWWWCQEG", "WWWHILKMFPST", "ARNDARNDARND", "MKVL"]
             .iter()
             .enumerate()
             .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
-            .collect();
-        let config = IndexConfig {
+            .collect()
+    }
+
+    fn sample_config() -> IndexConfig {
+        IndexConfig {
             block_bytes: 80,
             offset_bits: 15,
             frag_overlap: 8,
-        };
-        DbIndex::build(&db, &config)
+        }
+    }
+
+    fn sample_index() -> DbIndex {
+        DbIndex::build(&sample_db(), &sample_config())
     }
 
     /// Strip the v2 trailer and patch the version field down to 1,
@@ -472,6 +539,103 @@ mod tests {
             }
         }
         assert!(corrupt_seen, "no flip exercised the checksum path");
+    }
+
+    #[test]
+    fn resilient_load_reads_once_when_clean() {
+        let idx = sample_index();
+        let bytes = write_index(&idx);
+        let mut reads = 0u32;
+        let (loaded, outcome) = load_index_resilient(
+            || {
+                reads += 1;
+                Ok(bytes.clone())
+            },
+            &sample_db(),
+            &sample_config(),
+            3,
+            &faultfn::Faults::none(),
+        );
+        assert_eq!(outcome, LoadOutcome::Loaded);
+        assert_eq!(reads, 1, "a clean first read needs no retry");
+        assert_eq!(loaded, idx);
+    }
+
+    #[test]
+    fn resilient_load_recovers_from_transient_read_failures() {
+        let idx = sample_index();
+        let bytes = write_index(&idx);
+        let mut reads = 0u32;
+        let (loaded, outcome) = load_index_resilient(
+            || {
+                reads += 1;
+                if reads < 3 {
+                    Err(std::io::ErrorKind::Interrupted.into())
+                } else {
+                    Ok(bytes.clone())
+                }
+            },
+            &sample_db(),
+            &sample_config(),
+            3,
+            &faultfn::Faults::none(),
+        );
+        assert_eq!(outcome, LoadOutcome::Recovered { attempts: 3 });
+        assert_eq!(loaded, idx);
+    }
+
+    /// The injected corruption flips one byte per attempt; with the site
+    /// always armed every read is rejected by the CRC and the loader
+    /// falls back to rebuilding — and the rebuilt index is
+    /// indistinguishable from the serialized one.
+    #[test]
+    fn resilient_load_rebuilds_when_every_read_is_corrupt() {
+        let idx = sample_index();
+        let bytes = write_index(&idx);
+        let faults = faultfn::FaultPlan::new(17)
+            .with(FAULT_LOAD, faultfn::Schedule::Always)
+            .build();
+        let mut reads = 0u32;
+        let (loaded, outcome) = load_index_resilient(
+            || {
+                reads += 1;
+                Ok(bytes.clone())
+            },
+            &sample_db(),
+            &sample_config(),
+            2,
+            &faults,
+        );
+        assert_eq!(outcome, LoadOutcome::Rebuilt);
+        assert_eq!(reads, 3, "1 + retries attempts before the rebuild");
+        assert_eq!(faults.fired(FAULT_LOAD), 3);
+        assert_eq!(loaded, idx, "rebuild reproduces the serialized index");
+    }
+
+    /// Corrupting only the first attempt exercises retry-then-recover,
+    /// and the whole sequence is pinned by the plan seed.
+    #[test]
+    fn resilient_load_recovery_is_deterministic() {
+        let idx = sample_index();
+        let bytes = write_index(&idx);
+        let run = || {
+            let faults = faultfn::FaultPlan::new(17)
+                .with(FAULT_LOAD, faultfn::Schedule::FirstN(1))
+                .build();
+            load_index_resilient(
+                || Ok(bytes.clone()),
+                &sample_db(),
+                &sample_config(),
+                2,
+                &faults,
+            )
+        };
+        let (a, outcome_a) = run();
+        let (b, outcome_b) = run();
+        assert_eq!(outcome_a, LoadOutcome::Recovered { attempts: 2 });
+        assert_eq!(outcome_b, outcome_a);
+        assert_eq!(a, b);
+        assert_eq!(a, idx);
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub struct SearchConfig {
     /// end-of-batch straggler tail; results are returned in the original
     /// batch order regardless.
     pub longest_first: bool,
+    /// Absolute wall-clock point past which remaining work should be
+    /// cancelled. Honored at task granularity by the sharded driver
+    /// (a shard whose task starts after the deadline is dropped and
+    /// reported in [`crate::ShardedOutput::failed`]); the single-index
+    /// engines run to completion — their caller rejects expired requests
+    /// before dispatch. `None` (the default) never cancels.
+    pub deadline: Option<std::time::Instant>,
+    /// Fault-injection plan threaded to per-shard tasks (site
+    /// [`crate::sharded::FAULT_SHARD`]). [`faultfn::Faults::none`] — the
+    /// default — injects nothing at the cost of one branch per shard.
+    pub faults: faultfn::Faults,
 }
 
 impl SearchConfig {
@@ -72,6 +83,8 @@ impl SearchConfig {
             prefilter: true,
             effective_db: None,
             longest_first: false,
+            deadline: None,
+            faults: faultfn::Faults::none(),
         }
     }
 

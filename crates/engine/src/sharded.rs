@@ -37,6 +37,32 @@ use parallel::parallel_map_dynamic_with_state;
 use scoring::NeighborTable;
 use std::time::{Duration, Instant};
 
+/// Fault-injection site consulted once per shard task, keyed by shard id
+/// ([`faultfn::Faults::fire_at`], so which shard fails is independent of
+/// scheduler interleaving). A firing shard contributes no alignments and
+/// is reported in [`ShardedOutput::failed`].
+pub const FAULT_SHARD: &str = "engine.shard";
+
+/// Why a shard contributed nothing to the merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFailCause {
+    /// The shard's task failed (injected via [`FAULT_SHARD`]; in a real
+    /// deployment: a crashed worker, a poisoned partition).
+    Injected,
+    /// [`SearchConfig::deadline`] had already passed when the shard task
+    /// started, so the search was cancelled before doing the work.
+    DeadlineExceeded,
+}
+
+/// Record of one shard dropped from a sharded search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Shard id (index into [`ShardedIndex::shards`]).
+    pub shard: usize,
+    /// Why the shard dropped out.
+    pub cause: ShardFailCause,
+}
+
 /// Wall-clock accounting for one shard of a sharded batch search.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardTiming {
@@ -53,13 +79,26 @@ pub struct ShardTiming {
 /// Results of a traced sharded search.
 #[derive(Debug)]
 pub struct ShardedOutput {
-    /// Merged per-query results, byte-identical to an unsharded search.
+    /// Merged per-query results. Byte-identical to an unsharded search
+    /// when `failed` is empty; with failures, byte-identical to merging
+    /// only the surviving shards (the degradation contract the chaos
+    /// suite pins).
     pub results: Vec<QueryResult>,
     /// Merged spans: one `Shard` span per shard plus the per-shard engine
-    /// spans (whose `block` fields are *shard-local* block ids).
+    /// spans (whose `block` fields are *shard-local* block ids). Failed
+    /// shards still record their `Shard` span, so degradation is visible
+    /// in traces.
     pub trace: Trace,
     /// Per-shard wall-clock timings, indexed by shard id.
     pub timings: Vec<ShardTiming>,
+    /// Shards that contributed nothing, sorted by shard id. Empty in the
+    /// fault-free case.
+    pub failed: Vec<ShardFailure>,
+    /// Residues actually searched: the global total minus failed shards'
+    /// residues. Equals `total_residues` when `failed` is empty.
+    pub covered_residues: usize,
+    /// Residues in the whole sharded database.
+    pub total_residues: usize,
 }
 
 /// Search a query batch against a sharded database index.
@@ -109,28 +148,38 @@ pub fn search_batch_sharded_traced(
             let s = order[slot];
             let shard = &sharded.shards()[s];
             let started = Instant::now();
-            let mut inner = config.clone();
-            inner.threads = 1;
-            inner.effective_db = Some(global);
-            let (mut results, shard_trace) = search_batch_traced(
-                &shard.db,
-                Some(&shard.index),
-                neighbors,
-                queries,
-                &inner,
-                session,
-            );
-            // Report in global subject ids.
-            for qr in &mut results {
-                for a in &mut qr.alignments {
-                    a.subject = shard.ids[a.subject as usize];
+            // Early cancellation: a shard task that starts past the
+            // deadline is dropped without searching, so an expired
+            // request stops burning workers mid-fanout.
+            let outcome = if config.deadline.is_some_and(|d| started >= d) {
+                Err(ShardFailCause::DeadlineExceeded)
+            } else if config.faults.fire_at(FAULT_SHARD, s as u64) {
+                Err(ShardFailCause::Injected)
+            } else {
+                let mut inner = config.clone();
+                inner.threads = 1;
+                inner.effective_db = Some(global);
+                let (mut results, shard_trace) = search_batch_traced(
+                    &shard.db,
+                    Some(&shard.index),
+                    neighbors,
+                    queries,
+                    &inner,
+                    session,
+                );
+                // Report in global subject ids.
+                for qr in &mut results {
+                    for a in &mut qr.alignments {
+                        a.subject = shard.ids[a.subject as usize];
+                    }
                 }
-            }
+                Ok((results, shard_trace))
+            };
             let done = Instant::now();
             rec.set_ctx(0, NO_QUERY, s as u32);
             rec.record_between(Stage::Shard, started, done);
             let timing = ShardTiming { shard: s, queued: started - epoch, search: done - started };
-            (s, results, shard_trace, timing)
+            (s, outcome, timing)
         },
     );
 
@@ -147,21 +196,38 @@ pub fn search_batch_sharded_traced(
         .collect();
     let mut timings: Vec<ShardTiming> =
         vec![ShardTiming { shard: 0, queued: Duration::ZERO, search: Duration::ZERO }; k];
-    for (s, results, shard_trace, timing) in per_shard {
-        trace.merge(shard_trace);
+    let total_residues = sharded.global_residues();
+    let mut covered_residues = total_residues;
+    let mut failed: Vec<ShardFailure> = Vec::new();
+    for (s, outcome, timing) in per_shard {
         timings[s] = timing;
-        for qr in results {
-            let slot = &mut merged[qr.query_index];
-            slot.alignments.extend(qr.alignments);
-            slot.counts.add(&qr.counts);
+        match outcome {
+            Ok((results, shard_trace)) => {
+                trace.merge(shard_trace);
+                for qr in results {
+                    let slot = &mut merged[qr.query_index];
+                    slot.alignments.extend(qr.alignments);
+                    slot.counts.add(&qr.counts);
+                }
+            }
+            Err(cause) => {
+                failed.push(ShardFailure { shard: s, cause });
+                covered_residues -= sharded.shards()[s].db.total_residues();
+            }
         }
     }
+    failed.sort_by_key(|f| f.shard);
+    // The merge itself is unchanged under degradation: every surviving
+    // alignment's E-value was already computed against the *global*
+    // search space inside its shard, so dropping a shard removes rows
+    // but never re-scores the rest — which is why surviving-shard output
+    // stays bit-equal to the fault-free run.
     for qr in &mut merged {
         merge_shard_alignments(&mut qr.alignments, config.params.max_reported);
         qr.counts.reported = qr.alignments.len() as u64;
     }
     trace.normalize();
-    ShardedOutput { results: merged, trace, timings }
+    ShardedOutput { results: merged, trace, timings, failed, covered_residues, total_residues }
 }
 
 /// Merge the concatenated alignments of independent database partitions
@@ -253,6 +319,111 @@ mod tests {
         for (a, b) in reference.iter().zip(&out) {
             assert_eq!(a.alignments, b.alignments, "query {}", a.query_index);
         }
+    }
+
+    /// An injected shard failure degrades the merge to the survivors:
+    /// the failure is reported with its cause, coverage drops by exactly
+    /// the lost shard's residues, and the surviving rows are bit-equal
+    /// to a manual merge of the surviving shards — no re-scoring.
+    #[test]
+    fn injected_shard_failure_degrades_to_surviving_shards() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let mut cfg = config().with_threads(3);
+        cfg.faults = faultfn::FaultPlan::new(11)
+            .with(FAULT_SHARD, faultfn::Schedule::Nth(1))
+            .build();
+        let sharded = ShardedIndex::build(&db, &index_config(), 3);
+        let out = search_batch_sharded_traced(
+            &sharded,
+            neighbors(),
+            &queries,
+            &cfg,
+            &obsv::TraceSession::disabled(),
+        );
+        assert_eq!(
+            out.failed,
+            vec![ShardFailure { shard: 1, cause: ShardFailCause::Injected }]
+        );
+        let lost = sharded.shards()[1].db.total_residues();
+        assert_eq!(out.covered_residues, out.total_residues - lost);
+        // Reference: merge the surviving shards by hand, scoring each
+        // against the global statistics exactly as the driver does.
+        let mut expected: Vec<Vec<Alignment>> = vec![Vec::new(); queries.len()];
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            if s == 1 {
+                continue;
+            }
+            let mut inner = config();
+            inner.effective_db =
+                Some((sharded.global_residues(), sharded.global_seqs()));
+            let local =
+                search_batch(&shard.db, Some(&shard.index), neighbors(), &queries, &inner);
+            for (qi, qr) in local.into_iter().enumerate() {
+                expected[qi].extend(qr.alignments.into_iter().map(|mut a| {
+                    a.subject = shard.ids[a.subject as usize];
+                    a
+                }));
+            }
+        }
+        for (qi, alignments) in expected.iter_mut().enumerate() {
+            merge_shard_alignments(alignments, cfg.params.max_reported);
+            assert_eq!(
+                &out.results[qi].alignments, alignments,
+                "query {qi}: survivors must not be re-scored"
+            );
+        }
+    }
+
+    /// A deadline already in the past cancels every shard before it
+    /// searches: all failures carry the `DeadlineExceeded` cause and no
+    /// residue was covered.
+    #[test]
+    fn past_deadline_cancels_every_shard() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let mut cfg = config().with_threads(2);
+        cfg.deadline = Some(Instant::now() - Duration::from_secs(1));
+        let sharded = ShardedIndex::build(&db, &index_config(), 3);
+        let out = search_batch_sharded(&sharded, neighbors(), &queries, &cfg);
+        assert!(out.iter().all(|qr| qr.alignments.is_empty()));
+        let traced = search_batch_sharded_traced(
+            &sharded,
+            neighbors(),
+            &queries,
+            &cfg,
+            &obsv::TraceSession::disabled(),
+        );
+        assert_eq!(traced.failed.len(), 3);
+        assert!(traced
+            .failed
+            .iter()
+            .all(|f| f.cause == ShardFailCause::DeadlineExceeded));
+        assert_eq!(traced.covered_residues, 0);
+    }
+
+    /// Failed shards still record their `Shard` span — an operator can
+    /// see the cancelled task in the trace, not just its absence.
+    #[test]
+    fn failed_shards_keep_their_trace_span() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let mut cfg = config().with_threads(2);
+        cfg.faults = faultfn::FaultPlan::new(3)
+            .with(FAULT_SHARD, faultfn::Schedule::Always)
+            .build();
+        let sharded = ShardedIndex::build(&db, &index_config(), 3);
+        let session = obsv::TraceSession::new(obsv::ObsvConfig::on());
+        let out =
+            search_batch_sharded_traced(&sharded, neighbors(), &queries, &cfg, &session);
+        assert_eq!(out.failed.len(), 3);
+        let shard_spans = out
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::Shard)
+            .count();
+        assert_eq!(shard_spans, 3, "every failed shard still has its span");
     }
 
     /// Satellite (convicted mutation): computing E-values from *per-shard*

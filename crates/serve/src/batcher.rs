@@ -24,12 +24,24 @@
 //!
 //! Only requests with an identical effective configuration ([`ConfigSig`])
 //! share a batch — mixing E-value cutoffs would change results.
+//!
+//! **Failure model.** Deadlines are enforced at the batcher, not just at
+//! the engine: a queued request whose deadline passes is rejected with a
+//! typed `DeadlineExceeded` *before* batch extraction, so it never
+//! consumes a batch slot and never splits a batch of live companions
+//! (see [`split_expired`]'s unit tests for the regression this fixes).
+//! The forming window wakes at the earliest queued deadline, not only at
+//! `max_delay`, so expiry is answered promptly. Dispatch propagates the
+//! batch's effective deadline and the daemon's [`faultfn::Faults`] plan
+//! into the engine; a sharded search that loses some shards comes back
+//! **degraded** — survivors' results, tagged with the failed shard ids
+//! and residue coverage — while losing every shard is a typed error.
 
-use crate::proto::{ErrorCode, ParamOverrides, WireError};
+use crate::proto::{Degraded, ErrorCode, ParamOverrides, WireError};
 use crate::stats::ServeStats;
 use bioseq::{Sequence, SequenceDb};
 use dbindex::{DbIndex, ShardedIndex};
-use engine::{split_batch, EngineKind, QueryResult, SearchConfig};
+use engine::{split_batch, EngineKind, QueryResult, SearchConfig, ShardFailCause};
 use obsv::{ObsvConfig, Stage, Trace, TraceSession, NO_BLOCK, NO_QUERY};
 use scoring::NeighborTable;
 use std::collections::VecDeque;
@@ -121,8 +133,15 @@ impl SearchContext {
     }
 }
 
+/// Fault site: a submission is refused `Overloaded` as if the admission
+/// queue were full, regardless of its actual depth.
+pub const FAULT_QUEUE_FULL: &str = "batcher.queue_full";
+/// Fault site: a queued job is condemned at batch extraction as if its
+/// deadline had passed (checked once per job per extraction).
+pub const FAULT_EXPIRE: &str = "batcher.expire";
+
 /// Batching and admission knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchOptions {
     /// Admission-queue capacity; requests beyond this get `Overloaded`.
     pub queue_cap: usize,
@@ -137,6 +156,10 @@ pub struct BatchOptions {
     /// Log requests slower than this (µs, admission to reply) to stderr;
     /// 0 disables the slow-query log.
     pub slow_query_us: u64,
+    /// Deterministic fault injection ([`FAULT_QUEUE_FULL`],
+    /// [`FAULT_EXPIRE`], and — via dispatch — the engine's shard site).
+    /// Unarmed (the default) costs one branch per check.
+    pub faults: faultfn::Faults,
 }
 
 impl Default for BatchOptions {
@@ -147,6 +170,7 @@ impl Default for BatchOptions {
             max_delay: Duration::from_millis(2),
             obsv: ObsvConfig::off(),
             slow_query_us: 0,
+            faults: faultfn::Faults::none(),
         }
     }
 }
@@ -160,6 +184,11 @@ pub struct BatchOutput {
     /// The trace id the request ran under (assigned at admission).
     pub trace_id: u64,
     pub trace: Trace,
+    /// `Some` when the batch ran sharded and lost some (not all) shards:
+    /// the results above cover only the surviving shards. Survivors are
+    /// never re-scored — per-shard E-values use global statistics — so
+    /// present rows are byte-identical to a fault-free run's.
+    pub degraded: Option<Degraded>,
 }
 
 /// What a submitter eventually receives: per-query results in submission
@@ -252,6 +281,7 @@ impl Batcher {
                 .collect();
             stats.init_shards(&info);
         }
+        let session = TraceSession::new(opts.obsv);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -261,7 +291,7 @@ impl Batcher {
             opts,
             ctx,
             stats,
-            session: TraceSession::new(opts.obsv),
+            session,
             next_trace: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
@@ -309,7 +339,10 @@ impl Batcher {
         if state.draining {
             return Err(SubmitError::ShuttingDown);
         }
-        if state.jobs.len() >= self.shared.opts.queue_cap {
+        // The fault check runs first so the site's occurrence count is
+        // "submissions seen", independent of queue depth.
+        let injected_full = self.shared.opts.faults.fire(FAULT_QUEUE_FULL);
+        if injected_full || state.jobs.len() >= self.shared.opts.queue_cap {
             drop(state);
             self.shared.stats.on_reject();
             return Err(SubmitError::Overloaded {
@@ -379,6 +412,69 @@ impl Drop for Batcher {
     }
 }
 
+/// Remove queued jobs whose deadline has passed — or that the
+/// [`FAULT_EXPIRE`] site condemns — preserving the order of the rest.
+///
+/// This runs *before* batch extraction, which is the fix for a latent
+/// bug: expiry used to happen inside `dispatch`, after extraction, so an
+/// already-dead job consumed a batch slot (shrinking the real batch) and
+/// a dead head with a different [`ConfigSig`] split live companions into
+/// separate batches. Rejecting at extraction time also keeps a
+/// drain-on-shutdown honest — expired jobs count as `expired`, never as
+/// served.
+fn split_expired(
+    jobs: &mut VecDeque<Job>,
+    now: Instant,
+    faults: &faultfn::Faults,
+) -> Vec<Job> {
+    let mut expired = Vec::new();
+    let mut kept = VecDeque::with_capacity(jobs.len());
+    while let Some(job) = jobs.pop_front() {
+        let dead = job.deadline.is_some_and(|d| now >= d) || faults.fire(FAULT_EXPIRE);
+        if dead {
+            expired.push(job);
+        } else {
+            kept.push_back(job);
+        }
+    }
+    *jobs = kept;
+    expired
+}
+
+/// Answer each expired job with a typed `DeadlineExceeded` and count it.
+fn reject_expired(shared: &Shared, expired: Vec<Job>, now: Instant) {
+    for job in expired {
+        shared.stats.on_expire();
+        let waited = now.saturating_duration_since(job.admitted);
+        let _ = job.reply.send(Err(WireError {
+            code: ErrorCode::DeadlineExceeded,
+            message: format!("deadline passed after {} ms in queue", waited.as_millis()),
+            retry_after_ms: 0,
+        }));
+    }
+}
+
+/// Extract the dispatch set: the longest queue prefix sharing the head
+/// request's configuration (prefix order keeps FIFO fairness — a
+/// differently-configured head is never starved by later arrivals).
+fn take_batch(jobs: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
+    let mut batch: Vec<Job> = Vec::new();
+    while batch.len() < max_batch {
+        let take = match (jobs.front(), batch.first()) {
+            (Some(next), Some(head)) => next.sig == head.sig,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !take {
+            break;
+        }
+        if let Some(job) = jobs.pop_front() {
+            batch.push(job);
+        }
+    }
+    batch
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let mut state = lock(&shared.queue);
@@ -393,61 +489,49 @@ fn worker_loop(shared: &Shared) {
             state = wait(&shared.cv, state);
         }
         // Forming window: coalesce until max_batch companions are queued
-        // or max_delay has passed since the oldest arrival. A drain cuts
-        // the window short — queued work is flushed, not aged.
-        if let Some(formed_by) = state
-            .jobs
-            .front()
-            .map(|j| j.admitted + shared.opts.max_delay)
-        {
-            while state.jobs.len() < shared.opts.max_batch && !state.draining {
-                let now = Instant::now();
-                if now >= formed_by {
-                    break;
-                }
-                state = wait_timeout(&shared.cv, state, formed_by - now);
-            }
-        }
-        // Extract the dispatch set: the longest queue prefix sharing the
-        // head request's configuration (prefix order keeps FIFO fairness —
-        // a differently-configured head is never starved by later arrivals).
-        let mut batch: Vec<Job> = Vec::new();
-        while batch.len() < shared.opts.max_batch {
-            let take = match (state.jobs.front(), batch.first()) {
-                (Some(next), Some(head)) => next.sig == head.sig,
-                (Some(_), None) => true,
-                (None, _) => false,
+        // or max_delay has passed since the oldest arrival. The wake time
+        // is the *earlier* of the window end and the earliest queued
+        // deadline, so expiry is answered promptly instead of aging out
+        // the whole window first. A drain cuts the window short — queued
+        // work is flushed, not aged.
+        while state.jobs.len() < shared.opts.max_batch && !state.draining {
+            let now = Instant::now();
+            let expired = split_expired(&mut state.jobs, now, &faultfn::Faults::none());
+            reject_expired(shared, expired, now);
+            let Some(formed_by) = state
+                .jobs
+                .front()
+                .map(|j| j.admitted + shared.opts.max_delay)
+            else {
+                break; // everything queued had expired
             };
-            if !take {
+            if now >= formed_by {
                 break;
             }
-            if let Some(job) = state.jobs.pop_front() {
-                batch.push(job);
+            let wake = state
+                .jobs
+                .iter()
+                .filter_map(|j| j.deadline)
+                .min()
+                .map_or(formed_by, |d| d.min(formed_by));
+            if wake > now {
+                state = wait_timeout(&shared.cv, state, wake - now);
             }
         }
+        // Extraction: reject the dead first (with fault injection, so the
+        // chaos suite can condemn arbitrary queued jobs), then batch the
+        // live prefix.
+        let now = Instant::now();
+        let expired = split_expired(&mut state.jobs, now, &shared.opts.faults);
+        reject_expired(shared, expired, now);
+        let batch = take_batch(&mut state.jobs, shared.opts.max_batch);
         drop(state);
         dispatch(shared, batch);
     }
 }
 
-fn dispatch(shared: &Shared, batch: Vec<Job>) {
-    // Expire jobs whose deadline passed while queued.
+fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     let now = Instant::now();
-    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
-    for job in batch {
-        match job.deadline {
-            Some(deadline) if now >= deadline => {
-                shared.stats.on_expire();
-                let waited = now.saturating_duration_since(job.admitted);
-                let _ = job.reply.send(Err(WireError {
-                    code: ErrorCode::DeadlineExceeded,
-                    message: format!("deadline passed after {} ms in queue", waited.as_millis()),
-                    retry_after_ms: 0,
-                }));
-            }
-            _ => live.push(job),
-        }
-    }
     if live.is_empty() {
         return;
     }
@@ -463,23 +547,36 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
     for job in &mut live {
         all_queries.append(&mut job.queries);
     }
-    let config = shared.ctx.config_for(live[0].sig);
+    let mut config = shared.ctx.config_for(live[0].sig);
+    // The batch's effective deadline: shards may be cancelled only once
+    // *every* member is past due, so it is the latest member deadline —
+    // and unbounded if any member has none.
+    config.deadline = if live.iter().all(|j| j.deadline.is_some()) {
+        live.iter().filter_map(|j| j.deadline).max()
+    } else {
+        None
+    };
+    config.faults = shared.opts.faults.clone();
     let session = if shared.session.is_enabled() && live.iter().any(|j| j.want_trace) {
         shared.session
     } else {
         TraceSession::disabled()
     };
     let searched_at = Instant::now();
-    let (results, mut trace) = match &shared.ctx.index {
-        ResidentIndex::Single(index) => engine::search_batch_traced(
-            &shared.ctx.db,
-            Some(index),
-            &shared.ctx.neighbors,
-            &all_queries,
-            &config,
-            &session,
-        ),
+    let (results, mut trace, shard_loss) = match &shared.ctx.index {
+        ResidentIndex::Single(index) => {
+            let (results, trace) = engine::search_batch_traced(
+                &shared.ctx.db,
+                Some(index),
+                &shared.ctx.neighbors,
+                &all_queries,
+                &config,
+                &session,
+            );
+            (results, trace, None)
+        }
         ResidentIndex::Sharded(sharded) => {
+            let shard_count = sharded.shards().len();
             let out = engine::search_batch_sharded_traced(
                 sharded,
                 &shared.ctx.neighbors,
@@ -488,13 +585,50 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
                 &session,
             );
             shared.stats.on_shard_batch(&out.timings);
-            (out.results, out.trace)
+            shared.stats.on_shard_failures(&out.failed);
+            let loss = (!out.failed.is_empty()).then(|| {
+                (out.failed, out.covered_residues, out.total_residues, shard_count)
+            });
+            (out.results, out.trace, loss)
         }
     };
     let search_done = Instant::now();
     shared
         .stats
         .on_batch(live.len(), &waits, search_done - searched_at);
+    // Total shard loss means there is nothing to demultiplex: answer every
+    // member with a typed error (deadline expiry when that is what killed
+    // every shard, internal failure otherwise). Partial loss degrades the
+    // batch instead — survivors' rows ship, tagged with what is missing.
+    let degraded = match &shard_loss {
+        Some((failed, _, _, shard_count)) if failed.len() == *shard_count => {
+            let all_deadline = failed
+                .iter()
+                .all(|f| f.cause == ShardFailCause::DeadlineExceeded);
+            let (code, message) = if all_deadline {
+                (ErrorCode::DeadlineExceeded, "deadline passed before any shard finished")
+            } else {
+                (ErrorCode::Internal, "every database shard failed")
+            };
+            for job in &live {
+                if all_deadline {
+                    shared.stats.on_expire();
+                }
+                let _ = job.reply.send(Err(WireError {
+                    code,
+                    message: message.to_string(),
+                    retry_after_ms: 0,
+                }));
+            }
+            return;
+        }
+        Some((failed, covered, total, _)) => Some(Degraded {
+            failed_shards: failed.iter().map(|f| f.shard as u32).collect(),
+            coverage_residues: *covered as u64,
+            total_residues: *total as u64,
+        }),
+        None => None,
+    };
     // Engine spans were recorded against batch-local query slots under
     // trace id 0; rebase them onto the per-request ids.
     let ids: Vec<u64> = live.iter().map(|j| j.trace_id).collect();
@@ -533,10 +667,14 @@ fn dispatch(shared: &Shared, batch: Vec<Job>) {
             );
         }
         shared.stats.on_complete(total);
+        if degraded.is_some() {
+            shared.stats.on_degraded();
+        }
         let _ = job.reply.send(Ok(BatchOutput {
             results: part,
             trace_id: job.trace_id,
             trace: if job.want_trace { spans } else { Trace::new() },
+            degraded: degraded.clone(),
         }));
     }
 }
@@ -633,7 +771,7 @@ mod tests {
             ..BatchOptions::default()
         };
         let single_ctx = context();
-        let single = Batcher::new(Arc::clone(&single_ctx), opts, Arc::new(ServeStats::new()));
+        let single = Batcher::new(Arc::clone(&single_ctx), opts.clone(), Arc::new(ServeStats::new()));
         let stats = Arc::new(ServeStats::new());
         let sharded_ctx = sharded_context(3);
         let sharded = Batcher::new(Arc::clone(&sharded_ctx), opts, Arc::clone(&stats));
@@ -879,6 +1017,230 @@ mod tests {
         match reply {
             Err(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
             Ok(_) => panic!("deadline should have expired during the forming window"),
+        }
+    }
+
+    fn job_with(ctx: &SearchContext, i: u32, overrides: &ParamOverrides, deadline: Option<Instant>) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        // The test keeps no receiver: send() failing is fine for the
+        // extraction-semantics tests below.
+        Job {
+            queries: query(ctx, i),
+            sig: ctx.sig(EngineKind::MuBlastp, overrides),
+            reply: tx,
+            admitted: Instant::now(),
+            deadline,
+            trace_id: u64::from(i) + 1,
+            want_trace: false,
+        }
+    }
+
+    /// Regression for the latent expiry bug: an expired job used to be
+    /// rejected only *after* extraction, so it consumed a batch slot —
+    /// here, max_batch=2 would have dispatched [expired, live] and left
+    /// the second live job for a second batch.
+    #[test]
+    fn expired_job_does_not_consume_a_batch_slot() {
+        let ctx = context();
+        let past = Instant::now() - Duration::from_millis(5);
+        let mut jobs: VecDeque<Job> = VecDeque::new();
+        jobs.push_back(job_with(&ctx, 0, &Default::default(), Some(past)));
+        jobs.push_back(job_with(&ctx, 1, &Default::default(), None));
+        jobs.push_back(job_with(&ctx, 2, &Default::default(), None));
+        let expired = split_expired(&mut jobs, Instant::now(), &faultfn::Faults::none());
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].trace_id, 1, "the dead head was removed");
+        let batch = take_batch(&mut jobs, 2);
+        assert_eq!(batch.len(), 2, "both live jobs share the one batch");
+        assert_eq!(batch[0].trace_id, 2);
+        assert_eq!(batch[1].trace_id, 3);
+        assert!(jobs.is_empty());
+    }
+
+    /// Second face of the same bug: a dead head with a *different*
+    /// configuration used to split its live companions into separate
+    /// batches (prefix extraction stopped at the sig boundary).
+    #[test]
+    fn expired_head_with_foreign_sig_does_not_split_live_companions() {
+        let ctx = context();
+        let strict = ParamOverrides {
+            evalue_cutoff: Some(1e-30),
+            ..Default::default()
+        };
+        let past = Instant::now() - Duration::from_millis(5);
+        let mut jobs: VecDeque<Job> = VecDeque::new();
+        jobs.push_back(job_with(&ctx, 0, &strict, Some(past)));
+        jobs.push_back(job_with(&ctx, 1, &Default::default(), None));
+        jobs.push_back(job_with(&ctx, 2, &Default::default(), None));
+        let expired = split_expired(&mut jobs, Instant::now(), &faultfn::Faults::none());
+        assert_eq!(expired.len(), 1);
+        let batch = take_batch(&mut jobs, 8);
+        assert_eq!(batch.len(), 2, "live companions stay coalesced");
+    }
+
+    /// Fault injection can condemn a queued job as if its deadline had
+    /// passed, deterministically by extraction occurrence.
+    #[test]
+    fn injected_expiry_condemns_by_occurrence() {
+        let ctx = context();
+        let faults = faultfn::FaultPlan::new(9)
+            .with(FAULT_EXPIRE, faultfn::Schedule::Nth(1))
+            .build();
+        let mut jobs: VecDeque<Job> = VecDeque::new();
+        for i in 0..3 {
+            jobs.push_back(job_with(&ctx, i, &Default::default(), None));
+        }
+        let expired = split_expired(&mut jobs, Instant::now(), &faults);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].trace_id, 2, "second occurrence condemned");
+        assert_eq!(jobs.len(), 2);
+    }
+
+    /// Drain answers expired jobs with the typed error and never counts
+    /// them as served.
+    #[test]
+    fn drain_rejects_expired_without_serving_them() {
+        let ctx = context();
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 8,
+                max_delay: Duration::from_secs(5),
+                ..BatchOptions::default()
+            },
+            Arc::clone(&stats),
+        );
+        let rx_dead = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        let rx_live = batcher
+            .submit(
+                query(&ctx, 1),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        batcher.shutdown();
+        match rx_dead.recv().unwrap() {
+            Err(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            Ok(_) => panic!("expired job must not be served"),
+        }
+        assert!(rx_live.recv().unwrap().is_ok());
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.completed, 1, "only the live job counts as served");
+    }
+
+    #[test]
+    fn injected_queue_full_refuses_at_the_door() {
+        let ctx = context();
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                faults: faultfn::FaultPlan::new(1)
+                    .with(FAULT_QUEUE_FULL, faultfn::Schedule::Nth(0))
+                    .build(),
+                ..BatchOptions::default()
+            },
+            Arc::clone(&stats),
+        );
+        match batcher.submit(
+            query(&ctx, 0),
+            EngineKind::MuBlastp,
+            &Default::default(),
+            None,
+        ) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected injected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        let rx = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .expect("only the first submission is condemned");
+        assert!(rx.recv().unwrap().is_ok());
+        assert_eq!(stats.snapshot(0, 8).rejected, 1);
+    }
+
+    /// One injected shard failure degrades the answer instead of killing
+    /// it: survivors' results ship, tagged with the missing coverage.
+    #[test]
+    fn injected_shard_failure_degrades_the_batch() {
+        let ctx = sharded_context(3);
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                faults: faultfn::FaultPlan::new(7)
+                    .with(engine::FAULT_SHARD, faultfn::Schedule::Nth(1))
+                    .build(),
+                ..BatchOptions::default()
+            },
+            Arc::clone(&stats),
+        );
+        let rx = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        let out = rx.recv().unwrap().expect("partial loss still answers");
+        let degraded = out.degraded.expect("response is tagged degraded");
+        assert_eq!(degraded.failed_shards, vec![1], "shard 1 was condemned");
+        assert!(degraded.coverage_residues < degraded.total_residues);
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.shards[1].failures, 1);
+        assert_eq!(report.shards[0].failures, 0);
+    }
+
+    #[test]
+    fn losing_every_shard_is_a_typed_internal_error() {
+        let ctx = sharded_context(2);
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                faults: faultfn::FaultPlan::new(7)
+                    .with(engine::FAULT_SHARD, faultfn::Schedule::Always)
+                    .build(),
+                ..BatchOptions::default()
+            },
+            Arc::new(ServeStats::new()),
+        );
+        let rx = batcher
+            .submit(
+                query(&ctx, 0),
+                EngineKind::MuBlastp,
+                &Default::default(),
+                None,
+            )
+            .unwrap();
+        match rx.recv().unwrap() {
+            Err(e) => assert_eq!(e.code, ErrorCode::Internal),
+            Ok(_) => panic!("total shard loss must not look like success"),
         }
     }
 

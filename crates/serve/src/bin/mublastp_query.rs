@@ -3,13 +3,19 @@
 //! ```text
 //! mublastp-query --addr 127.0.0.1:7878 --query q.fasta
 //!                [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
-//!                [--seg yes|no] [--deadline-ms N]
+//!                [--seg yes|no] [--deadline-ms N] [--retries N]
 //!                [--trace out.json] [--trace-folded out.folded]
 //! mublastp-query --addr 127.0.0.1:7878 --stats
 //! mublastp-query --addr 127.0.0.1:7878 --shutdown
 //! ```
 //!
 //! Prints BLAST-style tabular output (one row per alignment).
+//! `--retries N` retries refused or unreachable searches up to N extra
+//! times with exponential backoff — only failures that provably happened
+//! before admission (connect errors, `Overloaded`, `ShuttingDown`) are
+//! retried, so a search never runs twice. A degraded answer (a sharded
+//! daemon lost some shards) still prints its rows, with a warning on
+//! stderr naming the missing shards and residue coverage.
 //! `--trace out.json` asks the daemon for this request's per-stage spans
 //! and writes them as a Chrome/Perfetto trace (open in `ui.perfetto.dev`
 //! or `chrome://tracing`); `--trace-folded` writes flamegraph folded
@@ -24,7 +30,7 @@ use std::process::ExitCode;
 use bioseq::read_fasta;
 use engine::EngineKind;
 use serve::proto::ErrorCode;
-use serve::{Client, ClientError, ParamOverrides};
+use serve::{Client, ClientError, ParamOverrides, RetryPolicy};
 
 const USAGE: &str = "\
 mublastp-query — query a running mublastpd
@@ -32,7 +38,7 @@ mublastp-query — query a running mublastpd
 USAGE:
   mublastp-query --addr HOST:PORT --query q.fasta
                  [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
-                 [--seg yes|no] [--deadline-ms N]
+                 [--seg yes|no] [--deadline-ms N] [--retries N]
                  [--trace out.json] [--trace-folded out.folded]
   mublastp-query --addr HOST:PORT --stats
   mublastp-query --addr HOST:PORT --shutdown";
@@ -101,9 +107,10 @@ fn run() -> Result<(), (u8, String)> {
     let usage = |e: String| (EXIT_USAGE, format!("{e}\n{USAGE}"));
 
     let addr = flags.require("--addr").map_err(usage)?;
-    let mut client = Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
 
     if flags.has("--shutdown") {
+        let mut client =
+            Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
         client
             .shutdown()
             .map_err(|e| (client_exit(&e), e.to_string()))?;
@@ -111,6 +118,8 @@ fn run() -> Result<(), (u8, String)> {
         return Ok(());
     }
     if flags.has("--stats") {
+        let mut client =
+            Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
         let s = client
             .stats()
             .map_err(|e| (client_exit(&e), e.to_string()))?;
@@ -120,6 +129,7 @@ fn run() -> Result<(), (u8, String)> {
         println!("rejected        {}", s.rejected);
         println!("expired         {}", s.expired);
         println!("completed       {}", s.completed);
+        println!("degraded        {}", s.degraded);
         println!("batches         {}", s.batches);
         for (i, n) in s.batch_hist.iter().enumerate().filter(|(_, &n)| n > 0) {
             println!("batches[{}]      {}", i + 1, n);
@@ -146,12 +156,13 @@ fn run() -> Result<(), (u8, String)> {
         }
         for sh in &s.shards {
             println!(
-                "shard[{}]        seqs={} residues={} searches={} \
+                "shard[{}]        seqs={} residues={} searches={} failures={} \
                  queued p50={}us p99={}us | search p50={}us p99={}us max={}us",
                 sh.shard,
                 sh.seqs,
                 sh.residues,
                 sh.search.count,
+                sh.failures,
                 sh.queued.p50_us,
                 sh.queued.p99_us,
                 sh.search.p50_us,
@@ -196,6 +207,7 @@ fn run() -> Result<(), (u8, String)> {
         },
     };
     let deadline_ms: u32 = flags.parse("--deadline-ms", 0u32).map_err(usage)?;
+    let retries: u32 = flags.parse("--retries", 0u32).map_err(usage)?;
     let trace_path = flags.get("--trace");
     let folded_path = flags.get("--trace-folded");
     let want_trace = trace_path.is_some() || folded_path.is_some();
@@ -211,9 +223,44 @@ fn run() -> Result<(), (u8, String)> {
     let queries =
         read_fasta(fasta.as_bytes()).map_err(|e| (EXIT_USAGE, format!("{query_path}: {e}")))?;
 
-    let response = client
-        .search_traced(&fasta, engine, overrides, deadline_ms, want_trace)
+    // One retry loop covers connect and admission refusals; a request
+    // that may already be running server-side is never re-sent.
+    let policy = RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        ..RetryPolicy::default()
+    };
+    let outcome = serve::retry::search_with_retry(
+        &policy,
+        || Client::connect_tcp(addr),
+        &fasta,
+        engine,
+        overrides,
+        deadline_ms,
+        want_trace,
+    );
+    if outcome.attempts > 1 {
+        eprintln!(
+            "mublastp-query: {} attempts ({} ms backing off)",
+            outcome.attempts,
+            outcome.slept.as_millis()
+        );
+    }
+    let response = outcome
+        .result
         .map_err(|e| (client_exit(&e), e.to_string()))?;
+
+    if let Some(d) = &response.degraded {
+        let pct = if d.total_residues > 0 {
+            100.0 * d.coverage_residues as f64 / d.total_residues as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "mublastp-query: WARNING: degraded results — shard(s) {:?} failed; \
+             {}/{} residues searched ({pct:.1}% coverage)",
+            d.failed_shards, d.coverage_residues, d.total_residues
+        );
+    }
 
     if want_trace {
         match &response.trace {

@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bioseq::{read_fasta, Sequence, SequenceDb};
-use dbindex::{DbIndex, IndexConfig, ShardedIndex};
+use dbindex::{DbIndex, IndexConfig, LoadOutcome, ShardedIndex};
 use engine::{EngineKind, SearchConfig};
 use scoring::{NeighborTable, BLOSUM62};
 use serve::{serve, BatchOptions, ResidentIndex, SearchContext, TcpTransport};
@@ -139,9 +139,27 @@ fn run() -> Result<(), (u8, String)> {
     } else {
         ResidentIndex::Single(match flags.get("--index") {
             Some(path) => {
-                let bytes = std::fs::read(path)
-                    .map_err(|e| (EXIT_LOAD, format!("cannot read {path}: {e}")))?;
-                dbindex::read_index(&bytes).map_err(|e| (EXIT_LOAD, format!("{path}: {e}")))?
+                // A damaged or unreadable index file is not fatal: the
+                // database is already resident, so retry the read and
+                // fall back to rebuilding in-process rather than exiting.
+                let (index, outcome) = dbindex::load_index_resilient(
+                    || std::fs::read(path),
+                    &db,
+                    &IndexConfig::default(),
+                    2,
+                    &faultfn::Faults::none(),
+                );
+                match outcome {
+                    LoadOutcome::Loaded => {}
+                    LoadOutcome::Recovered { attempts } => eprintln!(
+                        "mublastpd: warning: {path}: loaded on attempt {attempts}"
+                    ),
+                    LoadOutcome::Rebuilt => eprintln!(
+                        "mublastpd: warning: {path}: unreadable or corrupt — \
+                         rebuilt the index from the database"
+                    ),
+                }
+                index
             }
             None => DbIndex::build_parallel(&db, &IndexConfig::default(), threads),
         })
@@ -193,6 +211,7 @@ fn run() -> Result<(), (u8, String)> {
             obsv::ObsvConfig::off()
         },
         slow_query_us,
+        faults: faultfn::Faults::none(),
     };
     let mut handle = serve(transport, ctx, opts);
     handle.wait(); // returns after a wire Shutdown finished draining

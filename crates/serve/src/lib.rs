@@ -27,22 +27,30 @@
 //!   deterministic in-process pair for tests and examples.
 //! * [`server`] — the accept loop and per-connection frame handler.
 //! * [`client`] — a small synchronous client used by `mublastp-query`.
+//! * [`faulty`] — deterministic fault-injecting transport wrappers for
+//!   the chaos suite.
+//! * [`retry`] — a deterministic retry/backoff policy for clients, with
+//!   admission-aware classification of which failures are safe to retry.
 
 pub mod batcher;
 pub mod client;
+pub mod faulty;
 pub mod loopback;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
 pub use batcher::{BatchOptions, BatchOutput, Batcher, ResidentIndex, SearchContext, SubmitError};
 pub use client::{Client, ClientError};
+pub use faulty::{FaultyConn, FaultyTransport};
 pub use loopback::{loopback, LoopbackConn, LoopbackConnector, LoopbackTransport};
 pub use proto::{
-    ErrorCode, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse, ShardStat,
-    StageLatency, StatsReport, WireError,
+    Degraded, ErrorCode, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse,
+    ShardStat, StageLatency, StatsReport, WireError,
 };
+pub use retry::{retry, AttemptError, RetryOutcome, RetryPolicy};
 pub use server::{serve, ServerHandle};
 pub use stats::ServeStats;
 pub use transport::{TcpTransport, Transport};

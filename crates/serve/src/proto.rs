@@ -21,12 +21,15 @@
 //! Version 2 added observability fields (per-request trace ids, optional
 //! span traces in results, per-stage latency digests in stats). Version 3
 //! added per-shard rows to the stats frame (sharded daemons,
-//! `mublastpd --shards K`). The protocol stays backward compatible: a
-//! peer may speak any version in `MIN_PROTO_VERSION..=PROTO_VERSION`,
-//! new fields are *appended* to older payloads and simply omitted when
-//! encoding for an older peer, and the server always answers with the
-//! version the request arrived in (see [`read_frame_versioned`] /
-//! [`write_frame_v`]).
+//! `mublastpd --shards K`). Version 4 added graceful-degradation
+//! metadata: an optional [`Degraded`] block on results (which shards
+//! dropped out of a sharded search and how much of the database the
+//! answer covers), a `degraded` counter and per-shard failure counts in
+//! stats. The protocol stays backward compatible: a peer may speak any
+//! version in `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are
+//! *appended* to older payloads and simply omitted when encoding for an
+//! older peer, and the server always answers with the version the
+//! request arrived in (see [`read_frame_versioned`] / [`write_frame_v`]).
 
 use engine::{Alignment, QueryResult, StageCounts};
 use std::fmt;
@@ -36,8 +39,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: &[u8; 4] = b"MUBQ";
 /// Newest protocol version this build speaks (and the default for
 /// encoding). v2 added trace ids, optional span traces, and per-stage
-/// latency digests; v3 added per-shard stats rows.
-pub const PROTO_VERSION: u32 = 3;
+/// latency digests; v3 added per-shard stats rows; v4 added
+/// degraded-result metadata and per-shard failure counts.
+pub const PROTO_VERSION: u32 = 4;
 /// Oldest protocol version still accepted. Older frames decode with the
 /// newer fields at their defaults (no trace requested, no stage digests,
 /// no shard rows).
@@ -170,6 +174,22 @@ pub struct QueryReply {
     pub subject_ids: Vec<String>,
 }
 
+/// Degradation metadata on a [`SearchResponse`] (v4+): the request
+/// succeeded, but some database shards contributed nothing, so the
+/// answer covers only part of the search space. Surviving-shard
+/// alignments are bit-equal to a fault-free run — E-values were computed
+/// against the *global* database inside each shard — the merge only
+/// loses rows, never re-scores them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Ids of the shards that dropped out, ascending.
+    pub failed_shards: Vec<u32>,
+    /// Residues actually searched (surviving shards).
+    pub coverage_residues: u64,
+    /// Residues in the whole database.
+    pub total_residues: u64,
+}
+
 /// The response to a [`SearchRequest`]: one reply per submitted query, in
 /// submission order.
 #[derive(Clone, Debug, PartialEq)]
@@ -181,15 +201,21 @@ pub struct SearchResponse {
     /// Per-stage spans for this request, present when the request set
     /// `want_trace` and the daemon traces (v2+ only; dropped on v1).
     pub trace: Option<obsv::Trace>,
+    /// Present when shards dropped out of this search (v4+ only; dropped
+    /// on older wires — old clients see a plain, silently partial
+    /// response, exactly what they'd see from a v3 server).
+    pub degraded: Option<Degraded>,
 }
 
 impl SearchResponse {
-    /// A response carrying only replies (no trace attached).
+    /// A response carrying only replies (no trace or degradation
+    /// metadata attached).
     pub fn untraced(replies: Vec<QueryReply>) -> SearchResponse {
         SearchResponse {
             replies,
             trace_id: 0,
             trace: None,
+            degraded: None,
         }
     }
 }
@@ -237,6 +263,10 @@ pub struct StatsReport {
     /// unless the daemon serves a sharded index (v3+ only; dropped on
     /// older wires).
     pub shards: Vec<ShardStat>,
+    /// Requests answered with partial (degraded) results — some shards
+    /// failed but the survivors still produced an answer (v4+ only;
+    /// dropped on older wires).
+    pub degraded: u64,
 }
 
 /// Latency digest for one traced pipeline stage.
@@ -260,6 +290,9 @@ pub struct ShardStat {
     pub queued: LatencySummary,
     /// Per-dispatch search time on this shard.
     pub search: LatencySummary,
+    /// Dispatches in which this shard's task failed or was cancelled
+    /// (v4+ only; decodes as 0 on older wires).
+    pub failures: u64,
 }
 
 /// Every message that can cross the wire.
@@ -408,6 +441,7 @@ fn frame_type(frame: &Frame) -> u8 {
 fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
     let v2 = version >= 2;
     let v3 = version >= 3;
+    let v4 = version >= 4;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -455,6 +489,20 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                     None => put_u8(&mut p, 0),
                 }
             }
+            if v4 {
+                match &resp.degraded {
+                    Some(d) => {
+                        put_u8(&mut p, 1);
+                        put_u32(&mut p, d.failed_shards.len() as u32);
+                        for &s in &d.failed_shards {
+                            put_u32(&mut p, s);
+                        }
+                        put_u64(&mut p, d.coverage_residues);
+                        put_u64(&mut p, d.total_residues);
+                    }
+                    None => put_u8(&mut p, 0),
+                }
+            }
         }
         Frame::Error(e) => {
             put_u16(&mut p, e.code.to_wire());
@@ -493,7 +541,13 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                     put_u64(&mut p, sh.residues);
                     put_latency(&mut p, &sh.queued);
                     put_latency(&mut p, &sh.search);
+                    if v4 {
+                        put_u64(&mut p, sh.failures);
+                    }
                 }
+            }
+            if v4 {
+                put_u64(&mut p, s.degraded);
             }
         }
     }
@@ -689,6 +743,7 @@ fn get_trace(data: &mut &[u8], trace_id: u64) -> Result<obsv::Trace, ProtoError>
 fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, ProtoError> {
     let v2 = version >= 2;
     let v3 = version >= 3;
+    let v4 = version >= 4;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -745,10 +800,25 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             } else {
                 (0, None)
             };
+            let degraded = if v4 && get_u8(data)? != 0 {
+                let n = get_u32(data)? as usize;
+                let mut failed_shards = Vec::with_capacity(n.min(data.len() / 4 + 1));
+                for _ in 0..n {
+                    failed_shards.push(get_u32(data)?);
+                }
+                Some(Degraded {
+                    failed_shards,
+                    coverage_residues: get_u64(data)?,
+                    total_residues: get_u64(data)?,
+                })
+            } else {
+                None
+            };
             Frame::Results(SearchResponse {
                 replies,
                 trace_id,
                 trace,
+                degraded,
             })
         }
         3 => {
@@ -796,7 +866,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             };
             let shards = if v3 {
                 let n = get_u32(data)? as usize;
-                // Each shard row is 84 bytes; cap pre-allocation.
+                // Each shard row is 84 bytes (92 on v4); cap pre-allocation.
                 let mut shards = Vec::with_capacity(n.min(data.len() / 84 + 1));
                 for _ in 0..n {
                     shards.push(ShardStat {
@@ -805,12 +875,14 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                         residues: get_u64(data)?,
                         queued: get_latency(data)?,
                         search: get_latency(data)?,
+                        failures: if v4 { get_u64(data)? } else { 0 },
                     });
                 }
                 shards
             } else {
                 Vec::new()
             };
+            let degraded = if v4 { get_u64(data)? } else { 0 };
             Frame::Stats(Box::new(StatsReport {
                 queue_depth,
                 queue_cap,
@@ -826,6 +898,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 total,
                 stages,
                 shards,
+                degraded,
             }))
         }
         6 => Frame::Shutdown,
@@ -941,6 +1014,7 @@ mod tests {
             replies: Vec::new(),
             trace_id: 77,
             trace: Some(sample_trace(77)),
+            degraded: None,
         });
         assert_eq!(decode_frame(&encode_frame(&f)), Ok(f));
     }
@@ -971,6 +1045,7 @@ mod tests {
             replies: Vec::new(),
             trace_id: 42,
             trace: Some(sample_trace(42)),
+            degraded: None,
         });
         match decode_frame(&encode_frame_v(&resp, 1)) {
             Ok(Frame::Results(got)) => {
@@ -1029,6 +1104,7 @@ mod tests {
                         p99_us: 900,
                         max_us: 950,
                     },
+                    failures: 2,
                 },
                 ShardStat {
                     shard: 1,
@@ -1051,11 +1127,59 @@ mod tests {
     }
 
     #[test]
+    fn v4_degraded_metadata_roundtrips_and_vanishes_on_v3() {
+        let f = Frame::Results(SearchResponse {
+            replies: Vec::new(),
+            trace_id: 9,
+            trace: None,
+            degraded: Some(Degraded {
+                failed_shards: vec![1, 3],
+                coverage_residues: 700,
+                total_residues: 1000,
+            }),
+        });
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        // Older peers never see the block — append-only versioning: a v3
+        // client of a degraded v4 server gets a plain partial response.
+        for v in [1, 2, 3] {
+            match decode_frame(&encode_frame_v(&f, v)) {
+                Ok(Frame::Results(got)) => {
+                    assert!(got.degraded.is_none(), "version {v}")
+                }
+                other => panic!("expected Results, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v4_stats_failures_roundtrip_and_vanish_on_v3() {
+        let report = StatsReport {
+            degraded: 5,
+            shards: vec![
+                ShardStat { shard: 0, seqs: 4, residues: 400, failures: 2, ..ShardStat::default() },
+                ShardStat { shard: 1, seqs: 4, residues: 390, ..ShardStat::default() },
+            ],
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 3)) {
+            Ok(Frame::Stats(got)) => {
+                assert_eq!(got.degraded, 0, "v3 wire carries no degraded counter");
+                assert_eq!(got.shards.len(), 2, "v3 still carries the rows");
+                assert!(got.shards.iter().all(|s| s.failures == 0));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn unknown_stage_code_is_malformed_not_a_panic() {
         let f = Frame::Results(SearchResponse {
             replies: Vec::new(),
             trace_id: 1,
             trace: Some(sample_trace(1)),
+            degraded: None,
         });
         let mut bytes = encode_frame(&f);
         // Payload: count u32 (=0 replies), trace_id u64, has_trace u8,

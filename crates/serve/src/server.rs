@@ -235,6 +235,7 @@ fn handle_search(req: SearchRequest, ctx: &SearchContext, batcher: &Batcher) -> 
                 replies,
                 trace_id: out.trace_id,
                 trace: req.want_trace.then_some(out.trace),
+                degraded: out.degraded,
             })
         }
         Ok(Err(wire_error)) => Frame::Error(wire_error),

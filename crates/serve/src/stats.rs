@@ -8,7 +8,7 @@
 //! plenty for "is the queue melting" dashboards.
 
 use crate::proto::{LatencySummary, ShardStat, StageLatency, StatsReport};
-use engine::ShardTiming;
+use engine::{ShardFailure, ShardTiming};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -100,6 +100,7 @@ struct ShardSlot {
     residues: u64,
     queued: LatencyRecorder,
     search: LatencyRecorder,
+    failures: u64,
 }
 
 /// Everything the stats frame reports, behind one lock.
@@ -110,6 +111,7 @@ struct Inner {
     rejected: u64,
     expired: u64,
     completed: u64,
+    degraded: u64,
     batches: u64,
     batch_hist: Vec<u64>,
     queue_wait: LatencyRecorder,
@@ -181,6 +183,11 @@ impl ServeStats {
         s.total.record(total);
     }
 
+    /// A request was answered with partial (degraded) results.
+    pub fn on_degraded(&self) {
+        lock(&self.inner).degraded += 1;
+    }
+
     /// Declare the shard layout of a sharded daemon (`(sequences,
     /// residues)` per shard, in shard order). Called once at startup;
     /// every snapshot thereafter carries one [`ShardStat`] row per shard,
@@ -194,6 +201,7 @@ impl ServeStats {
                 residues,
                 queued: LatencyRecorder::new(),
                 search: LatencyRecorder::new(),
+                failures: 0,
             })
             .collect();
     }
@@ -208,6 +216,21 @@ impl ServeStats {
             if let Some(slot) = s.shards.get_mut(t.shard) {
                 slot.queued.record(t.queued);
                 slot.search.record(t.search);
+            }
+        }
+    }
+
+    /// Record which shards dropped out of one sharded dispatch. Failures
+    /// on shards never declared via [`ServeStats::init_shards`] are
+    /// ignored.
+    pub fn on_shard_failures(&self, failed: &[ShardFailure]) {
+        if failed.is_empty() {
+            return;
+        }
+        let mut s = lock(&self.inner);
+        for f in failed {
+            if let Some(slot) = s.shards.get_mut(f.shard) {
+                slot.failures += 1;
             }
         }
     }
@@ -238,6 +261,7 @@ impl ServeStats {
             rejected: s.rejected,
             expired: s.expired,
             completed: s.completed,
+            degraded: s.degraded,
             batches: s.batches,
             batch_hist: s.batch_hist.clone(),
             queue_wait: s.queue_wait.summary(),
@@ -263,6 +287,7 @@ impl ServeStats {
                     residues: sh.residues,
                     queued: sh.queued.summary(),
                     search: sh.search.summary(),
+                    failures: sh.failures,
                 })
                 .collect(),
         }
@@ -432,6 +457,23 @@ mod tests {
         assert!(report.shards[0].search.max_us >= 500);
         assert_eq!(report.shards[1].queued.count, 1);
         assert!(report.shards[1].queued.max_us >= 512);
+    }
+
+    #[test]
+    fn degraded_and_shard_failure_counters() {
+        let stats = ServeStats::new();
+        stats.init_shards(&[(4, 400), (4, 390)]);
+        stats.on_degraded();
+        stats.on_shard_failures(&[
+            ShardFailure { shard: 1, cause: engine::ShardFailCause::Injected },
+            // Out-of-range shard ids are ignored, not a panic.
+            ShardFailure { shard: 9, cause: engine::ShardFailCause::Injected },
+        ]);
+        stats.on_shard_failures(&[]);
+        let report = stats.snapshot(0, 4);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.shards[0].failures, 0);
+        assert_eq!(report.shards[1].failures, 1);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use engine::{Alignment, QueryResult, StageCounts};
 use serve::proto::{
-    decode_frame, encode_frame, encode_frame_v, ErrorCode, Frame, LatencySummary, ParamOverrides,
-    QueryReply, SearchRequest, SearchResponse, StageLatency, StatsReport, WireError,
+    decode_frame, encode_frame, encode_frame_v, Degraded, ErrorCode, Frame, LatencySummary,
+    ParamOverrides, QueryReply, SearchRequest, SearchResponse, ShardStat, StageLatency,
+    StatsReport, WireError,
 };
 
 /// xorshift64* — deterministic pseudo-randomness without `rand`.
@@ -159,10 +160,16 @@ fn random_frame(rng: &mut Rng) -> Frame {
                 .collect();
             let trace_id = rng.below(1 << 48);
             let trace = rng.bool().then(|| random_trace(rng, trace_id));
+            let degraded = rng.bool().then(|| Degraded {
+                failed_shards: (0..rng.usize_below(4)).map(|_| rng.below(64) as u32).collect(),
+                coverage_residues: rng.below(1 << 40),
+                total_residues: rng.below(1 << 40),
+            });
             Frame::Results(SearchResponse {
                 replies,
                 trace_id,
                 trace,
+                degraded,
             })
         }
         2 => Frame::Error(WireError {
@@ -198,6 +205,17 @@ fn random_frame(rng: &mut Rng) -> Frame {
                     latency: random_latency(rng),
                 })
                 .collect(),
+            shards: (0..rng.usize_below(4))
+                .map(|i| ShardStat {
+                    shard: i as u32,
+                    seqs: rng.below(1 << 24),
+                    residues: rng.below(1 << 36),
+                    queued: random_latency(rng),
+                    search: random_latency(rng),
+                    failures: rng.below(1 << 16),
+                })
+                .collect(),
+            degraded: rng.below(1 << 20),
         })),
         5 => Frame::Shutdown,
         _ => Frame::ShutdownAck,
@@ -233,10 +251,46 @@ fn v1_encodings_always_decode() {
             Ok(Frame::Results(resp)) => {
                 assert_eq!(resp.trace_id, 0, "case {case}");
                 assert!(resp.trace.is_none(), "case {case}");
+                assert!(resp.degraded.is_none(), "case {case}");
             }
-            Ok(Frame::Stats(s)) => assert!(s.stages.is_empty(), "case {case}"),
+            Ok(Frame::Stats(s)) => {
+                assert!(s.stages.is_empty(), "case {case}");
+                assert!(s.shards.is_empty(), "case {case}");
+                assert_eq!(s.degraded, 0, "case {case}");
+            }
             Ok(_) => {}
             Err(e) => panic!("case {case}: v1 encoding failed to decode: {e}"),
+        }
+    }
+}
+
+/// v3 encodings strip exactly the v4 additions — the degraded block, the
+/// per-shard failure counters, and the degraded-batches counter — while
+/// everything v3 carries survives untouched.
+#[test]
+fn v3_encodings_strip_only_the_v4_fields() {
+    let mut rng = Rng(0x5EED_0007);
+    for case in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_v(&frame, 3);
+        match (decode_frame(&bytes), &frame) {
+            (Ok(Frame::Results(got)), Frame::Results(sent)) => {
+                assert!(got.degraded.is_none(), "case {case}");
+                assert_eq!(got.replies, sent.replies, "case {case}");
+                assert_eq!(got.trace_id, sent.trace_id, "case {case}");
+            }
+            (Ok(Frame::Stats(got)), Frame::Stats(sent)) => {
+                assert_eq!(got.degraded, 0, "case {case}");
+                assert!(got.shards.iter().all(|s| s.failures == 0), "case {case}");
+                let mut expect = (**sent).clone();
+                expect.degraded = 0;
+                for s in &mut expect.shards {
+                    s.failures = 0;
+                }
+                assert_eq!(*got, expect, "case {case}");
+            }
+            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Err(e), _) => panic!("case {case}: v3 encoding failed to decode: {e}"),
         }
     }
 }
@@ -278,6 +332,165 @@ fn random_byte_soup_never_panics() {
         let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         let _ = decode_frame(&bytes);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Golden byte fixtures: the committed v3 and v4 encodings of fixed frames.
+// These pin the wire format itself — any codec change that alters bytes
+// (field order, widths, the append-only versioning discipline) fails here
+// even if it round-trips symmetrically. Regenerate deliberately with
+// `PROTO_BLESS=1` after an intentional, version-gated format change.
+// ---------------------------------------------------------------------------
+
+fn fixtures_dir() -> std::path::PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        return std::path::Path::new(dir).join("tests/fixtures");
+    }
+    for candidate in ["crates/serve/tests", "tests"] {
+        if std::path::Path::new(candidate).is_dir() {
+            return std::path::Path::new(candidate).join("fixtures");
+        }
+    }
+    panic!("fixtures directory not found; run from the repo or crate root")
+}
+
+/// Fixed, hand-written frames — no RNG, so the bytes cannot drift with
+/// generator tweaks.
+fn golden_frames() -> Vec<(&'static str, Frame)> {
+    let reply = QueryReply {
+        subject_ids: vec!["sp|P12345|TEST".to_string()],
+        result: QueryResult {
+            query_index: 0,
+            alignments: vec![Alignment {
+                subject: 7,
+                aln: align::GappedAlignment {
+                    q_start: 3,
+                    q_end: 40,
+                    s_start: 5,
+                    s_end: 42,
+                    score: 118,
+                    ops: vec![align::AlignOp::Sub, align::AlignOp::Ins, align::AlignOp::Del],
+                },
+                bit_score: 50.25,
+                evalue: 0.0009765625, // 2^-10: exactly representable
+            }],
+            counts: StageCounts {
+                hits: 1000,
+                pairs: 200,
+                extensions: 40,
+                seeds: 8,
+                gapped: 2,
+                reported: 1,
+            },
+        },
+    };
+    vec![
+        (
+            "results_degraded",
+            Frame::Results(SearchResponse {
+                replies: vec![reply],
+                trace_id: 99,
+                trace: None,
+                degraded: Some(Degraded {
+                    failed_shards: vec![1, 3],
+                    coverage_residues: 70_000,
+                    total_residues: 100_000,
+                }),
+            }),
+        ),
+        (
+            "stats_sharded",
+            Frame::Stats(Box::new(StatsReport {
+                queue_depth: 2,
+                queue_cap: 64,
+                max_depth_seen: 9,
+                accepted: 120,
+                rejected: 3,
+                expired: 1,
+                completed: 116,
+                batches: 40,
+                batch_hist: vec![10, 20, 10],
+                queue_wait: LatencySummary { count: 116, p50_us: 40, p99_us: 900, max_us: 1200 },
+                search: LatencySummary { count: 116, p50_us: 700, p99_us: 4000, max_us: 5000 },
+                total: LatencySummary { count: 116, p50_us: 800, p99_us: 5000, max_us: 6100 },
+                stages: vec![StageLatency {
+                    stage: obsv::Stage::Seed,
+                    latency: LatencySummary { count: 12, p50_us: 5, p99_us: 11, max_us: 13 },
+                }],
+                shards: vec![
+                    ShardStat {
+                        shard: 0,
+                        seqs: 50,
+                        residues: 14_000,
+                        queued: LatencySummary { count: 40, p50_us: 3, p99_us: 9, max_us: 12 },
+                        search: LatencySummary { count: 40, p50_us: 600, p99_us: 3000, max_us: 3600 },
+                        failures: 0,
+                    },
+                    ShardStat {
+                        shard: 1,
+                        seqs: 49,
+                        residues: 13_900,
+                        queued: LatencySummary::default(),
+                        search: LatencySummary::default(),
+                        failures: 4,
+                    },
+                ],
+                degraded: 4,
+            })),
+        ),
+        (
+            "error_overloaded",
+            Frame::Error(WireError {
+                code: ErrorCode::Overloaded,
+                message: "queue full".to_string(),
+                retry_after_ms: 250,
+            }),
+        ),
+    ]
+}
+
+/// The committed fixture bytes match today's encoder at both wire
+/// versions, and decode back to the expected frames (with the v4 fields
+/// stripped on the v3 bytes).
+#[test]
+fn golden_fixtures_pin_the_v3_and_v4_wire_bytes() {
+    let dir = fixtures_dir();
+    let bless = std::env::var_os("PROTO_BLESS").is_some();
+    for (name, frame) in golden_frames() {
+        for version in [3u32, 4] {
+            let bytes = encode_frame_v(&frame, version);
+            let path = dir.join(format!("{name}.v{version}.bin"));
+            if bless {
+                std::fs::create_dir_all(&dir).expect("create fixtures dir");
+                std::fs::write(&path, &bytes).expect("write fixture");
+                continue;
+            }
+            let golden = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("{}: {e} (regenerate with PROTO_BLESS=1)", path.display()));
+            assert_eq!(
+                golden, bytes,
+                "{name} v{version}: encoder bytes drifted from the committed fixture \
+                 (an intentional format change must bump the version and re-bless)"
+            );
+            let decoded = decode_frame(&golden)
+                .unwrap_or_else(|e| panic!("{name} v{version}: fixture failed to decode: {e}"));
+            match (version, &frame, &decoded) {
+                (4, sent, got) => assert_eq!(got, sent, "{name} v4"),
+                (3, Frame::Results(sent), Frame::Results(got)) => {
+                    assert!(got.degraded.is_none(), "{name} v3");
+                    assert_eq!(got.replies, sent.replies, "{name} v3");
+                }
+                (3, Frame::Stats(sent), Frame::Stats(got)) => {
+                    assert_eq!(got.degraded, 0, "{name} v3");
+                    assert!(got.shards.iter().all(|s| s.failures == 0), "{name} v3");
+                    assert_eq!(got.shards.len(), sent.shards.len(), "{name} v3");
+                }
+                (3, sent, got) => assert_eq!(got, sent, "{name} v3"),
+                _ => unreachable!(),
+            }
+        }
+    }
+    assert!(!bless, "PROTO_BLESS run regenerated fixtures; unset it and re-run to verify");
 }
 
 #[test]
