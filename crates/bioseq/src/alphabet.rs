@@ -27,6 +27,11 @@ pub const WORD_SPACE: usize = ALPHABET_SIZE * ALPHABET_SIZE * ALPHABET_SIZE;
 /// Canonical residue ordering (NCBI / BLOSUM order).
 pub const RESIDUES: [u8; ALPHABET_SIZE] = *b"ARNDCQEGHILKMFPSTWYVBZX*";
 
+/// Residue code of the ambiguity letter `X` (position in [`RESIDUES`]).
+/// Maskers write this code directly instead of round-tripping through
+/// [`encode_residue`].
+pub const X_CODE: u8 = 22;
+
 /// Packed word identifier in `0..WORD_SPACE`.
 pub type Word = u32;
 
@@ -205,6 +210,12 @@ mod tests {
         for c in [b'J', b'O', b'U', b'j', b'-'] {
             assert_eq!(encode_residue(c), Some(x));
         }
+    }
+
+    #[test]
+    fn x_code_matches_the_encoding_table() {
+        assert_eq!(encode_residue(b'X'), Some(X_CODE));
+        assert_eq!(decode_residue(X_CODE), b'X');
     }
 
     #[test]

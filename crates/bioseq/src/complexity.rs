@@ -19,7 +19,7 @@
 //! The muBLASTP engines apply SEG to the *query* when
 //! `SearchParams::seg_filter` is on (like `blastp -seg yes`).
 
-use crate::alphabet::{encode_residue, ALPHABET_SIZE};
+use crate::alphabet::{ALPHABET_SIZE, X_CODE};
 
 /// SEG parameters (NCBI defaults).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -107,10 +107,9 @@ pub fn seg_intervals(seq: &[u8], params: &SegParams) -> Vec<(usize, usize)> {
 /// assert!(masked.ends_with("XXXXXXXX"));
 /// ```
 pub fn seg_mask(seq: &[u8], params: &SegParams) -> Vec<u8> {
-    let x = encode_residue(b'X').expect("X is in the alphabet");
     let mut out = seq.to_vec();
     for (lo, hi) in seg_intervals(seq, params) {
-        out[lo..hi].fill(x);
+        out[lo..hi].fill(X_CODE);
     }
     out
 }
@@ -145,7 +144,7 @@ mod tests {
     fn homopolymer_run_is_masked() {
         let seq = enc(&format!("MKVLARNDCQEG{}HILKMFPSTWYV", "P".repeat(30)));
         let masked = seg_mask(&seq, &SegParams::default());
-        let x = encode_residue(b'X').unwrap();
+        let x = X_CODE;
         // The P-run is fully masked…
         let run = &masked[12..42];
         assert!(run.iter().all(|&r| r == x), "run not masked");

@@ -159,7 +159,7 @@ impl SequenceDb {
             median_len: lens[lens.len() / 2],
             mean_len: total as f64 / lens.len() as f64,
             min_len: lens[0],
-            max_len: *lens.last().unwrap(),
+            max_len: lens[lens.len() - 1],
         }
     }
 

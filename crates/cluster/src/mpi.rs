@@ -31,12 +31,17 @@ impl<M: Send> Comm<M> {
 
     /// Send `msg` to `dest` (asynchronous, never blocks).
     pub fn send(&self, dest: usize, msg: M) {
+        // lint: allow(no-unwrap): `run_world` keeps every rank's receiver
+        // alive until all rank bodies return — a hangup is rank death,
+        // which MPI semantics also treat as fatal for the job.
         self.senders[dest].send((self.rank, msg)).expect("receiver hung up");
     }
 
     /// Receive the next message (any source); blocks until one arrives.
     /// Returns `(source, message)`.
     pub fn recv(&self) -> (usize, M) {
+        // lint: allow(no-unwrap): same lifetime invariant as `send` — the
+        // world holds all senders until every rank body returns.
         self.receiver.recv().expect("all senders hung up")
     }
 
@@ -105,11 +110,18 @@ where
             .map(|comm| scope.spawn(move |_| body(comm)))
             .collect();
         for (slot, h) in results.iter_mut().zip(handles) {
+            // lint: allow(no-unwrap): a panicking rank body is a test-rig
+            // bug; propagating the panic (MPI_Abort semantics) is the
+            // intended behaviour, not an error to recover from.
             *slot = Some(h.join().expect("rank panicked"));
         }
     })
+    // lint: allow(no-unwrap): crossbeam::scope only errors when a child
+    // panicked, which the join above already propagates.
     .expect("world thread panicked");
-    results.into_iter().map(|r| r.unwrap()).collect()
+    let collected: Vec<R> = results.into_iter().flatten().collect();
+    assert_eq!(collected.len(), size, "every rank must produce a result");
+    collected
 }
 
 #[cfg(test)]

@@ -74,6 +74,19 @@ fn chunk_residues(seq_lens: &[usize], bins: usize) -> Vec<usize> {
     out
 }
 
+/// The thread that frees up first, by index scan: f64 has no `Ord`, and
+/// an index walk needs neither `partial_cmp` nor an unwrap. The slice is
+/// never empty (thread counts are asserted positive at every entry).
+fn earliest_free(threads: &mut [f64]) -> &mut f64 {
+    let mut best = 0;
+    for i in 1..threads.len() {
+        if threads[i] < threads[best] {
+            best = i;
+        }
+    }
+    &mut threads[best]
+}
+
 /// Simulate muBLASTP's multi-node execution.
 ///
 /// * `seq_lens` — database sequence lengths (any order).
@@ -96,11 +109,7 @@ pub fn simulate_mublastp(
         let mut threads = vec![0f64; threads_per_node];
         for &qlen in query_lens {
             let t = cost.task_cost(qlen, residues);
-            let slot = threads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).unwrap())
-                .unwrap();
-            *slot += t;
+            *earliest_free(&mut threads) += t;
         }
         compute.push(threads.iter().cloned().fold(0.0, f64::max));
     }
@@ -146,8 +155,8 @@ pub fn simulate_mpiblast(
     let workers = nodes * ranks_per_node;
     // One database fragment per worker, unsorted chunk partitioning.
     let fragments = chunk_residues(seq_lens, workers);
-    let frag_max = *fragments.iter().max().unwrap();
-    let frag_min = *fragments.iter().min().unwrap();
+    let frag_max = fragments.iter().copied().max().unwrap_or(0);
+    let frag_min = fragments.iter().copied().min().unwrap_or(0);
 
     let mut makespan = 0.0f64;
     let mut compute_max = 0.0f64;
@@ -201,11 +210,7 @@ pub fn simulate_query_partitioned(
                 continue;
             }
             let t = cost.task_cost(qlen, db_residues);
-            let best = threads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).unwrap())
-                .unwrap();
-            *best += t;
+            *earliest_free(&mut threads) += t;
         }
         *slot = threads.iter().cloned().fold(0.0, f64::max);
     }

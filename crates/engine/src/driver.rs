@@ -216,6 +216,9 @@ pub fn search_batch_traced(
         }
         EngineKind::DbInterleaved | EngineKind::MuBlastp => {
             let Some(index) = index else {
+                // lint: allow(panic-reach): contract panic — every serving
+                // caller (serve::SearchSession) builds the index with the
+                // engine; a None here is a harness bug, not a data fault.
                 panic!(
                     "database-indexed engines need a DbIndex (got None for {:?})",
                     config.kind
@@ -262,6 +265,8 @@ pub fn search_batch_traced(
                                 config.sort,
                                 config.prefilter,
                             ),
+                            // lint: allow(panic-reach): this match arm sits
+                            // under the DbInterleaved|MuBlastp outer arm.
                             EngineKind::QueryIndexed => unreachable!(),
                         }
                         (qi, std::mem::take(&mut scratch.seeds), counts)
@@ -360,6 +365,8 @@ where
                         config.sort,
                         config.prefilter,
                     ),
+                    // lint: allow(panic-reach): the streamed path rejects
+                    // QueryIndexed configurations before reaching here.
                     EngineKind::QueryIndexed => unreachable!(),
                 }
                 (std::mem::take(&mut scratch.seeds), counts)

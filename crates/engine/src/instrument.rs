@@ -103,6 +103,8 @@ pub fn trace_engine(
             );
         }
         EngineKind::DbInterleaved | EngineKind::MuBlastp => {
+            // lint: allow(no-unwrap): instrumentation is bench/CLI-side;
+            // its callers construct the index alongside the engine kind.
             let index = index.expect("database-indexed tracing needs an index");
             let regions = db_regions(&mut space, index, query.len());
             let mut ctx = TraceCtx::new(&mut hierarchy, regions);
@@ -177,6 +179,8 @@ pub fn trace_engine_multicore(
                 ..Default::default()
             }
         }
+        // lint: allow(no-unwrap): same caller precondition as trace_engine —
+        // database-indexed kinds are always invoked with their index.
         _ => db_regions(&mut space, index.expect("database-indexed tracing needs an index"), max_qlen),
     };
     let max_cells = match kind {
@@ -279,6 +283,8 @@ pub fn trace_engine_multicore(
             }
         }
         _ => {
+            // lint: allow(no-unwrap): database-indexed kinds always carry
+            // their index (checked by every instrumentation caller).
             for block in index.unwrap().blocks() {
                 let work = Work::Block(block);
                 let traces: Vec<Vec<(u64, u32)>> =

@@ -341,6 +341,8 @@ impl Batcher {
         }
         // The fault check runs first so the site's occurrence count is
         // "submissions seen", independent of queue depth.
+        // lint: allow(lock-across-fire): Faults::fire is a pair of atomic
+        // counter ops — it cannot block or take a lock under `queue`.
         let injected_full = self.shared.opts.faults.fire(FAULT_QUEUE_FULL);
         if injected_full || state.jobs.len() >= self.shared.opts.queue_cap {
             drop(state);
@@ -496,8 +498,18 @@ fn worker_loop(shared: &Shared) {
         // work is flushed, not aged.
         while state.jobs.len() < shared.opts.max_batch && !state.draining {
             let now = Instant::now();
+            // lint: allow(lock-across-fire): `Faults::none()` never fires,
+            // and Faults::fire is atomics-only in any case.
             let expired = split_expired(&mut state.jobs, now, &faultfn::Faults::none());
-            reject_expired(shared, expired, now);
+            if !expired.is_empty() {
+                // Answer the dead with the queue lock released: the reply
+                // receiver may react immediately (in-process loopback) and
+                // must not contend with this worker for `queue`.
+                drop(state);
+                reject_expired(shared, expired, now);
+                state = lock(&shared.queue);
+                continue;
+            }
             let Some(formed_by) = state
                 .jobs
                 .front()
@@ -522,10 +534,12 @@ fn worker_loop(shared: &Shared) {
         // chaos suite can condemn arbitrary queued jobs), then batch the
         // live prefix.
         let now = Instant::now();
+        // lint: allow(lock-across-fire): Faults::fire is atomics-only and
+        // cannot block while `queue` is held.
         let expired = split_expired(&mut state.jobs, now, &shared.opts.faults);
-        reject_expired(shared, expired, now);
         let batch = take_batch(&mut state.jobs, shared.opts.max_batch);
         drop(state);
+        reject_expired(shared, expired, now);
         dispatch(shared, batch);
     }
 }

@@ -1,0 +1,30 @@
+//! Seeded defect: channel sends while a lock is held — directly, and
+//! through a helper the call-graph must see through. `xtask analyze`
+//! (and `xtask fixtures`) must convict this file under
+//! `lock-across-send`.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Queue {
+    pub jobs: Mutex<Vec<u64>>,
+}
+
+/// Direct: the reply goes out with `jobs` still held.
+pub fn submit(q: &Queue, reply: &Sender<u64>, job: u64) {
+    let mut jobs = q.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    jobs.push(job);
+    let _ = reply.send(job);
+}
+
+fn notify(reply: &Sender<u64>, job: u64) {
+    let _ = reply.send(job);
+}
+
+/// Interprocedural: the send hides one call deep.
+pub fn drain(q: &Queue, reply: &Sender<u64>) {
+    let jobs = q.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    for &job in jobs.iter() {
+        notify(reply, job);
+    }
+}

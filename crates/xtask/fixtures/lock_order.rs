@@ -1,0 +1,23 @@
+//! Seeded defect: two code paths acquire the same pair of locks in
+//! opposite orders — the classic AB/BA deadlock. `xtask analyze` (and
+//! `xtask fixtures`) must convict this file under `lock-order`.
+
+pub struct Registry {
+    pub index: std::sync::Mutex<Vec<u32>>,
+    pub stats: std::sync::Mutex<u64>,
+}
+
+/// Path one: index, then stats.
+pub fn record(reg: &Registry, id: u32) {
+    let mut index = reg.index.lock().unwrap_or_else(|p| p.into_inner());
+    index.push(id);
+    let mut stats = reg.stats.lock().unwrap_or_else(|p| p.into_inner());
+    *stats += 1;
+}
+
+/// Path two: stats, then index — inverted, deadlocks against `record`.
+pub fn audit(reg: &Registry) -> usize {
+    let stats = reg.stats.lock().unwrap_or_else(|p| p.into_inner());
+    let index = reg.index.lock().unwrap_or_else(|p| p.into_inner());
+    index.len() + *stats as usize
+}

@@ -1,0 +1,17 @@
+//! Seeded defect: a panic three calls deep under a serving entry point
+//! (fixture entries use the same `search_batch*` naming convention as
+//! the engine). `xtask analyze` (and `xtask fixtures`) must convict
+//! this file under `panic-reach` and report the full call chain.
+
+fn finish(scores: Option<Vec<i32>>) -> Vec<i32> {
+    scores.expect("scoring stage must have run")
+}
+
+fn step(scores: Option<Vec<i32>>) -> Vec<i32> {
+    finish(scores)
+}
+
+/// The fixture's serving entry point.
+pub fn search_batch_fixture(scores: Option<Vec<i32>>) -> Vec<i32> {
+    step(scores)
+}

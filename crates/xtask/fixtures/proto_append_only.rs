@@ -1,0 +1,46 @@
+//! Seeded defect: a v2 field encoded *after* a v3 field — the spliced
+//! layout breaks every v2 decoder's prefix read. Encode/decode pairing
+//! is kept consistent so only the ordering rule fires. `xtask analyze`
+//! (and `xtask fixtures`) must convict this file under
+//! `proto-append-only`.
+
+fn frame_type(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Search(_) => 1,
+    }
+}
+
+fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
+    let v2 = version >= 2;
+    let v3 = version >= 3;
+    let mut p = Vec::new();
+    match frame {
+        Frame::Search(req) => {
+            put_str(&mut p, &req.fasta);
+            if v3 {
+                put_u32(&mut p, req.shard_hint);
+            }
+            // DEFECT: v2's trace id is spliced after v3's shard hint, so
+            // a v2 peer reads the shard hint's bytes as the trace id.
+            if v2 {
+                put_u64(&mut p, req.trace_id);
+            }
+        }
+    }
+    p
+}
+
+fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, ProtoError> {
+    let v2 = version >= 2;
+    let v3 = version >= 3;
+    let data = &mut p;
+    match frame_type {
+        1 => {
+            let fasta = get_str(data)?;
+            let shard_hint = if v3 { get_u32(data)? } else { 0 };
+            let trace_id = if v2 { get_u64(data)? } else { 0 };
+            Ok(Frame::Search(SearchRequest { fasta, shard_hint, trace_id }))
+        }
+        other => Err(ProtoError::UnknownFrame(other)),
+    }
+}

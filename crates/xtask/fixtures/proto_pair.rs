@@ -1,0 +1,40 @@
+//! Seeded defect: the encoder writes a v2 latency digest the decoder
+//! never reads — every v2 frame carries bytes the other side treats as
+//! trailing garbage. Field order stays monotone so only the pairing
+//! rule fires. `xtask analyze` (and `xtask fixtures`) must convict this
+//! file under `proto-pair`.
+
+fn frame_type(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Stats(_) => 1,
+    }
+}
+
+fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
+    let v2 = version >= 2;
+    let mut p = Vec::new();
+    match frame {
+        Frame::Stats(s) => {
+            put_u32(&mut p, s.completed);
+            if v2 {
+                put_u64(&mut p, s.batches);
+                // DEFECT: the decoder below never reads this digest.
+                put_latency(&mut p, &s.queue_wait);
+            }
+        }
+    }
+    p
+}
+
+fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, ProtoError> {
+    let v2 = version >= 2;
+    let data = &mut p;
+    match frame_type {
+        1 => {
+            let completed = get_u32(data)?;
+            let batches = if v2 { get_u64(data)? } else { 0 };
+            Ok(Frame::Stats(StatsReport { completed, batches }))
+        }
+        other => Err(ProtoError::UnknownFrame(other)),
+    }
+}

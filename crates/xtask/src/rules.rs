@@ -15,13 +15,25 @@
 use crate::lexer::{lex, Lexed, Tok, TokKind};
 use std::collections::{HashMap, HashSet};
 
-/// One lint violation.
+/// One lint or analysis violation.
 #[derive(Clone, Debug)]
 pub struct Finding {
     pub rule: &'static str,
     pub path: String,
     pub line: usize,
     pub msg: String,
+    /// For interprocedural findings: the call chain from an entry point
+    /// to the offending site (empty for single-site findings). Carried
+    /// into the JSON report; the human-readable `msg` already spells it
+    /// out.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A single-site finding (no call chain).
+    pub fn new(rule: &'static str, path: &str, line: usize, msg: String) -> Finding {
+        Finding { rule, path: path.to_string(), line, msg, chain: Vec::new() }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -117,43 +129,56 @@ pub struct FileCx<'a> {
 }
 
 impl<'a> FileCx<'a> {
+    /// Prepare a lexed file for rule checks: compute the test mask and
+    /// resolve inline `lint: allow(...)` annotations to line sets.
     pub fn new(path: &'a str, lexed: &'a Lexed) -> FileCx<'a> {
         let in_test = test_mask(&lexed.tokens);
-        let mut allowed: HashMap<String, HashSet<usize>> = HashMap::new();
-        for allow in &lexed.allows {
-            let lines = allowed.entry(allow.rule.clone()).or_default();
-            lines.insert(allow.line);
-            if allow.stands_alone {
-                // A standalone comment covers the next line that carries
-                // code (skipping further comment-only lines).
-                if let Some(next) =
-                    lexed.tokens.iter().find(|t| t.line > allow.line && t.kind != TokKind::DocComment)
-                {
-                    lines.insert(next.line);
-                }
-            }
-        }
+        let allowed = allowed_lines(lexed);
         FileCx { path, tokens: &lexed.tokens, in_test, allowed }
     }
 
-    fn is_test(&self, tok_index: usize) -> bool {
+    /// Whether the token at `tok_index` sits inside a test region.
+    pub fn is_test(&self, tok_index: usize) -> bool {
         self.in_test.get(tok_index).copied().unwrap_or(false)
     }
 
-    fn is_allowed(&self, rule: &str, line: usize) -> bool {
+    /// Whether `line` carries an inline `lint: allow(rule)` suppression.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
         self.allowed.get(rule).is_some_and(|lines| lines.contains(&line))
     }
 
-    fn report(&self, rule: &'static str, line: usize, msg: String, out: &mut Vec<Finding>) {
+    /// Emit a finding unless the line is inline-suppressed for `rule`.
+    pub fn report(&self, rule: &'static str, line: usize, msg: String, out: &mut Vec<Finding>) {
         if !self.is_allowed(rule, line) {
-            out.push(Finding { rule, path: self.path.to_string(), line, msg });
+            out.push(Finding::new(rule, self.path, line, msg));
         }
     }
 }
 
+/// Resolve a lexed file's inline `lint: allow(...)` annotations to the
+/// line sets they suppress, per rule. Shared by the lint engine (via
+/// [`FileCx`]) and the analysis passes (via their per-file units).
+pub fn allowed_lines(lexed: &Lexed) -> HashMap<String, HashSet<usize>> {
+    let mut allowed: HashMap<String, HashSet<usize>> = HashMap::new();
+    for allow in &lexed.allows {
+        let lines = allowed.entry(allow.rule.clone()).or_default();
+        lines.insert(allow.line);
+        if allow.stands_alone {
+            // A standalone comment covers the next line that carries
+            // code (skipping further comment-only lines).
+            if let Some(next) =
+                lexed.tokens.iter().find(|t| t.line > allow.line && t.kind != TokKind::DocComment)
+            {
+                lines.insert(next.line);
+            }
+        }
+    }
+    allowed
+}
+
 /// Mark tokens covered by `#[cfg(test)]` / `#[test]` items (attribute →
 /// following braced item). Nested regions simply re-mark.
-fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {

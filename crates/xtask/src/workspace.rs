@@ -95,9 +95,10 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Budget>, String> {
 }
 
 /// Apply budgets: findings fully covered by a budget are suppressed;
-/// over-budget groups are reported whole. The returned notes flag slack
-/// (budget higher than reality) and stale entries so the ratchet only
-/// ever tightens.
+/// over-budget groups are reported whole. Slack (budget higher than
+/// reality) is noted; a *stale* entry — zero findings left — is a hard
+/// `stale-allow` finding: dead suppressions are latent policy holes, and
+/// `xtask lint --update-allow` removes them mechanically.
 pub fn apply_budgets(findings: Vec<Finding>, budgets: &[Budget]) -> (Vec<Finding>, Vec<String>) {
     let mut counts: HashMap<(&str, &str), usize> = HashMap::new();
     for f in &findings {
@@ -129,12 +130,19 @@ pub fn apply_budgets(findings: Vec<Finding>, budgets: &[Budget]) -> (Vec<Finding
         })
         .cloned()
         .collect();
+    let mut kept = kept;
     for b in budgets {
         let n = counts.get(&(b.rule.as_str(), b.path.as_str())).copied().unwrap_or(0);
         if n == 0 {
-            notes.push(format!(
-                "lint.allow: stale entry `{} {} {}` (no findings) — remove it",
-                b.rule, b.path, b.max
+            kept.push(Finding::new(
+                "stale-allow",
+                &b.path,
+                0,
+                format!(
+                    "lint.allow entry `{} {} {}` matches no findings — remove it \
+                     (or run `xtask lint --update-allow`)",
+                    b.rule, b.path, b.max
+                ),
             ));
         } else if n < b.max {
             notes.push(format!(
@@ -146,12 +154,35 @@ pub fn apply_budgets(findings: Vec<Finding>, budgets: &[Budget]) -> (Vec<Finding
     (kept, notes)
 }
 
+/// Rewrite the allowlist so every budget equals the current finding
+/// count, never raising a budget and never adding entries: the ratchet
+/// only tightens. Entries whose findings are gone disappear.
+pub fn update_allow(findings: &[Finding], budgets: &[Budget]) -> String {
+    let mut counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for f in findings {
+        *counts.entry((f.rule, f.path.as_str())).or_default() += 1;
+    }
+    let mut out = String::from(
+        "# Per-file lint budgets (burn-down ratchet). `<rule> <path> <max>`.\n\
+         # Maintained by `xtask lint --update-allow`: budgets only shrink, and\n\
+         # entries are never added by hand without a removal plan.\n",
+    );
+    for b in budgets {
+        let n = counts.get(&(b.rule.as_str(), b.path.as_str())).copied().unwrap_or(0);
+        let new_max = n.min(b.max);
+        if new_max > 0 {
+            out.push_str(&format!("{} {} {}\n", b.rule, b.path, new_max));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
-        Finding { rule, path: path.to_string(), line, msg: String::new() }
+        Finding::new(rule, path, line, String::new())
     }
 
     #[test]
@@ -183,12 +214,33 @@ mod tests {
     }
 
     #[test]
-    fn slack_and_stale_entries_are_noted() {
+    fn slack_is_noted_and_stale_entries_are_hard_errors() {
         let budgets = parse_allowlist("no-unwrap a.rs 5\nno-unwrap gone.rs 2").unwrap();
         let (kept, notes) = apply_budgets(vec![finding("no-unwrap", "a.rs", 1)], &budgets);
-        assert!(kept.is_empty());
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].rule, "stale-allow");
+        assert_eq!(kept[0].path, "gone.rs");
         assert!(notes.iter().any(|n| n.contains("ratchet down")));
-        assert!(notes.iter().any(|n| n.contains("stale entry")));
+    }
+
+    #[test]
+    fn update_allow_only_tightens() {
+        let budgets =
+            parse_allowlist("no-unwrap a.rs 5\nno-unwrap gone.rs 2\nno-unwrap b.rs 1").unwrap();
+        let findings = vec![
+            finding("no-unwrap", "a.rs", 1),
+            finding("no-unwrap", "a.rs", 2),
+            finding("no-unwrap", "b.rs", 1),
+            finding("no-unwrap", "b.rs", 2), // over budget: stays at old max
+            finding("no-unwrap", "new.rs", 1), // unbudgeted: never added
+        ];
+        let text = update_allow(&findings, &budgets);
+        assert!(text.contains("no-unwrap a.rs 2\n"), "{text}");
+        assert!(text.contains("no-unwrap b.rs 1\n"), "{text}");
+        assert!(!text.contains("gone.rs"), "{text}");
+        assert!(!text.contains("new.rs"), "{text}");
+        let reparsed = parse_allowlist(&text).unwrap();
+        assert_eq!(reparsed.len(), 2);
     }
 
     #[test]
