@@ -121,6 +121,7 @@ impl RunReport {
         let mut path = PathBuf::from(
             std::env::var("MUBLASTP_BENCH_DIR").unwrap_or_else(|_| ".".to_string()),
         );
+        fs::create_dir_all(&path)?;
         path.push(format!("BENCH_{date}.json"));
         let merged = match fs::read_to_string(&path) {
             Ok(existing) => append_to_array(&existing, &self.to_json()),

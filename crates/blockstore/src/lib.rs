@@ -1,0 +1,171 @@
+//! Out-of-core database search: the v3 block/chunk store behind an LRU
+//! decoded-block cache and the engine's shard-backend seam.
+//!
+//! The paper's execution structure — a serial loop over index blocks
+//! with parallel queries inside each block (Alg. 3) — already bounds the
+//! working set to one block. This crate completes the consequence: if
+//! only one block needs to be resident at a time, the index does not
+//! need to be resident at all. It provides
+//!
+//! * [`BlockCache`] — decoded [`dbindex::IndexBlock`]s under a byte
+//!   budget, strict LRU, shared across stores, with atomic hit / miss /
+//!   eviction / residency counters ([`CacheCounters`]) exported through
+//!   the serve stats frame;
+//! * [`SequenceStore`] — one open v3 file: footer directory + cached
+//!   block fetches, every failure a typed [`StoreError`];
+//! * [`search_store`] — the engine's streamed block loop over a store,
+//!   bit-identical to a resident search;
+//! * [`StreamingShards`] — [`engine::ShardBackend`] over disk-resident
+//!   shards, so the sharded driver's dispatch, deadline, degradation and
+//!   statistics-correct merge machinery runs unchanged out-of-core, with
+//!   storage failures degrading like lost shards
+//!   ([`engine::ShardFailCause::Storage`]).
+//!
+//! Fault injection hooks ([`FAULT_FETCH_SHORT`], [`FAULT_FETCH_FLIP`],
+//! [`FAULT_FETCH_LATENCY`]) corrupt fetched records the way real storage
+//! does, which the chaos battery uses to pin the contract: searches
+//! either succeed bit-identically or report exact degraded coverage.
+
+pub mod cache;
+pub mod stream;
+
+pub use cache::{BlockCache, CacheCounters, CounterSnapshot};
+pub use stream::{
+    search_store, write_store_file, SequenceStore, StoreError, StreamingShard, StreamingShards,
+    FAULT_FETCH_FLIP, FAULT_FETCH_LATENCY, FAULT_FETCH_SHORT,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::{Sequence, SequenceDb};
+    use dbindex::{DbIndex, IndexConfig};
+    use engine::{search_batch, EngineKind, SearchConfig};
+    use scoring::{NeighborTable, SearchParams, BLOSUM62};
+    use std::sync::{Arc, OnceLock};
+
+    fn neighbors() -> &'static NeighborTable {
+        static T: OnceLock<NeighborTable> = OnceLock::new();
+        T.get_or_init(|| NeighborTable::build(&BLOSUM62, 11))
+    }
+
+    fn toy_db() -> SequenceDb {
+        let motifs = ["WCHWMYFWCHW", "MKVLAARND", "HILKMFPSTW", "CQEGHILKMF"];
+        (0..24)
+            .map(|i| {
+                let m = motifs[i % motifs.len()];
+                let pad_a = "AG".repeat(3 + i % 5);
+                let pad_b = "VL".repeat(2 + i % 7);
+                Sequence::from_str_checked(format!("s{i}"), &format!("{pad_a}{m}{pad_b}{m}"))
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn index_config() -> IndexConfig {
+        IndexConfig { block_bytes: 512, offset_bits: 15, frag_overlap: 8 }
+    }
+
+    fn search_config() -> SearchConfig {
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        SearchConfig::new(EngineKind::MuBlastp).with_params(params)
+    }
+
+    fn queries(db: &SequenceDb) -> Vec<Sequence> {
+        (0..4)
+            .map(|i| Sequence::from_encoded(format!("q{i}"), db.get(i * 5).residues().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn store_search_is_bit_identical_to_resident_search() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = search_config();
+        let index = DbIndex::build(&db, &index_config());
+        let reference = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+        let bytes = dbindex::write_store(&index);
+        let cache = Arc::new(BlockCache::new(u64::MAX));
+        let store = SequenceStore::open(
+            std::io::Cursor::new(bytes),
+            cache,
+            faultfn::Faults::none(),
+        )
+        .unwrap();
+        let out = search_store(&db, &store, neighbors(), &queries, &cfg).unwrap();
+        assert!(reference.iter().any(|r| !r.alignments.is_empty()));
+        engine::results_identical(&reference, &out).expect("outputs must be bit-identical");
+    }
+
+    #[test]
+    fn cache_counters_track_a_two_pass_search() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = search_config();
+        let index = DbIndex::build(&db, &index_config());
+        let n_blocks = index.blocks().len() as u64;
+        assert!(n_blocks >= 2, "want a multi-block index");
+        let bytes = dbindex::write_store(&index);
+        let cache = Arc::new(BlockCache::new(u64::MAX));
+        let store =
+            SequenceStore::open(std::io::Cursor::new(bytes), Arc::clone(&cache), faultfn::Faults::none())
+                .unwrap();
+        search_store(&db, &store, neighbors(), &queries, &cfg).unwrap();
+        let first = cache.counters().snapshot();
+        assert_eq!(first.misses, n_blocks, "cold pass fetches every block");
+        assert_eq!(first.fetched_blocks, n_blocks);
+        assert!(first.decoded_postings > 0);
+        search_store(&db, &store, neighbors(), &queries, &cfg).unwrap();
+        let second = cache.counters().snapshot();
+        assert_eq!(second.misses, first.misses, "warm pass fetches nothing");
+        assert_eq!(second.hits, first.hits + n_blocks);
+    }
+
+    #[test]
+    fn fetch_faults_surface_as_typed_errors() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = search_config();
+        let index = DbIndex::build(&db, &index_config());
+        let bytes = dbindex::write_store(&index);
+        for site in [FAULT_FETCH_SHORT, FAULT_FETCH_FLIP] {
+            let faults = faultfn::FaultPlan::new(5)
+                .with(site, faultfn::Schedule::Nth(0))
+                .build();
+            let cache = Arc::new(BlockCache::new(u64::MAX));
+            let store =
+                SequenceStore::open(std::io::Cursor::new(bytes.clone()), cache, faults).unwrap();
+            let err = search_store(&db, &store, neighbors(), &queries, &cfg)
+                .expect_err("injected fault must fail the search");
+            assert!(matches!(err, StoreError::Format(_)), "{site}: {err}");
+        }
+    }
+
+    #[test]
+    fn latency_fault_does_not_change_results() {
+        let db = toy_db();
+        let queries = queries(&db);
+        let cfg = search_config();
+        let index = DbIndex::build(&db, &index_config());
+        let reference = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+        let bytes = dbindex::write_store(&index);
+        let faults = faultfn::FaultPlan::new(5)
+            .with(FAULT_FETCH_LATENCY, faultfn::Schedule::Always)
+            .build();
+        let cache = Arc::new(BlockCache::new(u64::MAX));
+        let store = SequenceStore::open(std::io::Cursor::new(bytes), cache, faults).unwrap();
+        let out = search_store(&db, &store, neighbors(), &queries, &cfg).unwrap();
+        engine::results_identical(&reference, &out).expect("outputs must be bit-identical");
+    }
+
+    #[test]
+    fn out_of_range_block_is_a_typed_error() {
+        let index = DbIndex::build(&toy_db(), &index_config());
+        let bytes = dbindex::write_store(&index);
+        let cache = Arc::new(BlockCache::new(u64::MAX));
+        let store = SequenceStore::open(std::io::Cursor::new(bytes), cache, faultfn::Faults::none())
+            .unwrap();
+        assert!(store.block(store.num_blocks()).is_err());
+    }
+}

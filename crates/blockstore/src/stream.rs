@@ -1,0 +1,341 @@
+//! Disk-backed sequence stores and the streaming shard backend.
+//!
+//! [`SequenceStore`] opens a v3 block/chunk file by reading only its
+//! footer directory, then serves decoded blocks one at a time through a
+//! shared [`BlockCache`]. [`search_store`] drives the engine's streamed
+//! block loop over such a store, and [`StreamingShards`] implements
+//! [`engine::ShardBackend`] so the sharded driver — LPT dispatch,
+//! deadlines, fault injection, `Shard` spans, statistics-correct merge —
+//! runs unchanged over disk-resident shards. Output is bit-identical to
+//! the resident engines; the only new failure mode is storage, which
+//! surfaces as [`StoreError`] (typed, never a panic) and degrades a
+//! sharded search exactly like a lost resident shard.
+
+use crate::cache::BlockCache;
+use bioseq::{Sequence, SequenceDb, SequenceId};
+use dbindex::{
+    read_directory, DbIndex, IndexBlock, IndexConfig, SerialError, ShardPlan, StoreDirectory,
+    StoreWriter,
+};
+use engine::{QueryResult, SearchConfig, ShardBackend, ShardFailCause};
+use faultfn::Faults;
+use obsv::{Trace, TraceSession};
+use scoring::NeighborTable;
+use std::cell::RefCell;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Fault site: drop the tail of a fetched record (a short read / torn
+/// page), keyed by block id via [`Faults::fire_at`].
+pub const FAULT_FETCH_SHORT: &str = "blockstore.fetch.short";
+/// Fault site: flip one bit of a fetched record (media corruption), keyed
+/// by block id.
+pub const FAULT_FETCH_FLIP: &str = "blockstore.fetch.flip";
+/// Fault site: stall a fetch briefly (a slow device), keyed by block id.
+/// Latency perturbs timing only — results must stay bit-identical.
+pub const FAULT_FETCH_LATENCY: &str = "blockstore.fetch.latency";
+
+/// Why a store operation failed. Storage problems are data, not bugs:
+/// every path returns this instead of panicking.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying reader failed (missing file, short file, EIO).
+    Io(std::io::Error),
+    /// The bytes fetched do not decode: truncated, corrupt, or the wrong
+    /// format version.
+    Format(SerialError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "block store I/O error: {e}"),
+            StoreError::Format(e) => write!(f, "block store format error: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SerialError> for StoreError {
+    fn from(e: SerialError) -> StoreError {
+        StoreError::Format(e)
+    }
+}
+
+/// One open v3 store: a seekable reader, its footer directory, and a
+/// handle into a shared [`BlockCache`].
+///
+/// The reader sits behind a mutex so one store can serve concurrent
+/// shard tasks; each fetch holds the lock only for its seek+read.
+pub struct SequenceStore<R: Read + Seek> {
+    reader: Mutex<R>,
+    dir: StoreDirectory,
+    cache: Arc<BlockCache>,
+    store_id: u32,
+    faults: Faults,
+}
+
+impl<R: Read + Seek> SequenceStore<R> {
+    /// Open a store by reading its directory (constant memory — no block
+    /// is decoded) and registering with `cache`.
+    pub fn open(
+        mut reader: R,
+        cache: Arc<BlockCache>,
+        faults: Faults,
+    ) -> Result<SequenceStore<R>, StoreError> {
+        let dir = read_directory(&mut reader)?;
+        let store_id = cache.register_store();
+        Ok(SequenceStore { reader: Mutex::new(reader), dir, cache, store_id, faults })
+    }
+
+    /// The parsed footer directory.
+    pub fn directory(&self) -> &StoreDirectory {
+        &self.dir
+    }
+
+    /// Index configuration the store was built with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.dir.config
+    }
+
+    /// Number of blocks in the store.
+    pub fn num_blocks(&self) -> usize {
+        self.dir.blocks.len()
+    }
+
+    /// The shared cache this store fetches through.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Fetch block `i`, from cache when resident, else by seek + read +
+    /// decode (verifying the record CRC) + insert. Injected faults
+    /// surface exactly like real ones: a short read or bit flip becomes
+    /// a typed decode error, latency only delays.
+    pub fn block(&self, i: usize) -> Result<Arc<IndexBlock>, StoreError> {
+        let meta = *self.dir.blocks.get(i).ok_or(StoreError::Format(SerialError::Truncated))?;
+        // lint: allow(lossy-cast): directory rows are u32-indexed by
+        // construction (the tail stores n_blocks as u32).
+        let block_id = i as u32;
+        if let Some(b) = self.cache.get(self.store_id, block_id) {
+            return Ok(b);
+        }
+        let mut buf = vec![0u8; meta.len as usize];
+        {
+            let mut r = match self.reader.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            r.seek(SeekFrom::Start(meta.offset))?;
+            r.read_exact(&mut buf)?;
+        }
+        if self.faults.fire_at(FAULT_FETCH_LATENCY, u64::from(block_id)) {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        if self.faults.fire_at(FAULT_FETCH_SHORT, u64::from(block_id)) {
+            buf.truncate(buf.len() / 2);
+        }
+        if self.faults.fire_at(FAULT_FETCH_FLIP, u64::from(block_id)) {
+            let mid = buf.len() / 2;
+            if let Some(byte) = buf.get_mut(mid) {
+                *byte ^= 0x40;
+            }
+        }
+        let fetched = buf.len() as u64;
+        let t0 = Instant::now();
+        let decoded = dbindex::decode_block(&buf, self.dir.config.offset_bits)?;
+        let decode_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.cache
+            .counters()
+            .record_fetch(fetched, decode_ns, decoded.total_positions() as u64);
+        let decoded = Arc::new(decoded);
+        self.cache.insert(self.store_id, block_id, Arc::clone(&decoded));
+        Ok(decoded)
+    }
+}
+
+/// Serialize `index` as a v3 store file at `path` via the streaming
+/// writer, returning the directory.
+pub fn write_store_file(index: &DbIndex, path: &Path) -> Result<StoreDirectory, StoreError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = StoreWriter::new(std::io::BufWriter::new(file), index.config())?;
+    for block in index.blocks() {
+        writer.push(block)?;
+    }
+    let (mut w, dir) = writer.finish()?;
+    w.flush()?;
+    Ok(dir)
+}
+
+/// Search a batch against a disk-resident store: the engine's streamed
+/// block loop, fed one cached block at a time. Output is bit-identical to
+/// [`engine::search_batch`] over the same index; a fetch failure aborts
+/// the whole search with its typed error (no partial results escape).
+pub fn search_store<R: Read + Seek>(
+    db: &SequenceDb,
+    store: &SequenceStore<R>,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+) -> Result<Vec<QueryResult>, StoreError> {
+    let first_error: RefCell<Option<StoreError>> = RefCell::new(None);
+    let mut next = 0usize;
+    let n = store.num_blocks();
+    let blocks = std::iter::from_fn(|| {
+        if next >= n {
+            return None;
+        }
+        match store.block(next) {
+            Ok(b) => {
+                next += 1;
+                Some(b)
+            }
+            Err(e) => {
+                *first_error.borrow_mut() = Some(e);
+                None
+            }
+        }
+    });
+    let results = engine::search_batch_streamed(db, blocks, neighbors, queries, config);
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(results),
+    }
+}
+
+/// One disk-resident shard: its sub-database (needed by the finish
+/// stages), the local→global id map, and its open store.
+pub struct StreamingShard<R: Read + Seek> {
+    /// Global id of each local sequence (`ids[local] == global`).
+    pub ids: Vec<SequenceId>,
+    /// The shard's sequences, in ascending global-id order.
+    pub db: SequenceDb,
+    /// The shard's v3 store.
+    pub store: SequenceStore<R>,
+}
+
+/// A database partitioned into disk-resident shards sharing one block
+/// cache — the out-of-core counterpart of [`dbindex::ShardedIndex`],
+/// driven through [`engine::search_batch_backend_traced`].
+pub struct StreamingShards<R: Read + Seek> {
+    shards: Vec<StreamingShard<R>>,
+    global_residues: usize,
+    global_seqs: usize,
+    cache: Arc<BlockCache>,
+}
+
+impl<R: Read + Seek> StreamingShards<R> {
+    /// Assemble from already-opened shards (all sharing `cache`).
+    /// `global` is the whole database's `(residues, sequences)` —
+    /// the Karlin–Altschul search space for statistics-correct merges.
+    pub fn from_shards(
+        shards: Vec<StreamingShard<R>>,
+        global: (usize, usize),
+        cache: Arc<BlockCache>,
+    ) -> StreamingShards<R> {
+        StreamingShards { shards, global_residues: global.0, global_seqs: global.1, cache }
+    }
+
+    /// The shards, indexed by shard id.
+    pub fn shards(&self) -> &[StreamingShard<R>] {
+        &self.shards
+    }
+
+    /// The shared block cache.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+}
+
+impl StreamingShards<std::fs::File> {
+    /// Partition `db` into `shards` LPT-balanced shards, write one v3
+    /// store file per shard under `dir` (`shard<K>.mubp`), and open them
+    /// all through one cache. Shard indexes are built one at a time and
+    /// dropped after writing, so peak memory is one shard's index.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` (same contract as [`ShardPlan::balance`]).
+    pub fn build_in_dir(
+        db: &SequenceDb,
+        config: &IndexConfig,
+        shards: usize,
+        dir: &Path,
+        cache: Arc<BlockCache>,
+        faults: &Faults,
+    ) -> Result<StreamingShards<std::fs::File>, StoreError> {
+        let plan = ShardPlan::balance_db(db, shards);
+        let mut out = Vec::with_capacity(plan.shards());
+        for s in 0..plan.shards() {
+            let mut ids: Vec<SequenceId> = Vec::with_capacity(plan.members(s).len());
+            let mut local = SequenceDb::new();
+            for &gid in plan.members(s) {
+                // Plans are index-addressed; `gid` fits SequenceId
+                // because it addresses an existing db sequence.
+                // lint: allow(lossy-cast): see above.
+                ids.push(gid as SequenceId);
+                // lint: allow(lossy-cast): see above.
+                local.push(db.get(gid as SequenceId).clone());
+            }
+            let path = dir.join(format!("shard{s}.mubp"));
+            let index = DbIndex::build(&local, config);
+            write_store_file(&index, &path)?;
+            drop(index);
+            let file = std::fs::File::open(&path)?;
+            let store = SequenceStore::open(file, Arc::clone(&cache), faults.clone())?;
+            out.push(StreamingShard { ids, db: local, store });
+        }
+        Ok(StreamingShards::from_shards(
+            out,
+            (db.total_residues(), db.len()),
+            cache,
+        ))
+    }
+}
+
+impl<R: Read + Seek + Send> ShardBackend for StreamingShards<R> {
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_residues(&self, s: usize) -> usize {
+        self.shards[s].db.total_residues()
+    }
+
+    fn global_db(&self) -> (usize, usize) {
+        (self.global_residues, self.global_seqs)
+    }
+
+    /// Stream-search one shard. Engine spans are not recorded on this
+    /// path (the streamed block loop is untraced); the driver's `Shard`
+    /// span still times the task. A storage failure — I/O, truncation,
+    /// CRC mismatch, injected fault — degrades the shard with
+    /// [`ShardFailCause::Storage`] instead of failing the search.
+    fn search_shard(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        _session: &TraceSession,
+    ) -> Result<(Vec<QueryResult>, Trace), ShardFailCause> {
+        let shard = &self.shards[s];
+        let mut results = search_store(&shard.db, &shard.store, neighbors, queries, inner)
+            .map_err(|_| ShardFailCause::Storage)?;
+        // Report in global subject ids.
+        for qr in &mut results {
+            for a in &mut qr.alignments {
+                a.subject = shard.ids[a.subject as usize];
+            }
+        }
+        Ok((results, Trace::new()))
+    }
+}

@@ -403,6 +403,13 @@ impl DbIndex {
         self.blocks.iter().map(|b| b.total_positions()).sum()
     }
 
+    /// Approximate resident footprint: the sum of every block's
+    /// [`IndexBlock::memory_bytes`] — what a fully loaded index charges
+    /// against serving memory (reported in the daemon's stats frame).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.memory_bytes()).sum()
+    }
+
     pub(crate) fn from_parts(blocks: Vec<IndexBlock>, config: IndexConfig) -> DbIndex {
         DbIndex { blocks, config }
     }

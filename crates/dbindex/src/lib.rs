@@ -31,6 +31,7 @@ pub mod config;
 pub mod crc;
 pub mod serial;
 pub mod shard;
+pub mod store;
 
 pub use block::{BlockSeq, DbIndex, IndexBlock};
 pub use config::{optimal_block_bytes, IndexConfig};
@@ -39,3 +40,7 @@ pub use serial::{
     FAULT_LOAD,
 };
 pub use shard::{DbShard, ShardPlan, ShardedIndex};
+pub use store::{
+    decode_block, encode_block, read_directory, read_store, write_store, PostingsCursor,
+    StoreBlockMeta, StoreDirectory, StoreWriter, CHUNK_FANOUT, STORE_VERSION,
+};

@@ -18,6 +18,12 @@
 //! bit flip on disk must be rejected at startup ([`SerialError::Corrupt`])
 //! rather than silently producing garbage hits. Version 1 files (no
 //! trailer) are still read.
+//!
+//! Version 3 is the out-of-core block/chunk store defined in
+//! [`crate::store`] (per-block records, varint chunk codec, footer
+//! directory). It shares this module's magic and version field, and
+//! [`read_index`] dispatches to it transparently, so every v1/v2 caller —
+//! including [`load_index_resilient`] — accepts v3 images unchanged.
 
 use crate::block::{BlockSeq, DbIndex, IndexBlock};
 use crate::config::IndexConfig;
@@ -140,6 +146,9 @@ pub fn read_index(data: &[u8]) -> Result<DbIndex, SerialError> {
         return Err(SerialError::BadMagic);
     }
     let version = get_u32(&mut cur)?;
+    if version == crate::store::STORE_VERSION {
+        return crate::store::read_store(data);
+    }
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SerialError::BadVersion(version));
     }

@@ -1,0 +1,832 @@
+//! The v3 on-disk block/chunk store: an IR-style layout for out-of-core
+//! search.
+//!
+//! Versions 1/2 ([`crate::serial`]) serialize the whole index as one flat
+//! image — fine when the index is loaded resident, useless when it is
+//! not. Version 3 restructures the same CSR data into the two-level
+//! layout information-retrieval engines use for posting lists on disk:
+//!
+//! * the **block** is the fetch/cache unit: one self-contained record per
+//!   [`IndexBlock`], individually CRC-32'd so a damaged block is detected
+//!   *when fetched*, not at load time;
+//! * the **chunk** is the decompression unit: postings are cut into
+//!   fixed-fanout groups of [`CHUNK_FANOUT`] entries, each stored as a
+//!   LEB128 varint head plus zigzag-varint deltas (the paper's
+//!   local-offset packing keeps the values small, so deltas compress
+//!   well); [`PostingsCursor`] decodes one chunk at a time;
+//! * a **footer directory** maps block id → byte extent, CRC, seq-id
+//!   range, residue count and decoded size, so a reader can fetch any
+//!   block with one seek and budget a cache without decoding anything.
+//!
+//! ```text
+//! header  := magic "MUBP" | version u32 = 3 | block_bytes u64 |
+//!            offset_bits u32 | frag_overlap u64 | n_blocks u32
+//! record  := n_seqs u32 | {global_id, frag_offset, start, len}×n |
+//!            residues (len u64 + bytes) |
+//!            offsets (count u64 + byte_len u32 + varint head/deltas) |
+//!            entries (count u64 + byte_len u32 + chunks) |
+//!            crc32 u32 (over the record)
+//! chunks  := n_chunks u32 | {count u16, byte_len u32}×n | payloads
+//! footer  := {offset u64, len u32, crc u32, n_seqs u32, first_seq u32,
+//!             last_seq u32, residues u64, decoded_bytes u64,
+//!             n_entries u64}×n_blocks |
+//!            n_blocks u32 | dir_len u32 | dir_crc u32 | magic "MUBF"
+//! ```
+//!
+//! [`StoreWriter`] streams the file block by block — the whole index is
+//! never materialized as one buffer. [`crate::read_index`] accepts v3
+//! images transparently (append-only format family), so
+//! [`crate::load_index_resilient`] keeps working unchanged.
+
+use crate::block::{BlockSeq, DbIndex, IndexBlock};
+use crate::config::IndexConfig;
+use crate::crc::crc32;
+use crate::serial::SerialError;
+use bioseq::alphabet::WORD_SPACE;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Format version of the block/chunk store (the family shares the v1/v2
+/// magic, so one loader dispatches on the version field).
+pub const STORE_VERSION: u32 = 3;
+
+/// Postings per chunk: the decompression grain. 128 packed postings keep
+/// a decoded chunk inside one or two cache lines' worth of work while the
+/// varint payload stays small enough to sit in L1 during decode.
+pub const CHUNK_FANOUT: usize = 128;
+
+const MAGIC: &[u8; 4] = b"MUBP";
+const FOOTER_MAGIC: &[u8; 4] = b"MUBF";
+/// header = magic + version + block_bytes + offset_bits + frag_overlap +
+/// n_blocks.
+const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 8 + 4;
+/// Byte offset of the `n_blocks` field [`StoreWriter::finish`] patches.
+const N_BLOCKS_OFFSET: u64 = (HEADER_LEN - 4) as u64;
+/// One directory row (see module docs).
+const DIR_ROW: usize = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+/// footer tail = n_blocks + dir_len + dir_crc + footer magic.
+const TAIL_LEN: usize = 4 + 4 + 4 + 4;
+
+// ---------------------------------------------------------------------
+// Little-endian + varint primitives (std-only, mirroring `serial`).
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        // lint: allow(lossy-cast): LEB128 keeps exactly the low 7 bits.
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    // lint: allow(lossy-cast): the loop above leaves v < 0x80.
+    out.push(v as u8);
+}
+
+/// Zigzag-fold a signed delta so small magnitudes of either sign stay
+/// short varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn take<'a>(data: &mut &'a [u8], n: usize) -> Result<&'a [u8], SerialError> {
+    if data.len() < n {
+        return Err(SerialError::Truncated);
+    }
+    let (head, tail) = data.split_at(n);
+    *data = tail;
+    Ok(head)
+}
+
+fn get_u16(data: &mut &[u8]) -> Result<u16, SerialError> {
+    let b = take(data, 2)?;
+    Ok(u16::from_le_bytes([b[0], b[1]]))
+}
+
+fn get_u32(data: &mut &[u8]) -> Result<u32, SerialError> {
+    let b = take(data, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn get_u64(data: &mut &[u8]) -> Result<u64, SerialError> {
+    let b = take(data, 8)?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+fn get_varint(data: &mut &[u8]) -> Result<u64, SerialError> {
+    let mut v = 0u64;
+    for shift in 0..10 {
+        let b = take(data, 1)?[0];
+        let payload = u64::from(b & 0x7f);
+        // The tenth byte may only carry the top bit of a u64.
+        if shift == 9 && payload > 1 {
+            return Err(SerialError::Truncated);
+        }
+        v |= payload << (7 * shift);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(SerialError::Truncated)
+}
+
+// ---------------------------------------------------------------------
+// Chunk codec: fixed-fanout varint groups over a posting array.
+// ---------------------------------------------------------------------
+
+/// Encode a posting array as fixed-fanout chunks (see module docs).
+/// The empty array encodes as zero chunks.
+pub fn encode_postings(entries: &[u32], out: &mut Vec<u8>) {
+    let chunks: Vec<&[u32]> = entries.chunks(CHUNK_FANOUT).collect();
+    // lint: allow(lossy-cast): chunk count ≤ entry count, which the v1/v2
+    // format already bounds to u32-addressable positions per block.
+    put_u32(out, chunks.len() as u32);
+    let mut payloads = Vec::new();
+    for chunk in &chunks {
+        let start = payloads.len();
+        put_varint(&mut payloads, u64::from(chunk[0]));
+        for w in chunk.windows(2) {
+            put_varint(&mut payloads, zigzag(i64::from(w[1]) - i64::from(w[0])));
+        }
+        // lint: allow(lossy-cast): a chunk holds ≤ CHUNK_FANOUT postings
+        // (fits u16) of ≤ 10 varint bytes each (fits u32).
+        put_u16(out, chunk.len() as u16);
+        // lint: allow(lossy-cast): see above — chunk payload fits u32.
+        put_u32(out, (payloads.len() - start) as u32);
+    }
+    out.extend_from_slice(&payloads);
+}
+
+/// Chunk-at-a-time decoder over an encoded posting region — the read
+/// grain of the out-of-core pipeline: a caller that only needs the first
+/// chunks of a long posting list never pays to decode the rest.
+pub struct PostingsCursor<'a> {
+    /// `(count, byte_len)` per chunk.
+    dir: Vec<(u16, u32)>,
+    payloads: &'a [u8],
+    next: usize,
+}
+
+impl<'a> PostingsCursor<'a> {
+    /// Parse the chunk directory of an encoded region produced by
+    /// [`encode_postings`].
+    pub fn new(mut data: &'a [u8]) -> Result<PostingsCursor<'a>, SerialError> {
+        let n_chunks = get_u32(&mut data)? as usize;
+        let mut dir = Vec::with_capacity(n_chunks.min(1 << 20));
+        for _ in 0..n_chunks {
+            let count = get_u16(&mut data)?;
+            let byte_len = get_u32(&mut data)?;
+            if count == 0 || count as usize > CHUNK_FANOUT {
+                return Err(SerialError::Truncated);
+            }
+            dir.push((count, byte_len));
+        }
+        Ok(PostingsCursor { dir, payloads: data, next: 0 })
+    }
+
+    /// Number of chunks in the region.
+    pub fn n_chunks(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Total postings across all chunks (directory sum; nothing decoded).
+    pub fn n_postings(&self) -> usize {
+        self.dir.iter().map(|&(c, _)| c as usize).sum()
+    }
+
+    /// Decode the next chunk into `out` (appended). Returns `false` when
+    /// the region is exhausted. A short or malformed payload yields a
+    /// typed error, never a panic.
+    pub fn next_chunk(&mut self, out: &mut Vec<u32>) -> Result<bool, SerialError> {
+        let Some(&(count, byte_len)) = self.dir.get(self.next) else {
+            return Ok(false);
+        };
+        self.next += 1;
+        let mut payload = take(&mut self.payloads, byte_len as usize)?;
+        let head = get_varint(&mut payload)?;
+        let mut prev = i64::try_from(head).map_err(|_| SerialError::Truncated)?;
+        if u32::try_from(prev).is_err() {
+            return Err(SerialError::Truncated);
+        }
+        // lint: allow(lossy-cast): range-checked by the guard above.
+        out.push(prev as u32);
+        for _ in 1..count {
+            let delta = unzigzag(get_varint(&mut payload)?);
+            prev = prev.checked_add(delta).ok_or(SerialError::Truncated)?;
+            let v = u32::try_from(prev).map_err(|_| SerialError::Truncated)?;
+            out.push(v);
+        }
+        if !payload.is_empty() {
+            return Err(SerialError::Truncated);
+        }
+        Ok(true)
+    }
+}
+
+/// Decode a whole encoded posting region, checking the total count.
+pub fn decode_postings(data: &[u8], n_entries: usize) -> Result<Vec<u32>, SerialError> {
+    let mut cursor = PostingsCursor::new(data)?;
+    // Clamp the pre-allocation: `n_entries` may be a corrupted length
+    // field, and a hostile value must fail the count check below, not
+    // abort on an absurd reservation.
+    let mut out = Vec::with_capacity(n_entries.min(1 << 20));
+    while cursor.next_chunk(&mut out)? {}
+    if out.len() != n_entries {
+        return Err(SerialError::Truncated);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Block records.
+// ---------------------------------------------------------------------
+
+/// Serialize one block as a self-contained, CRC-trailed record.
+pub fn encode_block(block: &IndexBlock) -> Vec<u8> {
+    let (seqs, residues, offsets, entries) = block.parts();
+    let mut out = Vec::with_capacity(residues.len() + entries.len() * 2 + 64);
+    // lint: allow(lossy-cast): a block holds at most
+    // `max_seqs_per_block() = 2^(32-offset_bits)` fragments (asserted at
+    // build time in `DbIndex::finish_block`).
+    put_u32(&mut out, seqs.len() as u32);
+    for s in seqs {
+        put_u32(&mut out, s.global_id);
+        put_u32(&mut out, s.frag_offset);
+        put_u32(&mut out, s.start);
+        put_u32(&mut out, s.len);
+    }
+    put_u64(&mut out, residues.len() as u64);
+    out.extend_from_slice(residues);
+    // CSR offsets are monotone, so plain (unsigned) deltas suffice.
+    put_u64(&mut out, offsets.len() as u64);
+    let mut enc = Vec::with_capacity(offsets.len());
+    if let Some((&head, rest)) = offsets.split_first() {
+        put_varint(&mut enc, u64::from(head));
+        let mut prev = head;
+        for &o in rest {
+            put_varint(&mut enc, u64::from(o - prev));
+            prev = o;
+        }
+    }
+    // lint: allow(lossy-cast): `WORD_SPACE + 1` varints of ≤ 5 bytes each.
+    put_u32(&mut out, enc.len() as u32);
+    out.extend_from_slice(&enc);
+    put_u64(&mut out, entries.len() as u64);
+    let mut chunked = Vec::with_capacity(entries.len() * 2);
+    encode_postings(entries, &mut chunked);
+    // lint: allow(lossy-cast): the chunked form of a u32-addressable
+    // posting array is ≤ 10 bytes per posting, within u32 for any block
+    // the v1/v2 format can express.
+    put_u32(&mut out, chunked.len() as u32);
+    out.extend_from_slice(&chunked);
+    let sum = crc32(&out);
+    put_u32(&mut out, sum);
+    out
+}
+
+/// Decode a block record written by [`encode_block`]. The body is parsed
+/// first so plain truncation reports [`SerialError::Truncated`]; a record
+/// that parses but fails its CRC — bit rot, a torn write, an injected
+/// fetch fault — is [`SerialError::Corrupt`].
+pub fn decode_block(record: &[u8], offset_bits: u32) -> Result<IndexBlock, SerialError> {
+    if record.len() < 4 {
+        return Err(SerialError::Truncated);
+    }
+    let (body, trailer) = record.split_at(record.len() - 4);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let mut cur = body;
+    let n_seqs = get_u32(&mut cur)? as usize;
+    let raw = take(&mut cur, n_seqs.checked_mul(16).ok_or(SerialError::Truncated)?)?;
+    let seqs: Vec<BlockSeq> = raw
+        .chunks_exact(16)
+        .map(|c| BlockSeq {
+            global_id: u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+            frag_offset: u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            start: u32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+            len: u32::from_le_bytes([c[12], c[13], c[14], c[15]]),
+        })
+        .collect();
+    let n_res = get_u64(&mut cur)? as usize;
+    let residues = take(&mut cur, n_res)?.to_vec();
+    let n_off = get_u64(&mut cur)? as usize;
+    if n_off != WORD_SPACE + 1 {
+        return Err(SerialError::Truncated);
+    }
+    let off_len = get_u32(&mut cur)? as usize;
+    let mut enc = take(&mut cur, off_len)?;
+    let mut offsets = Vec::with_capacity(n_off);
+    let mut acc = 0u64;
+    for i in 0..n_off {
+        let d = get_varint(&mut enc)?;
+        acc = if i == 0 { d } else { acc.checked_add(d).ok_or(SerialError::Truncated)? };
+        offsets.push(u32::try_from(acc).map_err(|_| SerialError::Truncated)?);
+    }
+    if !enc.is_empty() {
+        return Err(SerialError::Truncated);
+    }
+    let n_ent = get_u64(&mut cur)? as usize;
+    let ent_len = get_u32(&mut cur)? as usize;
+    let chunked = take(&mut cur, ent_len)?;
+    let entries = decode_postings(chunked, n_ent)?;
+    if !cur.is_empty() {
+        return Err(SerialError::Truncated);
+    }
+    // The CSR must actually address the entry array, or `postings()`
+    // would panic at search time.
+    // lint: allow(lossy-cast): entry counts were decoded from u32 fields.
+    if offsets.last().copied() != Some(entries.len() as u32) {
+        return Err(SerialError::Truncated);
+    }
+    // Fragment extents must lie inside the residue buffer.
+    for s in &seqs {
+        let end = u64::from(s.start) + u64::from(s.len);
+        if end > residues.len() as u64 {
+            return Err(SerialError::Truncated);
+        }
+    }
+    if crc32(body) != expected {
+        return Err(SerialError::Corrupt);
+    }
+    Ok(IndexBlock::from_parts(seqs, residues, offsets, entries, offset_bits))
+}
+
+// ---------------------------------------------------------------------
+// Directory and whole-file read/write.
+// ---------------------------------------------------------------------
+
+/// Footer-directory row: everything a reader needs to fetch, verify and
+/// budget one block without decoding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreBlockMeta {
+    /// Byte offset of the record from the start of the file.
+    pub offset: u64,
+    /// Record length in bytes, CRC trailer included.
+    pub len: u32,
+    /// CRC-32 of the record body (duplicated from the record trailer so
+    /// integrity can be audited from the directory alone).
+    pub crc: u32,
+    /// Fragments in the block.
+    pub n_seqs: u32,
+    /// Smallest global sequence id in the block (0 when empty).
+    pub first_seq: u32,
+    /// Largest global sequence id in the block (0 when empty).
+    pub last_seq: u32,
+    /// Residues in the block.
+    pub residues: u64,
+    /// Decoded in-memory footprint ([`IndexBlock::memory_bytes`]) — what
+    /// a block cache charges against its byte budget.
+    pub decoded_bytes: u64,
+    /// Postings in the block.
+    pub n_entries: u64,
+}
+
+/// Parsed header + footer of a v3 store: the block map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreDirectory {
+    /// Build configuration recorded in the header.
+    pub config: IndexConfig,
+    /// Per-block metadata, in block order.
+    pub blocks: Vec<StoreBlockMeta>,
+}
+
+impl StoreDirectory {
+    /// Sum of decoded block footprints (a resident load's cache cost).
+    pub fn total_decoded_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.decoded_bytes).sum()
+    }
+}
+
+/// Streaming v3 writer: blocks go straight to `w` one record at a time —
+/// the whole index is never materialized — and [`StoreWriter::finish`]
+/// appends the footer directory and patches the header block count.
+pub struct StoreWriter<W: Write + Seek> {
+    w: W,
+    config: IndexConfig,
+    dir: Vec<StoreBlockMeta>,
+    pos: u64,
+}
+
+/// Serialize the 32-byte header for a given block count.
+fn header_bytes(config: &IndexConfig, n_blocks: usize) -> Vec<u8> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    put_u32(&mut header, STORE_VERSION);
+    put_u64(&mut header, config.block_bytes as u64);
+    put_u32(&mut header, config.offset_bits);
+    put_u64(&mut header, config.frag_overlap as u64);
+    // lint: allow(lossy-cast): the v1/v2 family already caps block counts
+    // at u32; a store needing more is unaddressable.
+    put_u32(&mut header, n_blocks as u32);
+    header
+}
+
+impl<W: Write + Seek> StoreWriter<W> {
+    /// Write the header and position the stream at the first record.
+    pub fn new(mut w: W, config: &IndexConfig) -> std::io::Result<StoreWriter<W>> {
+        // n_blocks starts at 0 and is patched by finish().
+        w.write_all(&header_bytes(config, 0))?;
+        Ok(StoreWriter { w, config: *config, dir: Vec::new(), pos: HEADER_LEN as u64 })
+    }
+
+    /// Append one block record.
+    ///
+    /// # Panics
+    /// Panics if the block's `offset_bits` differs from the writer's
+    /// configuration (the postings would unpack wrong on read).
+    pub fn push(&mut self, block: &IndexBlock) -> std::io::Result<()> {
+        assert_eq!(
+            block.offset_bits(),
+            self.config.offset_bits,
+            "block packing must match the store configuration"
+        );
+        let record = encode_block(block);
+        self.w.write_all(&record)?;
+        let body_len = record.len() - 4;
+        let crc = u32::from_le_bytes([
+            record[body_len],
+            record[body_len + 1],
+            record[body_len + 2],
+            record[body_len + 3],
+        ]);
+        let (first_seq, last_seq) = block
+            .seqs()
+            .iter()
+            .fold(None, |acc: Option<(u32, u32)>, s| match acc {
+                None => Some((s.global_id, s.global_id)),
+                Some((lo, hi)) => Some((lo.min(s.global_id), hi.max(s.global_id))),
+            })
+            .unwrap_or((0, 0));
+        self.dir.push(StoreBlockMeta {
+            offset: self.pos,
+            // lint: allow(lossy-cast): one record serializes one block,
+            // itself bounded far below u32 bytes by the block budget.
+            len: record.len() as u32,
+            crc,
+            // lint: allow(lossy-cast): fragment count per block is bounded
+            // by `max_seqs_per_block()` (asserted at build time).
+            n_seqs: block.n_seqs() as u32,
+            first_seq,
+            last_seq,
+            residues: block.total_residues() as u64,
+            decoded_bytes: block.memory_bytes() as u64,
+            n_entries: block.total_positions() as u64,
+        });
+        self.pos += record.len() as u64;
+        Ok(())
+    }
+
+    /// Write the footer directory, patch the header block count, and
+    /// return the writer plus the directory just written.
+    pub fn finish(mut self) -> std::io::Result<(W, StoreDirectory)> {
+        let mut dir_bytes = Vec::with_capacity(self.dir.len() * DIR_ROW);
+        for m in &self.dir {
+            put_u64(&mut dir_bytes, m.offset);
+            put_u32(&mut dir_bytes, m.len);
+            put_u32(&mut dir_bytes, m.crc);
+            put_u32(&mut dir_bytes, m.n_seqs);
+            put_u32(&mut dir_bytes, m.first_seq);
+            put_u32(&mut dir_bytes, m.last_seq);
+            put_u64(&mut dir_bytes, m.residues);
+            put_u64(&mut dir_bytes, m.decoded_bytes);
+            put_u64(&mut dir_bytes, m.n_entries);
+        }
+        // The directory CRC also covers the (patched) header, so a bit
+        // flip in the build configuration is caught at open time — the
+        // records themselves carry their own CRCs.
+        let header = header_bytes(&self.config, self.dir.len());
+        let mut crc = crate::crc::Crc32::new();
+        crc.update(&header);
+        crc.update(&dir_bytes);
+        let mut tail = Vec::with_capacity(TAIL_LEN);
+        // lint: allow(lossy-cast): the v1/v2 family already caps block
+        // counts at u32; a directory needing more is unaddressable.
+        put_u32(&mut tail, self.dir.len() as u32);
+        // lint: allow(lossy-cast): see above — DIR_ROW × u32 rows fits.
+        put_u32(&mut tail, dir_bytes.len() as u32);
+        put_u32(&mut tail, crc.finalize());
+        tail.extend_from_slice(FOOTER_MAGIC);
+        self.w.write_all(&dir_bytes)?;
+        self.w.write_all(&tail)?;
+        self.w.seek(SeekFrom::Start(N_BLOCKS_OFFSET))?;
+        // lint: allow(lossy-cast): same u32 block-count bound as above.
+        self.w.write_all(&(self.dir.len() as u32).to_le_bytes())?;
+        self.w.seek(SeekFrom::End(0))?;
+        let dir = StoreDirectory { config: self.config, blocks: self.dir };
+        Ok((self.w, dir))
+    }
+}
+
+/// Serialize a whole index in the v3 layout (convenience over
+/// [`StoreWriter`] for resident indexes; the streamed and one-shot paths
+/// produce identical bytes).
+pub fn write_store(index: &DbIndex) -> Vec<u8> {
+    let mut writer = StoreWriter::new(std::io::Cursor::new(Vec::new()), index.config())
+        .expect("in-memory writes cannot fail"); // lint: allow(no-unwrap): Vec sink is infallible
+    for block in index.blocks() {
+        // lint: allow(no-unwrap): Vec sink is infallible.
+        writer.push(block).expect("in-memory writes cannot fail");
+    }
+    // lint: allow(no-unwrap): Vec sink is infallible.
+    let (cursor, _) = writer.finish().expect("in-memory writes cannot fail");
+    cursor.into_inner()
+}
+
+fn parse_header(data: &mut &[u8]) -> Result<(IndexConfig, usize), SerialError> {
+    let magic = take(data, 4)?;
+    if magic != MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = get_u32(data)?;
+    if version != STORE_VERSION {
+        return Err(SerialError::BadVersion(version));
+    }
+    let config = IndexConfig {
+        block_bytes: get_u64(data)? as usize,
+        offset_bits: get_u32(data)?,
+        frag_overlap: get_u64(data)? as usize,
+    };
+    if config.offset_bits == 0 || config.offset_bits >= 32 {
+        return Err(SerialError::Truncated);
+    }
+    let n_blocks = get_u32(data)? as usize;
+    Ok((config, n_blocks))
+}
+
+/// Read the header and footer directory from a seekable store — the
+/// constant-memory entry point an out-of-core reader starts from. I/O
+/// failures surface as [`SerialError::Truncated`] (the caller retries or
+/// degrades; there is nothing format-level to say about them).
+pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, SerialError> {
+    let io = |_| SerialError::Truncated;
+    r.seek(SeekFrom::Start(0)).map_err(io)?;
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(io)?;
+    let mut h: &[u8] = &header;
+    let (config, n_blocks) = parse_header(&mut h)?;
+    let file_len = r.seek(SeekFrom::End(0)).map_err(io)?;
+    if file_len < (HEADER_LEN + TAIL_LEN) as u64 {
+        return Err(SerialError::Truncated);
+    }
+    r.seek(SeekFrom::End(-(TAIL_LEN as i64))).map_err(io)?;
+    let mut tail = [0u8; TAIL_LEN];
+    r.read_exact(&mut tail).map_err(io)?;
+    let mut t: &[u8] = &tail;
+    let tail_blocks = get_u32(&mut t)? as usize;
+    let dir_len = get_u32(&mut t)? as usize;
+    let dir_crc = get_u32(&mut t)?;
+    if take(&mut t, 4)? != FOOTER_MAGIC || tail_blocks != n_blocks {
+        return Err(SerialError::Truncated);
+    }
+    if dir_len != n_blocks * DIR_ROW
+        || (dir_len + TAIL_LEN + HEADER_LEN) as u64 > file_len
+    {
+        return Err(SerialError::Truncated);
+    }
+    r.seek(SeekFrom::End(-((TAIL_LEN + dir_len) as i64))).map_err(io)?;
+    let mut dir_bytes = vec![0u8; dir_len];
+    r.read_exact(&mut dir_bytes).map_err(io)?;
+    // The directory CRC covers the header too (see `StoreWriter::finish`),
+    // so a flipped configuration field is caught here.
+    let mut crc = crate::crc::Crc32::new();
+    crc.update(&header);
+    crc.update(&dir_bytes);
+    if crc.finalize() != dir_crc {
+        return Err(SerialError::Corrupt);
+    }
+    let mut d: &[u8] = &dir_bytes;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let m = StoreBlockMeta {
+            offset: get_u64(&mut d)?,
+            len: get_u32(&mut d)?,
+            crc: get_u32(&mut d)?,
+            n_seqs: get_u32(&mut d)?,
+            first_seq: get_u32(&mut d)?,
+            last_seq: get_u32(&mut d)?,
+            residues: get_u64(&mut d)?,
+            decoded_bytes: get_u64(&mut d)?,
+            n_entries: get_u64(&mut d)?,
+        };
+        // Extents must stay inside the record region of the file.
+        let end = m.offset.checked_add(u64::from(m.len)).ok_or(SerialError::Truncated)?;
+        if m.offset < HEADER_LEN as u64 || end > file_len - (TAIL_LEN + dir_len) as u64 {
+            return Err(SerialError::Truncated);
+        }
+        blocks.push(m);
+    }
+    Ok(StoreDirectory { config, blocks })
+}
+
+/// Deserialize a whole v3 image into a resident [`DbIndex`] — the path
+/// [`crate::read_index`] dispatches to, so resilient loading and the
+/// daemon's `--index` flag accept v3 files with no caller changes.
+pub fn read_store(data: &[u8]) -> Result<DbIndex, SerialError> {
+    let mut r = std::io::Cursor::new(data);
+    let dir = read_directory(&mut r)?;
+    let mut blocks = Vec::with_capacity(dir.blocks.len());
+    for m in &dir.blocks {
+        let start = m.offset as usize;
+        let end = start + m.len as usize;
+        let record = data.get(start..end).ok_or(SerialError::Truncated)?;
+        blocks.push(decode_block(record, dir.config.offset_bits)?);
+    }
+    Ok(DbIndex::from_parts(blocks, dir.config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::{Sequence, SequenceDb};
+
+    fn sample_db() -> SequenceDb {
+        ["MARNDWWWCQEG", "WWWHILKMFPST", "ARNDARNDARND", "MKVL"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+            .collect()
+    }
+
+    fn sample_config() -> IndexConfig {
+        IndexConfig { block_bytes: 80, offset_bits: 15, frag_overlap: 8 }
+    }
+
+    fn sample_index() -> DbIndex {
+        DbIndex::build(&sample_db(), &sample_config())
+    }
+
+    #[test]
+    fn postings_roundtrip_including_boundaries() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![u32::MAX],
+            vec![0, u32::MAX, 0, u32::MAX],
+            (0..CHUNK_FANOUT as u32).collect(),
+            (0..CHUNK_FANOUT as u32 + 1).collect(),
+            (0..1000).map(|i| i * 37 % 911).collect(),
+        ];
+        for entries in cases {
+            let mut enc = Vec::new();
+            encode_postings(&entries, &mut enc);
+            let back = decode_postings(&enc, entries.len()).unwrap();
+            assert_eq!(back, entries, "len {}", entries.len());
+        }
+    }
+
+    #[test]
+    fn cursor_decodes_one_chunk_at_a_time() {
+        let entries: Vec<u32> = (0..300).map(|i| i * 13).collect();
+        let mut enc = Vec::new();
+        encode_postings(&entries, &mut enc);
+        let mut cursor = PostingsCursor::new(&enc).unwrap();
+        assert_eq!(cursor.n_chunks(), 3);
+        assert_eq!(cursor.n_postings(), 300);
+        let mut out = Vec::new();
+        assert!(cursor.next_chunk(&mut out).unwrap());
+        assert_eq!(out.len(), CHUNK_FANOUT);
+        assert_eq!(out, entries[..CHUNK_FANOUT]);
+        while cursor.next_chunk(&mut out).unwrap() {}
+        assert_eq!(out, entries);
+        assert!(!cursor.next_chunk(&mut out).unwrap(), "cursor stays exhausted");
+    }
+
+    #[test]
+    fn truncated_postings_fail_typed() {
+        let entries: Vec<u32> = (0..200).map(|i| i * 7 + 1).collect();
+        let mut enc = Vec::new();
+        encode_postings(&entries, &mut enc);
+        for cut in 0..enc.len() - 1 {
+            let r = decode_postings(&enc[..cut], entries.len());
+            assert!(r.is_err(), "cut at {cut} unexpectedly decoded");
+        }
+    }
+
+    #[test]
+    fn block_record_roundtrip() {
+        let idx = sample_index();
+        assert!(idx.blocks().len() > 1, "want a multi-block sample");
+        for b in idx.blocks() {
+            let record = encode_block(b);
+            let back = decode_block(&record, b.offset_bits()).unwrap();
+            assert_eq!(&back, b);
+        }
+    }
+
+    #[test]
+    fn block_record_bit_flip_is_corrupt() {
+        let idx = sample_index();
+        let b = &idx.blocks()[0];
+        let record = encode_block(b);
+        let mut corrupt_seen = false;
+        for i in (0..record.len()).step_by(3) {
+            let mut bad = record.clone();
+            bad[i] ^= 0x20;
+            match decode_block(&bad, b.offset_bits()) {
+                Err(SerialError::Corrupt) => corrupt_seen = true,
+                Err(_) => {}
+                Ok(_) => panic!("flip at byte {i} accepted"),
+            }
+        }
+        assert!(corrupt_seen, "no flip exercised the CRC path");
+    }
+
+    #[test]
+    fn store_roundtrip_and_directory_metadata() {
+        let idx = sample_index();
+        let bytes = write_store(&idx);
+        let back = read_store(&bytes).unwrap();
+        assert_eq!(back, idx);
+        let dir = read_directory(&mut std::io::Cursor::new(&bytes[..])).unwrap();
+        assert_eq!(&dir.config, idx.config());
+        assert_eq!(dir.blocks.len(), idx.blocks().len());
+        for (m, b) in dir.blocks.iter().zip(idx.blocks()) {
+            assert_eq!(m.n_seqs as usize, b.n_seqs());
+            assert_eq!(m.residues as usize, b.total_residues());
+            assert_eq!(m.n_entries as usize, b.total_positions());
+            assert_eq!(m.decoded_bytes as usize, b.memory_bytes());
+            let ids: Vec<u32> = b.seqs().iter().map(|s| s.global_id).collect();
+            assert_eq!(m.first_seq, ids.iter().copied().min().unwrap());
+            assert_eq!(m.last_seq, ids.iter().copied().max().unwrap());
+            let record = &bytes[m.offset as usize..(m.offset + u64::from(m.len)) as usize];
+            assert_eq!(&decode_block(record, dir.config.offset_bits).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn streamed_and_one_shot_writers_agree_bit_for_bit() {
+        let idx = sample_index();
+        let mut writer =
+            StoreWriter::new(std::io::Cursor::new(Vec::new()), idx.config()).unwrap();
+        for b in idx.blocks() {
+            writer.push(b).unwrap();
+        }
+        let (cursor, dir) = writer.finish().unwrap();
+        assert_eq!(cursor.into_inner(), write_store(&idx));
+        assert_eq!(dir, read_directory(&mut std::io::Cursor::new(write_store(&idx))).unwrap());
+    }
+
+    #[test]
+    fn store_truncation_always_fails_typed() {
+        let bytes = write_store(&sample_index());
+        for cut in (0..bytes.len() - 1).step_by(7) {
+            assert!(read_store(&bytes[..cut]).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn store_bit_flip_detected() {
+        let bytes = write_store(&sample_index());
+        let mut corrupt_seen = false;
+        for i in (8..bytes.len()).step_by(131) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            match read_store(&bad) {
+                Err(SerialError::Corrupt) => corrupt_seen = true,
+                Err(_) => {}
+                Ok(_) => panic!("flip at byte {i} accepted"),
+            }
+        }
+        assert!(corrupt_seen, "no flip exercised a CRC path");
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = DbIndex::build(&SequenceDb::new(), &IndexConfig::default());
+        let bytes = write_store(&idx);
+        assert_eq!(read_store(&bytes).unwrap(), idx);
+        let dir = read_directory(&mut std::io::Cursor::new(&bytes[..])).unwrap();
+        assert!(dir.blocks.is_empty());
+        assert_eq!(dir.total_decoded_bytes(), 0);
+    }
+
+    #[test]
+    fn wrong_versions_rejected() {
+        let mut bytes = write_store(&sample_index());
+        bytes[4] = 9;
+        assert_eq!(
+            read_directory(&mut std::io::Cursor::new(&bytes[..])).err(),
+            Some(SerialError::BadVersion(9))
+        );
+        bytes[0] = b'X';
+        assert_eq!(
+            read_directory(&mut std::io::Cursor::new(&bytes[..])).err(),
+            Some(SerialError::BadMagic)
+        );
+    }
+}

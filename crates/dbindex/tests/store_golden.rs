@@ -1,0 +1,92 @@
+//! Golden byte fixtures for the v3 block/chunk store.
+//!
+//! The committed `tests/fixtures/store_v3*.bin` files pin the on-disk
+//! format itself: any serializer change that alters bytes — field order,
+//! widths, chunk fanout, CRC coverage — fails here even if it round-trips
+//! symmetrically, because stores already written by shipped builds would
+//! no longer parse the same way. Regenerate deliberately with
+//! `STORE_BLESS=1` after an intentional `STORE_VERSION` bump (the
+//! `xtask analyze` store ratchet enforces the bump side).
+
+use bioseq::{Sequence, SequenceDb};
+use dbindex::{read_store, write_store, DbIndex, IndexConfig};
+
+fn fixtures_dir() -> std::path::PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        return std::path::Path::new(dir).join("tests/fixtures");
+    }
+    for candidate in ["crates/dbindex/tests", "tests"] {
+        if std::path::Path::new(candidate).is_dir() {
+            return std::path::Path::new(candidate).join("fixtures");
+        }
+    }
+    panic!("fixtures directory not found; run from the repo or crate root")
+}
+
+/// Fixed, hand-written database — no RNG, so the bytes cannot drift with
+/// generator tweaks. Small block budget forces multiple blocks and at
+/// least one fragmented sequence.
+fn golden_index() -> DbIndex {
+    let db: SequenceDb = [
+        "MARNDWWWCQEGHILKMFPSTWYVA",
+        "WWWHILKMFPSTARNDCQEG",
+        "ARNDARNDARNDARNDARNDARND",
+        "MKVLWAALLVTFLAGCQAKVEQAVE",
+        "GGGGGGGGGG",
+        "MA",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| Sequence::from_str_checked(format!("golden{i}"), s).unwrap())
+    .collect();
+    let config = IndexConfig { block_bytes: 96, offset_bits: 15, frag_overlap: 8 };
+    DbIndex::build(&db, &config)
+}
+
+fn golden_stores() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("store_v3.bin", write_store(&golden_index())),
+        (
+            "store_v3_empty.bin",
+            write_store(&DbIndex::build(&SequenceDb::new(), &IndexConfig::default())),
+        ),
+    ]
+}
+
+#[test]
+fn golden_fixtures_pin_the_v3_store_bytes() {
+    let dir = fixtures_dir();
+    let bless = std::env::var_os("STORE_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, bytes) in golden_stores() {
+        let path = dir.join(name);
+        if bless {
+            std::fs::write(&path, &bytes).unwrap();
+            eprintln!("blessed {} ({} bytes)", path.display(), bytes.len());
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (regenerate with STORE_BLESS=1)", path.display()));
+        assert_eq!(
+            committed,
+            bytes,
+            "{name}: serializer output diverged from the committed fixture — the v3 \
+             layout changed; bump STORE_VERSION, re-bless the xtask store ratchet, \
+             and regenerate with STORE_BLESS=1"
+        );
+    }
+    assert!(!bless, "STORE_BLESS run regenerated fixtures; unset it and re-run to verify");
+}
+
+#[test]
+fn committed_fixture_still_parses_to_the_same_index() {
+    // Guards the read side independently: the committed bytes must decode
+    // to exactly the index they were written from, so a paired
+    // writer+reader change cannot slip past the byte comparison.
+    let path = fixtures_dir().join("store_v3.bin");
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (regenerate with STORE_BLESS=1)", path.display()));
+    assert_eq!(read_store(&bytes).unwrap(), golden_index());
+}

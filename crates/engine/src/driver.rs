@@ -290,12 +290,14 @@ pub fn search_batch_traced(
 /// Search a batch against index blocks arriving from a stream (e.g.
 /// `dbindex::BlockStream` over a file) — the out-of-memory-index workflow
 /// the paper's block loop enables. Blocks are consumed one at a time, so
-/// peak memory is one block plus per-thread state. Only the
+/// peak memory is one block plus per-thread state. The item type is
+/// anything that borrows an [`dbindex::IndexBlock`] — owned blocks from a
+/// file stream and `Arc`'d blocks from a block cache both work. Only the
 /// database-indexed engines are meaningful here.
 ///
 /// # Panics
 /// Panics if `config.kind` is [`EngineKind::QueryIndexed`].
-pub fn search_batch_streamed<I>(
+pub fn search_batch_streamed<I, B>(
     db: &SequenceDb,
     blocks: I,
     neighbors: &NeighborTable,
@@ -303,7 +305,8 @@ pub fn search_batch_streamed<I>(
     config: &SearchConfig,
 ) -> Vec<QueryResult>
 where
-    I: IntoIterator<Item = dbindex::IndexBlock>,
+    I: IntoIterator<Item = B>,
+    B: std::borrow::Borrow<dbindex::IndexBlock>,
 {
     assert!(
         !matches!(config.kind, EngineKind::QueryIndexed),
@@ -331,6 +334,7 @@ where
         .map(|_| (Vec::new(), StageCounts::default()))
         .collect();
     for block in blocks {
+        let block = block.borrow();
         let per_query = parallel_map_dynamic(
             config.threads,
             queries.len(),

@@ -54,7 +54,8 @@ pub use longquery::{search_batch_long, LongQueryConfig};
 pub use report::{tabular_rows, write_tabular, write_tabular_commented, TabularRow};
 pub use results::{compare_alignments, split_batch, Alignment, QueryResult, StageCounts};
 pub use sharded::{
-    merge_shard_alignments, search_batch_sharded, search_batch_sharded_traced, ShardFailCause,
-    ShardFailure, ShardTiming, ShardedOutput, FAULT_SHARD,
+    merge_shard_alignments, search_batch_backend_traced, search_batch_sharded,
+    search_batch_sharded_traced, ShardBackend, ShardFailCause, ShardFailure, ShardTiming,
+    ShardedOutput, FAULT_SHARD,
 };
 pub use verify::results_identical;

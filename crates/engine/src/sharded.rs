@@ -52,6 +52,80 @@ pub enum ShardFailCause {
     /// [`SearchConfig::deadline`] had already passed when the shard task
     /// started, so the search was cancelled before doing the work.
     DeadlineExceeded,
+    /// The shard's storage backend failed — an out-of-core shard hit an
+    /// I/O error, a truncated record, or a CRC mismatch while fetching
+    /// blocks. Resident shards never report this.
+    Storage,
+}
+
+/// A source of independently searchable database partitions: the storage
+/// abstraction behind [`search_batch_backend_traced`]. The resident
+/// [`ShardedIndex`] and the out-of-core streaming store implement this,
+/// so one driver owns dispatch order, deadlines, fault injection, span
+/// recording, and the statistics-correct merge for both.
+///
+/// Contract: shards partition one global database whose sequences never
+/// span shards; [`ShardBackend::search_shard`] reports alignments in
+/// **global** subject ids, with E-values already computed against the
+/// `inner.effective_db` the driver pins to the global size (so merged
+/// rows need no re-scoring); a failing shard returns its cause instead of
+/// panicking.
+pub trait ShardBackend: Sync {
+    /// Number of partitions.
+    fn num_shards(&self) -> usize;
+
+    /// Residues in shard `s` (drives LPT dispatch and coverage
+    /// accounting under degradation).
+    fn shard_residues(&self, s: usize) -> usize;
+
+    /// `(total residues, sequence count)` of the whole database — the
+    /// search space E-value statistics must use.
+    fn global_db(&self) -> (usize, usize);
+
+    /// Run the batch against shard `s`, returning per-query results in
+    /// global subject ids plus the shard's engine spans.
+    fn search_shard(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        session: &TraceSession,
+    ) -> Result<(Vec<QueryResult>, Trace), ShardFailCause>;
+}
+
+impl ShardBackend for ShardedIndex {
+    fn num_shards(&self) -> usize {
+        ShardedIndex::num_shards(self)
+    }
+
+    fn shard_residues(&self, s: usize) -> usize {
+        self.shards()[s].db.total_residues()
+    }
+
+    fn global_db(&self) -> (usize, usize) {
+        (self.global_residues(), self.global_seqs())
+    }
+
+    fn search_shard(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        session: &TraceSession,
+    ) -> Result<(Vec<QueryResult>, Trace), ShardFailCause> {
+        let shard = &self.shards()[s];
+        let (mut results, shard_trace) =
+            search_batch_traced(&shard.db, Some(&shard.index), neighbors, queries, inner, session);
+        // Report in global subject ids.
+        for qr in &mut results {
+            for a in &mut qr.alignments {
+                a.subject = shard.ids[a.subject as usize];
+            }
+        }
+        Ok((results, shard_trace))
+    }
 }
 
 /// Record of one shard dropped from a sharded search.
@@ -127,13 +201,28 @@ pub fn search_batch_sharded_traced(
     config: &SearchConfig,
     session: &TraceSession,
 ) -> ShardedOutput {
-    let k = sharded.num_shards();
-    let global = config
-        .effective_db
-        .unwrap_or((sharded.global_residues(), sharded.global_seqs()));
+    search_batch_backend_traced(sharded, neighbors, queries, config, session)
+}
+
+/// Sharded search over any [`ShardBackend`] — the generic driver behind
+/// [`search_batch_sharded_traced`]. The driver owns everything that must
+/// not differ between backends: LPT dispatch, deadline cancellation,
+/// fault injection, `Shard` span recording, degradation accounting, and
+/// the statistics-correct merge. Backends only fetch-and-search, which is
+/// why a disk-streaming shard produces bit-identical output to the
+/// resident one.
+pub fn search_batch_backend_traced<B: ShardBackend + ?Sized>(
+    backend: &B,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    session: &TraceSession,
+) -> ShardedOutput {
+    let k = backend.num_shards();
+    let global = config.effective_db.unwrap_or_else(|| backend.global_db());
     // LPT dispatch: largest shard first.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by_key(|&s| std::cmp::Reverse(sharded.shards()[s].db.total_residues()));
+    order.sort_by_key(|&s| std::cmp::Reverse(backend.shard_residues(s)));
     let epoch = Instant::now();
     let (per_shard, recorders) = parallel_map_dynamic_with_state(
         config.threads.max(1),
@@ -146,7 +235,6 @@ pub fn search_batch_sharded_traced(
         },
         |rec, slot| {
             let s = order[slot];
-            let shard = &sharded.shards()[s];
             let started = Instant::now();
             // Early cancellation: a shard task that starts past the
             // deadline is dropped without searching, so an expired
@@ -159,21 +247,7 @@ pub fn search_batch_sharded_traced(
                 let mut inner = config.clone();
                 inner.threads = 1;
                 inner.effective_db = Some(global);
-                let (mut results, shard_trace) = search_batch_traced(
-                    &shard.db,
-                    Some(&shard.index),
-                    neighbors,
-                    queries,
-                    &inner,
-                    session,
-                );
-                // Report in global subject ids.
-                for qr in &mut results {
-                    for a in &mut qr.alignments {
-                        a.subject = shard.ids[a.subject as usize];
-                    }
-                }
-                Ok((results, shard_trace))
+                backend.search_shard(s, neighbors, queries, &inner, session)
             };
             let done = Instant::now();
             rec.set_ctx(0, NO_QUERY, s as u32);
@@ -196,7 +270,7 @@ pub fn search_batch_sharded_traced(
         .collect();
     let mut timings: Vec<ShardTiming> =
         vec![ShardTiming { shard: 0, queued: Duration::ZERO, search: Duration::ZERO }; k];
-    let total_residues = sharded.global_residues();
+    let total_residues = backend.global_db().0;
     let mut covered_residues = total_residues;
     let mut failed: Vec<ShardFailure> = Vec::new();
     for (s, outcome, timing) in per_shard {
@@ -212,7 +286,7 @@ pub fn search_batch_sharded_traced(
             }
             Err(cause) => {
                 failed.push(ShardFailure { shard: s, cause });
-                covered_residues -= sharded.shards()[s].db.total_residues();
+                covered_residues -= backend.shard_residues(s);
             }
         }
     }

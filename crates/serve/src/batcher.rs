@@ -61,6 +61,12 @@ pub enum ResidentIndex {
     Single(DbIndex),
     /// A partitioned database with one index per shard.
     Sharded(ShardedIndex),
+    /// Disk-resident per-shard block stores behind a shared LRU block
+    /// cache (`mublastpd --block-cache-bytes N`): the sharded dispatch,
+    /// degradation, and merge machinery runs unchanged through the
+    /// engine's backend seam, but blocks are decoded on demand instead of
+    /// held resident.
+    Streaming(blockstore::StreamingShards<std::fs::File>),
 }
 
 impl ResidentIndex {
@@ -68,15 +74,37 @@ impl ResidentIndex {
     pub fn as_single(&self) -> Option<&DbIndex> {
         match self {
             ResidentIndex::Single(index) => Some(index),
-            ResidentIndex::Sharded(_) => None,
+            _ => None,
         }
     }
 
     /// The sharded index, when this is the sharded variant.
     pub fn as_sharded(&self) -> Option<&ShardedIndex> {
         match self {
-            ResidentIndex::Single(_) => None,
             ResidentIndex::Sharded(sharded) => Some(sharded),
+            _ => None,
+        }
+    }
+
+    /// `(sequences, residues)` per shard, when this variant dispatches
+    /// shard-wise (resident or streaming); `None` for a monolithic index.
+    fn shard_info(&self) -> Option<Vec<(u64, u64)>> {
+        match self {
+            ResidentIndex::Single(_) => None,
+            ResidentIndex::Sharded(sharded) => Some(
+                sharded
+                    .shards()
+                    .iter()
+                    .map(|s| (s.db.len() as u64, s.db.total_residues() as u64))
+                    .collect(),
+            ),
+            ResidentIndex::Streaming(streaming) => Some(
+                streaming
+                    .shards()
+                    .iter()
+                    .map(|s| (s.db.len() as u64, s.db.total_residues() as u64))
+                    .collect(),
+            ),
         }
     }
 }
@@ -271,15 +299,23 @@ impl Batcher {
     pub fn new(ctx: Arc<SearchContext>, opts: BatchOptions, stats: Arc<ServeStats>) -> Batcher {
         assert!(opts.queue_cap > 0, "queue_cap must be positive");
         assert!(opts.max_batch > 0, "max_batch must be positive");
-        if let ResidentIndex::Sharded(sharded) = &ctx.index {
+        if let Some(info) = ctx.index.shard_info() {
             // Declare the shard layout once so stats frames carry one
             // row per shard from the first snapshot on.
-            let info: Vec<(u64, u64)> = sharded
-                .shards()
-                .iter()
-                .map(|s| (s.db.len() as u64, s.db.total_residues() as u64))
-                .collect();
             stats.init_shards(&info);
+        }
+        // Declare what the index costs in memory, so stats frames answer
+        // "how much RAM does the database take" from the first snapshot:
+        // resident variants pin their decoded bytes for the daemon's
+        // lifetime; the streaming variant hands over its live block cache.
+        match &ctx.index {
+            ResidentIndex::Single(index) => stats.set_index_memory(index.memory_bytes() as u64),
+            ResidentIndex::Sharded(sharded) => stats.set_index_memory(
+                sharded.shards().iter().map(|s| s.index.memory_bytes() as u64).sum(),
+            ),
+            ResidentIndex::Streaming(streaming) => {
+                stats.set_block_cache(Arc::clone(streaming.cache()));
+            }
         }
         let session = TraceSession::new(opts.obsv);
         let shared = Arc::new(Shared {
@@ -544,6 +580,26 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Fold one sharded (resident or streaming) dispatch into the stats
+/// counters and the `(results, trace, loss)` triple `dispatch` threads to
+/// the demultiplexer.
+#[allow(clippy::type_complexity)]
+fn absorb_sharded(
+    shared: &Shared,
+    out: engine::ShardedOutput,
+    shard_count: usize,
+) -> (
+    Vec<QueryResult>,
+    Trace,
+    Option<(Vec<engine::ShardFailure>, usize, usize, usize)>,
+) {
+    shared.stats.on_shard_batch(&out.timings);
+    shared.stats.on_shard_failures(&out.failed);
+    let loss = (!out.failed.is_empty())
+        .then(|| (out.failed, out.covered_residues, out.total_residues, shard_count));
+    (out.results, out.trace, loss)
+}
+
 fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     let now = Instant::now();
     if live.is_empty() {
@@ -598,12 +654,22 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
                 &config,
                 &session,
             );
-            shared.stats.on_shard_batch(&out.timings);
-            shared.stats.on_shard_failures(&out.failed);
-            let loss = (!out.failed.is_empty()).then(|| {
-                (out.failed, out.covered_residues, out.total_residues, shard_count)
-            });
-            (out.results, out.trace, loss)
+            absorb_sharded(shared, out, shard_count)
+        }
+        ResidentIndex::Streaming(streaming) => {
+            // Same dispatch/degradation/merge machinery through the
+            // engine's backend seam — blocks stream through the cache
+            // instead of living resident, and storage failures degrade
+            // exactly like lost shards.
+            let shard_count = streaming.shards().len();
+            let out = engine::search_batch_backend_traced(
+                streaming,
+                &shared.ctx.neighbors,
+                &all_queries,
+                &config,
+                &session,
+            );
+            absorb_sharded(shared, out, shard_count)
         }
     };
     let search_done = Instant::now();
@@ -821,6 +887,68 @@ mod tests {
             );
             assert_eq!(row.queued.count, row.search.count);
         }
+    }
+
+    /// A streaming (out-of-core) context answers with exactly the bytes
+    /// the monolithic context produces, and the stats frame reports the
+    /// block cache instead of pinned index bytes.
+    #[test]
+    fn streaming_context_matches_single_and_reports_cache_stats() {
+        let opts = BatchOptions {
+            queue_cap: 8,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..BatchOptions::default()
+        };
+        let single_ctx = context();
+        let single =
+            Batcher::new(Arc::clone(&single_ctx), opts.clone(), Arc::new(ServeStats::new()));
+
+        let db = fixture_db();
+        let dir = std::env::temp_dir()
+            .join(format!("mublastp_batcher_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = Arc::new(blockstore::BlockCache::new(1 << 20));
+        let streaming = blockstore::StreamingShards::build_in_dir(
+            &db,
+            &IndexConfig::default(),
+            2,
+            &dir,
+            Arc::clone(&cache),
+            &faultfn::Faults::none(),
+        )
+        .unwrap();
+        let streaming_ctx = context_with(ResidentIndex::Streaming(streaming), db);
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(Arc::clone(&streaming_ctx), opts, Arc::clone(&stats));
+
+        for i in 0..4u32 {
+            let a = single
+                .submit(query(&single_ctx, i), EngineKind::MuBlastp, &Default::default(), None)
+                .unwrap()
+                .recv()
+                .unwrap()
+                .unwrap();
+            let b = batcher
+                .submit(query(&streaming_ctx, i), EngineKind::MuBlastp, &Default::default(), None)
+                .unwrap()
+                .recv()
+                .unwrap()
+                .unwrap();
+            assert_eq!(a.results, b.results, "query {i}");
+            assert!(b.degraded.is_none(), "no faults → no degradation");
+        }
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.shards.len(), 2, "one stats row per disk shard");
+        assert_eq!(report.cache_budget_bytes, 1 << 20);
+        assert!(report.cache_misses > 0, "blocks were fetched from disk");
+        assert!(report.cache_used_bytes > 0, "fetched blocks stay cached");
+        assert_eq!(
+            report.index_resident_bytes, report.cache_used_bytes,
+            "out-of-core: only the cache holds decoded index bytes"
+        );
+        drop(batcher);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

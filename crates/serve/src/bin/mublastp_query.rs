@@ -154,6 +154,19 @@ fn run() -> Result<(), (u8, String)> {
                 sl.latency.max_us
             );
         }
+        if s.index_resident_bytes > 0 {
+            println!("index_resident  {} B", s.index_resident_bytes);
+        }
+        if s.cache_budget_bytes > 0 {
+            println!(
+                "block_cache     {} / {} B | hits={} misses={} evictions={}",
+                s.cache_used_bytes,
+                s.cache_budget_bytes,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions
+            );
+        }
         for sh in &s.shards {
             println!(
                 "shard[{}]        seqs={} residues={} searches={} failures={} \

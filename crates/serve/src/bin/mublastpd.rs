@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mublastpd --db db.fasta [--index db.mbi] [--shards K]
+//!           [--block-cache-bytes N]
 //!           [--listen 127.0.0.1:7878]
 //!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
 //!           [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]
@@ -12,6 +13,14 @@
 //! over `--threads` workers) and merged with whole-database statistics —
 //! results are byte-identical to the unsharded daemon, and the stats
 //! frame grows one queue-wait/search-latency row per shard.
+//!
+//! `--block-cache-bytes N` serves **out-of-core**: per-shard v3 block
+//! stores are written to a temporary directory at startup and searched by
+//! streaming blocks through an N-byte LRU cache instead of holding the
+//! decoded index resident. Results stay byte-identical; the stats frame
+//! reports the cache's budget, residency, and hit/miss/eviction counters
+//! (protocol v5). Incompatible with `--index` (the store is built
+//! in-process from the database).
 //!
 //! `--trace` enables per-stage span recording; clients that ask for a
 //! trace (`mublastp-query --trace out.json`) then get their spans back,
@@ -40,6 +49,7 @@ mublastpd — resident-index muBLASTP search daemon
 
 USAGE:
   mublastpd --db db.fasta [--index db.mbi] [--shards K]
+            [--block-cache-bytes N]
             [--listen 127.0.0.1:7878]
             [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
             [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]";
@@ -105,6 +115,7 @@ fn run() -> Result<(), (u8, String)> {
     let trace_on = args.iter().any(|a| a == "--trace");
     let slow_query_us: u64 = flags.parse("--slow-query-us", 0u64).map_err(usage)?;
     let shards: usize = flags.parse("--shards", 1usize).map_err(usage)?;
+    let block_cache_bytes: u64 = flags.parse("--block-cache-bytes", 0u64).map_err(usage)?;
     if queue_cap == 0 || max_batch == 0 {
         return Err(usage(
             "--queue-cap and --max-batch must be positive".to_string(),
@@ -119,13 +130,50 @@ fn run() -> Result<(), (u8, String)> {
                 .to_string(),
         ));
     }
+    if block_cache_bytes > 0 && flags.get("--index").is_some() {
+        return Err(usage(
+            "--index cannot be combined with --block-cache-bytes (the block store is built \
+             in-process)"
+                .to_string(),
+        ));
+    }
 
     // Load everything resident, once.
     let db: SequenceDb = load_fasta(db_path)
         .map_err(|e| (EXIT_LOAD, e))?
         .into_iter()
         .collect();
-    let index = if shards > 1 {
+    let mut store_dir = None;
+    let index = if block_cache_bytes > 0 {
+        // Out-of-core: write per-shard v3 stores next to the temp dir and
+        // stream blocks through a shared LRU cache.
+        let dir =
+            std::env::temp_dir().join(format!("mublastpd-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| (EXIT_LOAD, format!("cannot create {}: {e}", dir.display())))?;
+        let cache = Arc::new(blockstore::BlockCache::new(block_cache_bytes));
+        let streaming = blockstore::StreamingShards::build_in_dir(
+            &db,
+            &IndexConfig::default(),
+            shards,
+            &dir,
+            cache,
+            &faultfn::Faults::none(),
+        )
+        .map_err(|e| {
+            (EXIT_LOAD, format!("cannot build block store in {}: {e}", dir.display()))
+        })?;
+        for (i, shard) in streaming.shards().iter().enumerate() {
+            eprintln!(
+                "mublastpd: shard {i}: {} sequences / {} residues / {} store blocks (on disk)",
+                shard.db.len(),
+                shard.db.total_residues(),
+                shard.store.num_blocks()
+            );
+        }
+        store_dir = Some(dir);
+        ResidentIndex::Streaming(streaming)
+    } else if shards > 1 {
         let sharded = ShardedIndex::build_parallel(&db, &IndexConfig::default(), shards, threads);
         for (i, shard) in sharded.shards().iter().enumerate() {
             eprintln!(
@@ -183,6 +231,15 @@ fn run() -> Result<(), (u8, String)> {
             sharded.num_shards(),
             threads
         ),
+        ResidentIndex::Streaming(streaming) => eprintln!(
+            "mublastpd: loaded {} sequences / {} residues, {} disk shards, \
+             {} B block cache, {} threads",
+            db.len(),
+            db.total_residues(),
+            streaming.shards().len(),
+            block_cache_bytes,
+            threads
+        ),
     }
 
     let transport = TcpTransport::bind(listen)
@@ -220,6 +277,10 @@ fn run() -> Result<(), (u8, String)> {
         "mublastpd: shut down — {} accepted, {} completed, {} rejected, {} expired, {} batches",
         report.accepted, report.completed, report.rejected, report.expired, report.batches
     );
+    if let Some(dir) = store_dir {
+        // Best-effort: the stores are rebuilt from the database anyway.
+        let _ = std::fs::remove_dir_all(dir);
+    }
     Ok(())
 }
 

@@ -25,7 +25,11 @@
 //! metadata: an optional [`Degraded`] block on results (which shards
 //! dropped out of a sharded search and how much of the database the
 //! answer covers), a `degraded` counter and per-shard failure counts in
-//! stats. The protocol stays backward compatible: a peer may speak any
+//! stats. Version 5 added index-attributable memory accounting to the
+//! stats frame: resident-index bytes plus the out-of-core block cache's
+//! budget, usage, and hit/miss/eviction counters (zero on a daemon
+//! without a block cache). The protocol stays backward compatible: a peer
+//! may speak any
 //! version in `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are
 //! *appended* to older payloads and simply omitted when encoding for an
 //! older peer, and the server always answers with the version the
@@ -40,8 +44,9 @@ pub const MAGIC: &[u8; 4] = b"MUBQ";
 /// Newest protocol version this build speaks (and the default for
 /// encoding). v2 added trace ids, optional span traces, and per-stage
 /// latency digests; v3 added per-shard stats rows; v4 added
-/// degraded-result metadata and per-shard failure counts.
-pub const PROTO_VERSION: u32 = 4;
+/// degraded-result metadata and per-shard failure counts; v5 added
+/// index-attributable memory and block-cache counters to stats.
+pub const PROTO_VERSION: u32 = 5;
 /// Oldest protocol version still accepted. Older frames decode with the
 /// newer fields at their defaults (no trace requested, no stage digests,
 /// no shard rows).
@@ -267,6 +272,21 @@ pub struct StatsReport {
     /// failed but the survivors still produced an answer (v4+ only;
     /// dropped on older wires).
     pub degraded: u64,
+    /// Bytes of decoded index resident in memory and attributable to the
+    /// database: the whole index for a resident daemon, the block cache's
+    /// current residency for an out-of-core one (v5+ only; decodes as 0
+    /// on older wires, like every field below).
+    pub index_resident_bytes: u64,
+    /// Out-of-core block cache byte budget; 0 on a resident daemon.
+    pub cache_budget_bytes: u64,
+    /// Decoded bytes currently held by the block cache; 0 when resident.
+    pub cache_used_bytes: u64,
+    /// Block-cache lookups served from memory.
+    pub cache_hits: u64,
+    /// Block-cache lookups that fetched from storage.
+    pub cache_misses: u64,
+    /// Blocks evicted to stay under the cache budget.
+    pub cache_evictions: u64,
 }
 
 /// Latency digest for one traced pipeline stage.
@@ -442,6 +462,7 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
     let v2 = version >= 2;
     let v3 = version >= 3;
     let v4 = version >= 4;
+    let v5 = version >= 5;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -548,6 +569,14 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
             }
             if v4 {
                 put_u64(&mut p, s.degraded);
+            }
+            if v5 {
+                put_u64(&mut p, s.index_resident_bytes);
+                put_u64(&mut p, s.cache_budget_bytes);
+                put_u64(&mut p, s.cache_used_bytes);
+                put_u64(&mut p, s.cache_hits);
+                put_u64(&mut p, s.cache_misses);
+                put_u64(&mut p, s.cache_evictions);
             }
         }
     }
@@ -744,6 +773,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
     let v2 = version >= 2;
     let v3 = version >= 3;
     let v4 = version >= 4;
+    let v5 = version >= 5;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -883,6 +913,25 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 Vec::new()
             };
             let degraded = if v4 { get_u64(data)? } else { 0 };
+            let (
+                index_resident_bytes,
+                cache_budget_bytes,
+                cache_used_bytes,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+            ) = if v5 {
+                (
+                    get_u64(data)?,
+                    get_u64(data)?,
+                    get_u64(data)?,
+                    get_u64(data)?,
+                    get_u64(data)?,
+                    get_u64(data)?,
+                )
+            } else {
+                (0, 0, 0, 0, 0, 0)
+            };
             Frame::Stats(Box::new(StatsReport {
                 queue_depth,
                 queue_cap,
@@ -899,6 +948,12 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 stages,
                 shards,
                 degraded,
+                index_resident_bytes,
+                cache_budget_bytes,
+                cache_used_bytes,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
             }))
         }
         6 => Frame::Shutdown,
@@ -1168,6 +1223,34 @@ mod tests {
                 assert_eq!(got.degraded, 0, "v3 wire carries no degraded counter");
                 assert_eq!(got.shards.len(), 2, "v3 still carries the rows");
                 assert!(got.shards.iter().all(|s| s.failures == 0));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v5_stats_memory_roundtrips_and_vanishes_on_v4() {
+        let report = StatsReport {
+            degraded: 1,
+            index_resident_bytes: 4096,
+            cache_budget_bytes: 1 << 20,
+            cache_used_bytes: 900,
+            cache_hits: 17,
+            cache_misses: 5,
+            cache_evictions: 3,
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 4)) {
+            Ok(Frame::Stats(got)) => {
+                assert_eq!(got.degraded, 1, "v4 field survives a v4 wire");
+                assert_eq!(got.index_resident_bytes, 0, "v4 wire carries no memory stats");
+                assert_eq!(got.cache_budget_bytes, 0);
+                assert_eq!(got.cache_used_bytes, 0);
+                assert_eq!(got.cache_hits, 0);
+                assert_eq!(got.cache_misses, 0);
+                assert_eq!(got.cache_evictions, 0);
             }
             other => panic!("expected Stats, got {other:?}"),
         }

@@ -9,7 +9,7 @@
 
 use crate::proto::{LatencySummary, ShardStat, StageLatency, StatsReport};
 use engine::{ShardFailure, ShardTiming};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Log2-bucketed latency histogram.
@@ -123,6 +123,12 @@ struct Inner {
     /// One slot per database shard; empty unless the daemon serves a
     /// sharded index (see [`ServeStats::init_shards`]).
     shards: Vec<ShardSlot>,
+    /// Bytes of decoded index pinned in memory for the daemon's lifetime
+    /// (the whole index for a resident daemon, zero out-of-core).
+    index_pinned_bytes: u64,
+    /// The out-of-core block cache, when the daemon streams its index
+    /// from disk. Snapshots fold its live counters into the report.
+    block_cache: Option<Arc<blockstore::BlockCache>>,
 }
 
 /// Shared, thread-safe service counters.
@@ -186,6 +192,20 @@ impl ServeStats {
     /// A request was answered with partial (degraded) results.
     pub fn on_degraded(&self) {
         lock(&self.inner).degraded += 1;
+    }
+
+    /// Declare how many bytes of decoded index stay resident for the
+    /// daemon's lifetime. Called once at startup by resident daemons;
+    /// reported as `index_resident_bytes` on v5+ stats frames.
+    pub fn set_index_memory(&self, bytes: u64) {
+        lock(&self.inner).index_pinned_bytes = bytes;
+    }
+
+    /// Attach the out-of-core block cache. Every snapshot thereafter
+    /// reads the cache's budget, residency, and hit/miss/eviction
+    /// counters into the v5+ stats fields.
+    pub fn set_block_cache(&self, cache: Arc<blockstore::BlockCache>) {
+        lock(&self.inner).block_cache = Some(cache);
     }
 
     /// Declare the shard layout of a sharded daemon (`(sequences,
@@ -253,6 +273,7 @@ impl ServeStats {
     /// batcher and passed in).
     pub fn snapshot(&self, queue_depth: usize, queue_cap: usize) -> StatsReport {
         let s = lock(&self.inner);
+        let cache = s.block_cache.as_ref().map(|c| (c.budget_bytes(), c.counters().snapshot()));
         StatsReport {
             queue_depth: queue_depth as u32,
             queue_cap: queue_cap as u32,
@@ -290,6 +311,13 @@ impl ServeStats {
                     failures: sh.failures,
                 })
                 .collect(),
+            index_resident_bytes: s.index_pinned_bytes
+                + cache.as_ref().map_or(0, |(_, c)| c.resident_bytes),
+            cache_budget_bytes: cache.as_ref().map_or(0, |&(budget, _)| budget),
+            cache_used_bytes: cache.as_ref().map_or(0, |(_, c)| c.resident_bytes),
+            cache_hits: cache.as_ref().map_or(0, |(_, c)| c.hits),
+            cache_misses: cache.as_ref().map_or(0, |(_, c)| c.misses),
+            cache_evictions: cache.as_ref().map_or(0, |(_, c)| c.evictions),
         }
     }
 }
@@ -474,6 +502,39 @@ mod tests {
         assert_eq!(report.degraded, 1);
         assert_eq!(report.shards[0].failures, 0);
         assert_eq!(report.shards[1].failures, 1);
+    }
+
+    #[test]
+    fn memory_fields_default_to_zero_and_track_their_sources() {
+        let stats = ServeStats::new();
+        let bare = stats.snapshot(0, 4);
+        assert_eq!(bare.index_resident_bytes, 0);
+        assert_eq!(bare.cache_budget_bytes, 0);
+
+        // A resident daemon pins a fixed decoded index.
+        stats.set_index_memory(12_345);
+        assert_eq!(stats.snapshot(0, 4).index_resident_bytes, 12_345);
+        assert_eq!(stats.snapshot(0, 4).cache_used_bytes, 0);
+
+        // An out-of-core daemon reports the live cache on top.
+        let cache = Arc::new(blockstore::BlockCache::new(4096));
+        let store = cache.register_store();
+        let idx = dbindex::DbIndex::build(
+            &[bioseq::Sequence::from_str_checked("s0", "MKVLAARNDCEQGH").unwrap()]
+                .into_iter()
+                .collect(),
+            &dbindex::IndexConfig::default(),
+        );
+        let block = Arc::new(idx.blocks()[0].clone());
+        let block_bytes = block.memory_bytes() as u64;
+        cache.insert(store, 0, block);
+        cache.counters().snapshot(); // counters are live, not consumed
+        stats.set_block_cache(Arc::clone(&cache));
+        let report = stats.snapshot(0, 4);
+        assert_eq!(report.cache_budget_bytes, 4096);
+        assert_eq!(report.cache_used_bytes, block_bytes);
+        assert_eq!(report.index_resident_bytes, 12_345 + block_bytes);
+        assert_eq!(report.cache_evictions, 0);
     }
 
     #[test]

@@ -216,6 +216,12 @@ fn random_frame(rng: &mut Rng) -> Frame {
                 })
                 .collect(),
             degraded: rng.below(1 << 20),
+            index_resident_bytes: rng.below(1 << 36),
+            cache_budget_bytes: rng.below(1 << 32),
+            cache_used_bytes: rng.below(1 << 32),
+            cache_hits: rng.below(1 << 40),
+            cache_misses: rng.below(1 << 30),
+            cache_evictions: rng.below(1 << 24),
         })),
         5 => Frame::Shutdown,
         _ => Frame::ShutdownAck,
@@ -287,10 +293,42 @@ fn v3_encodings_strip_only_the_v4_fields() {
                 for s in &mut expect.shards {
                     s.failures = 0;
                 }
+                // The v5 memory fields vanish on a v3 wire too.
+                expect.index_resident_bytes = 0;
+                expect.cache_budget_bytes = 0;
+                expect.cache_used_bytes = 0;
+                expect.cache_hits = 0;
+                expect.cache_misses = 0;
+                expect.cache_evictions = 0;
                 assert_eq!(*got, expect, "case {case}");
             }
             (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
             (Err(e), _) => panic!("case {case}: v3 encoding failed to decode: {e}"),
+        }
+    }
+}
+
+/// v4 encodings strip exactly the v5 additions — the index-memory and
+/// block-cache counters on stats — while every v4 field survives.
+#[test]
+fn v4_encodings_strip_only_the_v5_fields() {
+    let mut rng = Rng(0x5EED_0008);
+    for case in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_v(&frame, 4);
+        match (decode_frame(&bytes), &frame) {
+            (Ok(Frame::Stats(got)), Frame::Stats(sent)) => {
+                let mut expect = (**sent).clone();
+                expect.index_resident_bytes = 0;
+                expect.cache_budget_bytes = 0;
+                expect.cache_used_bytes = 0;
+                expect.cache_hits = 0;
+                expect.cache_misses = 0;
+                expect.cache_evictions = 0;
+                assert_eq!(*got, expect, "case {case}");
+            }
+            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Err(e), _) => panic!("case {case}: v4 encoding failed to decode: {e}"),
         }
     }
 }
@@ -335,10 +373,10 @@ fn random_byte_soup_never_panics() {
 }
 
 // ---------------------------------------------------------------------------
-// Golden byte fixtures: the committed v3 and v4 encodings of fixed frames.
-// These pin the wire format itself — any codec change that alters bytes
-// (field order, widths, the append-only versioning discipline) fails here
-// even if it round-trips symmetrically. Regenerate deliberately with
+// Golden byte fixtures: the committed v3, v4, and v5 encodings of fixed
+// frames. These pin the wire format itself — any codec change that alters
+// bytes (field order, widths, the append-only versioning discipline) fails
+// here even if it round-trips symmetrically. Regenerate deliberately with
 // `PROTO_BLESS=1` after an intentional, version-gated format change.
 // ---------------------------------------------------------------------------
 
@@ -436,6 +474,12 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                     },
                 ],
                 degraded: 4,
+                index_resident_bytes: 262_144,
+                cache_budget_bytes: 65_536,
+                cache_used_bytes: 61_440,
+                cache_hits: 3_000,
+                cache_misses: 180,
+                cache_evictions: 75,
             })),
         ),
         (
@@ -449,15 +493,15 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
     ]
 }
 
-/// The committed fixture bytes match today's encoder at both wire
-/// versions, and decode back to the expected frames (with the v4 fields
-/// stripped on the v3 bytes).
+/// The committed fixture bytes match today's encoder at every pinned wire
+/// version, and decode back to the expected frames (with each version's
+/// later-version fields stripped).
 #[test]
-fn golden_fixtures_pin_the_v3_and_v4_wire_bytes() {
+fn golden_fixtures_pin_the_v3_v4_and_v5_wire_bytes() {
     let dir = fixtures_dir();
     let bless = std::env::var_os("PROTO_BLESS").is_some();
     for (name, frame) in golden_frames() {
-        for version in [3u32, 4] {
+        for version in [3u32, 4, 5] {
             let bytes = encode_frame_v(&frame, version);
             let path = dir.join(format!("{name}.v{version}.bin"));
             if bless {
@@ -475,6 +519,17 @@ fn golden_fixtures_pin_the_v3_and_v4_wire_bytes() {
             let decoded = decode_frame(&golden)
                 .unwrap_or_else(|e| panic!("{name} v{version}: fixture failed to decode: {e}"));
             match (version, &frame, &decoded) {
+                (5, sent, got) => assert_eq!(got, sent, "{name} v5"),
+                (4, Frame::Stats(sent), Frame::Stats(got)) => {
+                    let mut expect = (**sent).clone();
+                    expect.index_resident_bytes = 0;
+                    expect.cache_budget_bytes = 0;
+                    expect.cache_used_bytes = 0;
+                    expect.cache_hits = 0;
+                    expect.cache_misses = 0;
+                    expect.cache_evictions = 0;
+                    assert_eq!(**got, expect, "{name} v4");
+                }
                 (4, sent, got) => assert_eq!(got, sent, "{name} v4"),
                 (3, Frame::Results(sent), Frame::Results(got)) => {
                     assert!(got.degraded.is_none(), "{name} v3");

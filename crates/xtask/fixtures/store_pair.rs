@@ -1,0 +1,22 @@
+//! Seeded defect for `xtask fixtures`: the store header writer and reader
+//! disagree on field order — `header_bytes` emits version, block_bytes,
+//! offset_bits but `parse_header` consumes offset_bits before block_bytes.
+//! Every store already on disk has the writer's order, so the reader would
+//! misparse all of them. `store-pair` must convict this.
+
+pub const STORE_VERSION: u32 = 3;
+
+fn header_bytes(config: &Config) -> Vec<u8> {
+    let mut h = Vec::new();
+    put_u32(&mut h, STORE_VERSION);
+    put_u64(&mut h, config.block_bytes as u64);
+    put_u32(&mut h, config.offset_bits);
+    h
+}
+
+fn parse_header(data: &mut &[u8]) -> Result<Config, Error> {
+    let version = get_u32(data)?;
+    let offset_bits = get_u32(data)?; // swapped with block_bytes: misparse
+    let block_bytes = get_u64(data)?;
+    Ok(Config { version, block_bytes, offset_bits })
+}

@@ -9,6 +9,8 @@
 //!   entry points, reported with full call chains.
 //! * [`proto`] — the wire-protocol schema ratchet over
 //!   `serve/src/proto.rs` and `crates/serve/proto.schema`.
+//! * [`store`] — the on-disk store-layout ratchet over
+//!   `dbindex/src/store.rs` and `crates/dbindex/store.schema`.
 //!
 //! All passes reuse the lint engine's suppression machinery: inline
 //! `// lint: allow(<rule>)` annotations and the `lint.allow` budget file.
@@ -18,6 +20,7 @@
 pub mod locks;
 pub mod panics;
 pub mod proto;
+pub mod store;
 
 use crate::lexer::{lex, Lexed};
 use crate::parser::{parse_fns, Call, CallKind, FnInfo};

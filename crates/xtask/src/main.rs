@@ -9,8 +9,9 @@
 //! cargo run -p xtask -- lint                  # lint the workspace (CI gate)
 //! cargo run -p xtask -- lint FILE...          # lint specific files, all rules
 //! cargo run -p xtask -- lint --update-allow   # ratchet lint.allow down to reality
-//! cargo run -p xtask -- analyze               # lock-order, panic-reach, proto ratchet
+//! cargo run -p xtask -- analyze               # lock-order, panic-reach, schema ratchets
 //! cargo run -p xtask -- analyze --bless-proto # (re)pin crates/serve/proto.schema
+//! cargo run -p xtask -- analyze --bless-store # (re)pin crates/dbindex/store.schema
 //! cargo run -p xtask -- fixtures              # self-test: every fixture must fail
 //! cargo run -p xtask -- rules                 # list the rules and their rationale
 //! ```
@@ -42,7 +43,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: xtask <lint [--json FILE] [--update-allow] [FILE...] \
-                 | analyze [--json FILE] [--bless-proto] [--strict-panics] \
+                 | analyze [--json FILE] [--bless-proto] [--bless-store] [--strict-panics] \
                  | fixtures | rules>"
             );
             ExitCode::from(2)
@@ -62,6 +63,8 @@ fn cmd_rules() -> ExitCode {
         (analyze::proto::RULE_APPEND, "wire fields append in version order, never splice"),
         (analyze::proto::RULE_PAIR, "encode/decode arms agree per variant and version gate"),
         (analyze::proto::RULE_DRIFT, "shipped wire layouts match the pinned proto.schema"),
+        (analyze::store::RULE_PAIR, "store writer/reader field sequences agree per section"),
+        (analyze::store::RULE_DRIFT, "shipped store layouts match the pinned store.schema"),
     ] {
         println!("{name:<18} {desc}");
     }
@@ -73,6 +76,7 @@ struct Opts {
     json: Option<PathBuf>,
     update_allow: bool,
     bless_proto: bool,
+    bless_store: bool,
     strict_panics: bool,
     paths: Vec<String>,
 }
@@ -82,6 +86,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: None,
         update_allow: false,
         bless_proto: false,
+        bless_store: false,
         strict_panics: false,
         paths: Vec::new(),
     };
@@ -94,6 +99,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--update-allow" => o.update_allow = true,
             "--bless-proto" => o.bless_proto = true,
+            "--bless-store" => o.bless_store = true,
             "--strict-panics" => o.strict_panics = true,
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             p => o.paths.push(p.to_string()),
@@ -200,6 +206,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let units = analyze::build_units(&files);
     let schema_path = root.join("crates/serve/proto.schema");
     let old_schema = std::fs::read_to_string(&schema_path).ok();
+    let store_schema_path = root.join("crates/dbindex/store.schema");
+    let old_store_schema = std::fs::read_to_string(&store_schema_path).ok();
 
     if opts.bless_proto {
         match analyze::proto::bless(&units, old_schema.as_deref()) {
@@ -209,6 +217,21 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
                 eprintln!("xtask analyze: pinned {}", schema_path.display());
+                return ExitCode::SUCCESS;
+            }
+            Err(findings) => {
+                return report("analyze", findings, Vec::new(), opts.json.as_deref())
+            }
+        }
+    }
+    if opts.bless_store {
+        match analyze::store::bless(&units, old_store_schema.as_deref()) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&store_schema_path, &text) {
+                    eprintln!("xtask: cannot write {}: {e}", store_schema_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("xtask analyze: pinned {}", store_schema_path.display());
                 return ExitCode::SUCCESS;
             }
             Err(findings) => {
@@ -238,7 +261,21 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             findings.extend(f);
         }
     }
-    eprintln!("xtask analyze: {} files, 3 passes", files.len());
+    match &old_store_schema {
+        Some(schema) => findings.extend(analyze::store::check(&units, Some(schema))),
+        None => {
+            let mut f = analyze::store::check(&units, None);
+            f.push(rules::Finding::new(
+                analyze::store::RULE_DRIFT,
+                "crates/dbindex/store.schema",
+                0,
+                "missing — run `xtask analyze --bless-store` to pin the store layouts"
+                    .to_string(),
+            ));
+            findings.extend(f);
+        }
+    }
+    eprintln!("xtask analyze: {} files, 4 passes", files.len());
     report("analyze", findings, Vec::new(), opts.json.as_deref())
 }
 
@@ -276,6 +313,7 @@ enum FixtureKind {
     Locks,
     Panics,
     Proto,
+    Store,
 }
 
 fn fixture_kind(stem: &str) -> FixtureKind {
@@ -283,6 +321,7 @@ fn fixture_kind(stem: &str) -> FixtureKind {
         s if s.starts_with("lock_") => FixtureKind::Locks,
         s if s.starts_with("panic_reach") => FixtureKind::Panics,
         s if s.starts_with("proto_") => FixtureKind::Proto,
+        s if s.starts_with("store_") => FixtureKind::Store,
         _ => FixtureKind::Lint,
     }
 }
@@ -341,6 +380,10 @@ fn cmd_fixtures() -> ExitCode {
             FixtureKind::Proto => {
                 let units = analyze::build_units(&[(rel.clone(), src)]);
                 analyze::proto::check(&units, None)
+            }
+            FixtureKind::Store => {
+                let units = analyze::build_units(&[(rel.clone(), src)]);
+                analyze::store::check(&units, None)
             }
         };
         let hits = findings.iter().filter(|f| f.rule == expected).count();

@@ -506,3 +506,236 @@ fn expired_deadlines_are_typed_rejections_not_hangs() {
     assert_eq!(handle.stats().expired, 1);
     handle.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Out-of-core chaos: seeded fault schedules on the block fetch/decode path.
+//
+// The streaming backend's invariants mirror the sharded engine's, one
+// layer lower: a latency fault must change *nothing* but time; a short
+// read or a flipped byte must surface as `ShardFailCause::Storage` on
+// exactly the shards whose stores hold the faulted block, with survivor
+// rows bit-equal to a fault-free reference over the same partition.
+// ---------------------------------------------------------------------------
+
+use blockstore::{
+    BlockCache, StreamingShards, FAULT_FETCH_FLIP, FAULT_FETCH_LATENCY, FAULT_FETCH_SHORT,
+};
+use obsv::TraceSession;
+
+/// Small blocks so every toy shard spans several blocks and shard block
+/// counts differ — `Schedule::Nth(block)` then kills a strict subset.
+fn store_config() -> IndexConfig {
+    IndexConfig { block_bytes: 96, offset_bits: 15, frag_overlap: 8 }
+}
+
+fn store_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mublastp-chaos-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    dir
+}
+
+fn build_streaming(
+    db: &SequenceDb,
+    shards: usize,
+    dir: &std::path::Path,
+    faults: &Faults,
+) -> StreamingShards<std::fs::File> {
+    StreamingShards::build_in_dir(
+        db,
+        &store_config(),
+        shards,
+        dir,
+        Arc::new(BlockCache::new(u64::MAX)),
+        faults,
+    )
+    .unwrap_or_else(|e| panic!("build block stores: {e}"))
+}
+
+/// Fault-free ground truth for the streaming survivors: same contract as
+/// [`survivor_reference`], but partitioned by the streaming shards' own
+/// membership so it cannot drift from the on-disk layout under test.
+fn streaming_survivor_reference(
+    streaming: &StreamingShards<std::fs::File>,
+    global: (usize, usize),
+    nbrs: &NeighborTable,
+    queries: &[Sequence],
+    cfg: &SearchConfig,
+    dead: &[usize],
+) -> Vec<QueryResult> {
+    let mut merged: Vec<QueryResult> = (0..queries.len())
+        .map(|query_index| QueryResult {
+            query_index,
+            alignments: Vec::new(),
+            counts: Default::default(),
+        })
+        .collect();
+    for (s, shard) in streaming.shards().iter().enumerate() {
+        if dead.contains(&s) {
+            continue;
+        }
+        let mut inner = cfg.clone();
+        inner.threads = 1;
+        inner.effective_db = Some(global);
+        inner.faults = Faults::none();
+        let index = DbIndex::build(&shard.db, &store_config());
+        let mut rs = search_batch(&shard.db, Some(&index), nbrs, queries, &inner);
+        for qr in &mut rs {
+            for a in &mut qr.alignments {
+                a.subject = shard.ids[a.subject as usize];
+            }
+            merged[qr.query_index].alignments.append(&mut qr.alignments);
+        }
+    }
+    for qr in &mut merged {
+        merge_shard_alignments(&mut qr.alignments, cfg.params.max_reported);
+        qr.counts.reported = qr.alignments.len() as u64;
+    }
+    merged
+}
+
+/// Latency faults on the block fetch path slow the search but must not
+/// change a byte: no degradation, full residue coverage, results
+/// bit-identical to the resident engine under every schedule.
+#[test]
+fn fetch_latency_faults_leave_streaming_results_bit_identical() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let db = toy_db(41, seed);
+    let queries = queries_from(&db, 6, seed);
+    let nbrs = neighbors();
+    let cfg = config();
+    let baseline = {
+        let index = DbIndex::build(&db, &store_config());
+        search_batch(&db, Some(&index), &nbrs, &queries, &cfg)
+    };
+    let dir = store_dir("latency");
+    for (label, schedule) in [
+        ("always", Schedule::Always),
+        ("every-3rd", Schedule::EveryNth(3)),
+        ("coin-flip", Schedule::Probability(0.5)),
+    ] {
+        let faults = FaultPlan::new(mix64(seed, 0x1a7))
+            .with(FAULT_FETCH_LATENCY, schedule)
+            .build();
+        let streaming = build_streaming(&db, 3, &dir, &faults);
+        let out = engine::search_batch_backend_traced(
+            &streaming,
+            &nbrs,
+            &queries,
+            &cfg,
+            &TraceSession::disabled(),
+        );
+        assert!(out.failed.is_empty(), "{label}: latency degraded a shard: {:?}", out.failed);
+        assert_eq!(out.covered_residues, out.total_residues, "{label}");
+        assert_eq!(out.total_residues, db.total_residues(), "{label}");
+        assert_bits_equal(label, &baseline, &out.results);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting one block id — a short read or a flipped byte, chosen by
+/// the seed — degrades exactly the shards whose stores are deep enough to
+/// hold that block. `fire_at` keys on the block id, so the dead set is
+/// predictable from the fault-free block counts: cause is always
+/// `Storage`, residue-coverage arithmetic is exact, and survivor rows are
+/// bit-equal to a fault-free reference over the same partition.
+#[test]
+fn seeded_block_corruption_degrades_exactly_the_shards_holding_that_block() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let nbrs = neighbors();
+    let cfg = config();
+    let mut saw_partial = false;
+    for (round, shards) in [2usize, 3, 4, 5].into_iter().enumerate() {
+        let r = mix64(seed, 0xB10C ^ round as u64);
+        let db = toy_db(29 + 4 * round, seed ^ r);
+        let queries = queries_from(&db, 5, r);
+        let dir = store_dir(&format!("corrupt-{round}"));
+        // Fault-free probe: learns the per-shard block counts and anchors
+        // the survivor reference to the exact on-disk partition.
+        let probe = build_streaming(&db, shards, &dir, &Faults::none());
+        let depths: Vec<usize> = probe.shards().iter().map(|s| s.store.num_blocks()).collect();
+        let deepest = *depths.iter().max().unwrap();
+        assert!(deepest >= 2, "round {round}: want multi-block shards, got {depths:?}");
+        let victim_block = (deepest - 1) as u64;
+        let expected_dead: Vec<usize> = depths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d as u64 > victim_block)
+            .map(|(s, _)| s)
+            .collect();
+        let site = if r & 1 == 0 { FAULT_FETCH_SHORT } else { FAULT_FETCH_FLIP };
+        let faults = FaultPlan::new(r).with(site, Schedule::Nth(victim_block)).build();
+        let streaming = build_streaming(&db, shards, &dir, &faults);
+        let out = engine::search_batch_backend_traced(
+            &streaming,
+            &nbrs,
+            &queries,
+            &cfg,
+            &TraceSession::disabled(),
+        );
+        let label = format!("round {round} ({site}, block {victim_block}, depths {depths:?})");
+        let mut failed: Vec<usize> = out.failed.iter().map(|f| f.shard).collect();
+        failed.sort_unstable();
+        assert_eq!(failed, expected_dead, "{label}: degraded shard set");
+        for f in &out.failed {
+            assert_eq!(f.cause, engine::ShardFailCause::Storage, "{label}: shard {}", f.shard);
+        }
+        let lost: usize =
+            expected_dead.iter().map(|&s| probe.shards()[s].db.total_residues()).sum();
+        assert_eq!(out.total_residues, db.total_residues(), "{label}");
+        assert_eq!(out.covered_residues, out.total_residues - lost, "{label}");
+        let reference = streaming_survivor_reference(
+            &probe,
+            (db.total_residues(), db.len()),
+            &nbrs,
+            &queries,
+            &cfg,
+            &expected_dead,
+        );
+        assert_bits_equal(&label, &reference, &out.results);
+        if expected_dead.len() < shards {
+            saw_partial = true;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        saw_partial,
+        "no round had survivors — CHAOS_SEED={seed} balanced every shard to the same depth; \
+         pick another seed"
+    );
+}
+
+/// Every fetch failing — the disk is gone — degrades every shard with a
+/// typed `Storage` cause: zero coverage, zero rows, no panic.
+#[test]
+fn total_block_store_loss_degrades_every_shard_without_panic() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let db = toy_db(31, seed ^ 0xD15C);
+    let queries = queries_from(&db, 4, seed);
+    let nbrs = neighbors();
+    let cfg = config();
+    let dir = store_dir("total-loss");
+    let faults = FaultPlan::new(seed).with(FAULT_FETCH_SHORT, Schedule::Always).build();
+    let streaming = build_streaming(&db, 3, &dir, &faults);
+    let out = engine::search_batch_backend_traced(
+        &streaming,
+        &nbrs,
+        &queries,
+        &cfg,
+        &TraceSession::disabled(),
+    );
+    assert_eq!(out.failed.len(), 3, "all shards must degrade: {:?}", out.failed);
+    for f in &out.failed {
+        assert_eq!(f.cause, engine::ShardFailCause::Storage, "shard {}", f.shard);
+    }
+    assert_eq!(out.covered_residues, 0);
+    assert_eq!(out.total_residues, db.total_residues());
+    for (i, qr) in out.results.iter().enumerate() {
+        assert_eq!(qr.query_index, i);
+        assert!(qr.alignments.is_empty(), "query {i} has rows from dead shards");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
