@@ -48,17 +48,22 @@ fn stat_max(c: &AtomicU64, n: u64) {
 
 /// Monotonic counters describing cache and fetch-path behaviour. All
 /// updates are `Relaxed`: these are statistics, not synchronization.
+///
+/// Each cell is individually `Arc`-shared so [`BlockCache::bind_metrics`]
+/// can hand the *same* atomics to an [`obsv::metrics::Registry`] — the
+/// Prometheus endpoint and the wire stats frame then read live cache
+/// counters with no copying or double counting.
 #[derive(Debug, Default)]
 pub struct CacheCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    resident_bytes: AtomicU64,
-    peak_resident_bytes: AtomicU64,
-    fetched_blocks: AtomicU64,
-    fetched_bytes: AtomicU64,
-    decode_ns: AtomicU64,
-    decoded_postings: AtomicU64,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+    resident_bytes: Arc<AtomicU64>,
+    peak_resident_bytes: Arc<AtomicU64>,
+    fetched_blocks: Arc<AtomicU64>,
+    fetched_bytes: Arc<AtomicU64>,
+    decode_ns: Arc<AtomicU64>,
+    decoded_postings: Arc<AtomicU64>,
 }
 
 /// A point-in-time copy of [`CacheCounters`], for stats frames and bench
@@ -193,6 +198,26 @@ impl BlockCache {
     /// The live counters (share via the owning `Arc`).
     pub fn counters(&self) -> &CacheCounters {
         &self.counters
+    }
+
+    /// Export this cache's counters through a metrics registry: the
+    /// registry's `blockstore.cache.*` series are re-bound onto the very
+    /// atomics the cache updates, so every scrape reads live values. The
+    /// fixed byte budget is published as a gauge. Call once, when the
+    /// cache is installed into the serving stack.
+    pub fn bind_metrics(&self, reg: &obsv::Registry) {
+        use obsv::metrics::names;
+        let c = &self.counters;
+        reg.bind_counter(names::CACHE_HITS, Arc::clone(&c.hits));
+        reg.bind_counter(names::CACHE_MISSES, Arc::clone(&c.misses));
+        reg.bind_counter(names::CACHE_EVICTIONS, Arc::clone(&c.evictions));
+        reg.bind_counter(names::CACHE_FETCHED_BLOCKS, Arc::clone(&c.fetched_blocks));
+        reg.bind_counter(names::CACHE_FETCHED_BYTES, Arc::clone(&c.fetched_bytes));
+        reg.bind_counter(names::CACHE_DECODE_NS, Arc::clone(&c.decode_ns));
+        reg.bind_counter(names::CACHE_DECODED_POSTINGS, Arc::clone(&c.decoded_postings));
+        reg.bind_gauge(names::CACHE_RESIDENT_BYTES, Arc::clone(&c.resident_bytes));
+        reg.bind_gauge(names::CACHE_PEAK_RESIDENT_BYTES, Arc::clone(&c.peak_resident_bytes));
+        reg.gauge(names::CACHE_BUDGET_BYTES).set(self.budget);
     }
 
     /// Claim a fresh store-id namespace for one open store.
@@ -359,6 +384,28 @@ mod tests {
         assert!(cache.get(b, 7).is_none(), "other store's id space");
         assert!(cache.get(a, 7).is_some());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bound_registry_reads_live_cache_counters() {
+        use obsv::metrics::names;
+        let blocks = blocks();
+        let cache = BlockCache::new(4096);
+        let store = cache.register_store();
+        let reg = obsv::Registry::new(true);
+        cache.bind_metrics(&reg);
+        assert_eq!(reg.value(names::CACHE_BUDGET_BYTES), 4096);
+        cache.get(store, 0); // miss
+        cache.insert(store, 0, Arc::new(blocks[0].clone()));
+        cache.get(store, 0); // hit
+        let snap = cache.counters().snapshot();
+        assert_eq!(reg.value(names::CACHE_HITS), snap.hits);
+        assert_eq!(reg.value(names::CACHE_MISSES), snap.misses);
+        assert_eq!(reg.value(names::CACHE_RESIDENT_BYTES), snap.resident_bytes);
+        assert_eq!(
+            reg.value(names::CACHE_PEAK_RESIDENT_BYTES),
+            snap.peak_resident_bytes
+        );
     }
 
     #[test]

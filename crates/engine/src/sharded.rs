@@ -58,6 +58,20 @@ pub enum ShardFailCause {
     Storage,
 }
 
+impl ShardFailCause {
+    /// The stable label value this cause exports under — the `cause`
+    /// label of `engine.shard.failures_by_cause` and the event log's
+    /// `cause` field. Must stay in sync with `obsv::metrics::CAUSES`
+    /// (pinned by a test in `serve`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardFailCause::Injected => "injected",
+            ShardFailCause::DeadlineExceeded => "deadline",
+            ShardFailCause::Storage => "storage",
+        }
+    }
+}
+
 /// A source of independently searchable database partitions: the storage
 /// abstraction behind [`search_batch_backend_traced`]. The resident
 /// [`ShardedIndex`] and the out-of-core streaming store implement this,

@@ -23,15 +23,25 @@
 //! 3. **No dependencies.** Exporters hand-roll their output formats:
 //!    Chrome/Perfetto `trace.json` ([`write_chrome_trace`]) and
 //!    flamegraph folded stacks ([`write_folded`]).
+//!
+//! Besides per-span tracing, the crate hosts the service's unified
+//! [`metrics`] registry: every counter, gauge, and latency histogram the
+//! serving stack exports, declared under stable dotted names, rendered
+//! as a Prometheus text exposition, and frozen by the `xtask analyze
+//! metrics` schema ratchet (`crates/obsv/metrics.schema`).
 
 pub mod chrome;
 pub mod folded;
+pub mod metrics;
 pub mod recorder;
 pub mod span;
 pub mod trace;
 
 pub use chrome::{chrome_trace_string, write_chrome_trace};
 pub use folded::{folded_string, write_folded};
+pub use metrics::{
+    Counter, Gauge, HistSummary, Histogram, Registry, SizeHistogram, METRICS_VERSION,
+};
 pub use recorder::{
     NoObs, ObsvConfig, Recorder, SpanStart, StageObs, TraceSession, DEFAULT_RING_CAPACITY,
 };

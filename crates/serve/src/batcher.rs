@@ -188,6 +188,11 @@ pub struct BatchOptions {
     /// [`FAULT_EXPIRE`], and — via dispatch — the engine's shard site).
     /// Unarmed (the default) costs one branch per check.
     pub faults: faultfn::Faults,
+    /// Structured JSON event sink (`mublastpd --event-log`): slow
+    /// queries (gated by `slow_query_us`), shard degradation, and cache
+    /// pressure are appended per dispatched request. `None` (the
+    /// default) logs nothing.
+    pub event_log: Option<Arc<crate::events::EventLog>>,
 }
 
 impl Default for BatchOptions {
@@ -199,6 +204,7 @@ impl Default for BatchOptions {
             obsv: ObsvConfig::off(),
             slow_query_us: 0,
             faults: faultfn::Faults::none(),
+            event_log: None,
         }
     }
 }
@@ -632,6 +638,16 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     } else {
         TraceSession::disabled()
     };
+    // Cache-pressure detection (streaming contexts under an event log):
+    // evictions during this dispatch mean the batch's working set no
+    // longer fits the block-cache budget.
+    let cache = match &shared.ctx.index {
+        ResidentIndex::Streaming(streaming) if shared.opts.event_log.is_some() => {
+            Some(Arc::clone(streaming.cache()))
+        }
+        _ => None,
+    };
+    let evictions_before = cache.as_ref().map_or(0, |c| c.counters().snapshot().evictions);
     let searched_at = Instant::now();
     let (results, mut trace, shard_loss) = match &shared.ctx.index {
         ResidentIndex::Single(index) => {
@@ -676,6 +692,16 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     shared
         .stats
         .on_batch(live.len(), &waits, search_done - searched_at);
+    // One cache-pressure event per dispatch that evicted, attributed to
+    // the batch head's trace (members share the dispatch, and therefore
+    // the pressure).
+    if let (Some(log), Some(cache)) = (&shared.opts.event_log, &cache) {
+        let cs = cache.counters().snapshot();
+        let evicted = cs.evictions.saturating_sub(evictions_before);
+        if evicted > 0 {
+            log.cache_pressure(live[0].trace_id, evicted, cs.resident_bytes);
+        }
+    }
     // Total shard loss means there is nothing to demultiplex: answer every
     // member with a typed error (deadline expiry when that is what killed
     // every shard, internal failure otherwise). Partial loss degrades the
@@ -709,6 +735,13 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
         }),
         None => None,
     };
+    // Every member's answer is degraded, so every member gets its own
+    // event line (joinable against its exported spans by trace ID).
+    if let (Some(log), Some((failed, covered, total, _))) = (&shared.opts.event_log, &shard_loss) {
+        for job in &live {
+            log.shard_degradation(job.trace_id, failed, *covered as u64, *total as u64);
+        }
+    }
     // Engine spans were recorded against batch-local query slots under
     // trace id 0; rebase them onto the per-request ids.
     let ids: Vec<u64> = live.iter().map(|j| j.trace_id).collect();
@@ -737,6 +770,11 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     {
         let total = job.admitted.elapsed();
         if shared.opts.slow_query_us > 0 && total.as_micros() >= shared.opts.slow_query_us.into() {
+            shared.stats.on_slow_query();
+            let total_us = u64::try_from(total.as_micros()).unwrap_or(u64::MAX);
+            if let Some(log) = &shared.opts.event_log {
+                log.slow_query(job.trace_id, total_us, shared.opts.slow_query_us);
+            }
             eprintln!(
                 "[slow-query] trace={} queries={} wait_us={} search_us={} total_us={}",
                 job.trace_id,
@@ -1354,6 +1392,61 @@ mod tests {
         assert_eq!(report.degraded, 1);
         assert_eq!(report.shards[1].failures, 1);
         assert_eq!(report.shards[0].failures, 0);
+    }
+
+    /// With an event log attached, a degraded dispatch of a slow (by a
+    /// 1 µs threshold) request appends both event kinds, each carrying
+    /// the request's trace ID, and the registry counts them as logged.
+    #[test]
+    fn event_log_records_slow_queries_and_degradation() {
+        let ctx = sharded_context(3);
+        let stats = Arc::new(ServeStats::new());
+        let dir = std::env::temp_dir()
+            .join(format!("mublastp_batcher_events_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log =
+            Arc::new(crate::events::EventLog::create(&path, stats.registry()).unwrap());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                slow_query_us: 1, // every request trips the threshold
+                faults: faultfn::FaultPlan::new(7)
+                    .with(engine::FAULT_SHARD, faultfn::Schedule::Nth(1))
+                    .build(),
+                event_log: Some(Arc::clone(&log)),
+                ..BatchOptions::default()
+            },
+            Arc::clone(&stats),
+        );
+        let rx = batcher
+            .submit(query(&ctx, 0), EngineKind::MuBlastp, &Default::default(), None)
+            .unwrap();
+        let out = rx.recv().unwrap().expect("partial loss still answers");
+        assert!(out.degraded.is_some());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let degr: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"shard_degradation\""))
+            .collect();
+        let slow: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"slow_query\""))
+            .collect();
+        assert_eq!(degr.len(), 1);
+        assert_eq!(slow.len(), 1);
+        let tag = format!("\"trace\":{}", out.trace_id);
+        assert!(degr[0].contains(&tag) && slow[0].contains(&tag));
+        assert!(degr[0].contains("\"cause\":\"injected\""));
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.slow_queries, 1);
+        assert_eq!(report.events_logged, 2);
+        assert_eq!(report.events_dropped, 0);
+        drop(batcher);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //!                [--seg yes|no] [--deadline-ms N] [--retries N]
 //!                [--trace out.json] [--trace-folded out.folded]
 //! mublastp-query --addr 127.0.0.1:7878 --stats
+//! mublastp-query --addr 127.0.0.1:7878 --metrics
 //! mublastp-query --addr 127.0.0.1:7878 --shutdown
 //! ```
+//!
+//! `--stats` prints a human-readable digest of the daemon's wire stats
+//! frame; `--metrics` prints the daemon's full Prometheus text
+//! exposition (the same bytes `--metrics-addr` serves over HTTP, shipped
+//! in the protocol v6 stats frame) — both are snapshots of the one
+//! metrics registry inside the daemon.
 //!
 //! Prints BLAST-style tabular output (one row per alignment).
 //! `--retries N` retries refused or unreachable searches up to N extra
@@ -41,6 +48,7 @@ USAGE:
                  [--seg yes|no] [--deadline-ms N] [--retries N]
                  [--trace out.json] [--trace-folded out.folded]
   mublastp-query --addr HOST:PORT --stats
+  mublastp-query --addr HOST:PORT --metrics
   mublastp-query --addr HOST:PORT --shutdown";
 
 // Exit codes (documented, stable):
@@ -117,6 +125,21 @@ fn run() -> Result<(), (u8, String)> {
         eprintln!("mublastp-query: server drained and shut down");
         return Ok(());
     }
+    if flags.has("--metrics") {
+        let mut client =
+            Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
+        let s = client
+            .stats()
+            .map_err(|e| (client_exit(&e), e.to_string()))?;
+        if s.metrics_text.is_empty() {
+            return Err((
+                EXIT_PROTO,
+                "server sent no metrics text (daemon older than protocol v6?)".to_string(),
+            ));
+        }
+        print!("{}", s.metrics_text);
+        return Ok(());
+    }
     if flags.has("--stats") {
         let mut client =
             Client::connect_tcp(addr).map_err(|e| (client_exit(&e), e.to_string()))?;
@@ -154,10 +177,34 @@ fn run() -> Result<(), (u8, String)> {
                 sl.latency.max_us
             );
         }
-        if s.index_resident_bytes > 0 {
-            println!("index_resident  {} B", s.index_resident_bytes);
+        if s.slow_queries > 0 {
+            println!("slow_queries    {}", s.slow_queries);
         }
-        if s.cache_budget_bytes > 0 {
+        if s.retry_attempts > 0 || s.retry_exhausted > 0 {
+            println!(
+                "retries         attempts={} exhausted={}",
+                s.retry_attempts, s.retry_exhausted
+            );
+        }
+        if s.events_logged > 0 || s.events_dropped > 0 {
+            println!(
+                "events          logged={} dropped={}",
+                s.events_logged, s.events_dropped
+            );
+        }
+        if s.shard_fail_injected + s.shard_fail_deadline + s.shard_fail_storage > 0 {
+            println!(
+                "shard_failures  injected={} deadline={} storage={}",
+                s.shard_fail_injected, s.shard_fail_deadline, s.shard_fail_storage
+            );
+        }
+        println!("index_resident  {} B", s.index_resident_bytes);
+        // The block-cache rows print in every mode: a daemon without a
+        // cache budget reports zeros with an explicit label, so scripts
+        // never have to guess whether the row was merely omitted.
+        if s.cache_budget_bytes == 0 {
+            println!("block_cache     none (index fully resident; no byte budget)");
+        } else {
             println!(
                 "block_cache     {} / {} B | hits={} misses={} evictions={}",
                 s.cache_used_bytes,
@@ -165,6 +212,13 @@ fn run() -> Result<(), (u8, String)> {
                 s.cache_hits,
                 s.cache_misses,
                 s.cache_evictions
+            );
+            println!(
+                "cache_fetch     blocks={} bytes={} decode_ns={} postings={}",
+                s.cache_fetched_blocks,
+                s.cache_fetched_bytes,
+                s.cache_decode_ns,
+                s.cache_decoded_postings
             );
         }
         for sh in &s.shards {

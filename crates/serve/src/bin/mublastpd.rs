@@ -4,6 +4,7 @@
 //! mublastpd --db db.fasta [--index db.mbi] [--shards K]
 //!           [--block-cache-bytes N]
 //!           [--listen 127.0.0.1:7878]
+//!           [--metrics-addr 127.0.0.1:9100] [--event-log events.jsonl]
 //!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
 //!           [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]
 //! ```
@@ -22,10 +23,18 @@
 //! (protocol v5). Incompatible with `--index` (the store is built
 //! in-process from the database).
 //!
+//! `--metrics-addr HOST:PORT` binds a Prometheus text-exposition
+//! endpoint (`GET /metrics`, HTTP/1.0) rendering the daemon's metrics
+//! registry — the same counters the wire stats frame (protocol v6)
+//! reports. `--event-log PATH` appends structured JSON events (slow
+//! queries, shard degradation, retry exhaustion, cache pressure), one
+//! object per line, each carrying the request's wire trace ID.
+//!
 //! `--trace` enables per-stage span recording; clients that ask for a
 //! trace (`mublastp-query --trace out.json`) then get their spans back,
 //! and the stats frame reports per-stage p50/p99. `--slow-query-us N`
-//! logs any request slower than N µs (admission to reply) to stderr.
+//! logs any request slower than N µs (admission to reply) to stderr and
+//! the event log.
 //!
 //! Builds the index in-process when `--index` is not given. Runs until a
 //! client sends a `Shutdown` frame (`mublastp-query --shutdown`), then
@@ -42,7 +51,7 @@ use bioseq::{read_fasta, Sequence, SequenceDb};
 use dbindex::{DbIndex, IndexConfig, LoadOutcome, ShardedIndex};
 use engine::{EngineKind, SearchConfig};
 use scoring::{NeighborTable, BLOSUM62};
-use serve::{serve, BatchOptions, ResidentIndex, SearchContext, TcpTransport};
+use serve::{BatchOptions, ResidentIndex, SearchContext, TcpTransport};
 
 const USAGE: &str = "\
 mublastpd — resident-index muBLASTP search daemon
@@ -51,6 +60,7 @@ USAGE:
   mublastpd --db db.fasta [--index db.mbi] [--shards K]
             [--block-cache-bytes N]
             [--listen 127.0.0.1:7878]
+            [--metrics-addr 127.0.0.1:9100] [--event-log events.jsonl]
             [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
             [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]";
 
@@ -258,6 +268,19 @@ fn run() -> Result<(), (u8, String)> {
     if trace_on {
         eprintln!("mublastpd: stage tracing enabled");
     }
+    // The stats (and their metrics registry) are created before the
+    // server so the event log binds its counters to the same registry
+    // the stats frame and the metrics endpoint read.
+    let stats = Arc::new(serve::ServeStats::new());
+    let event_log = match flags.get("--event-log") {
+        Some(path) => {
+            let log = serve::EventLog::create(std::path::Path::new(path), stats.registry())
+                .map_err(|e| (EXIT_LOAD, format!("cannot open event log {path}: {e}")))?;
+            eprintln!("mublastpd: logging events to {path}");
+            Some(Arc::new(log))
+        }
+        None => None,
+    };
     let opts = BatchOptions {
         queue_cap,
         max_batch,
@@ -269,8 +292,18 @@ fn run() -> Result<(), (u8, String)> {
         },
         slow_query_us,
         faults: faultfn::Faults::none(),
+        event_log,
     };
-    let mut handle = serve(transport, ctx, opts);
+    let mut handle = serve::serve_with_stats(transport, ctx, opts, stats);
+    let _metrics_server = match flags.get("--metrics-addr") {
+        Some(addr) => {
+            let server = serve::serve_metrics(addr, handle.metrics_source())
+                .map_err(|e| (EXIT_BIND, format!("cannot bind metrics endpoint {addr}: {e}")))?;
+            eprintln!("mublastpd: serving /metrics on {}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     handle.wait(); // returns after a wire Shutdown finished draining
     let report = handle.stats();
     eprintln!(

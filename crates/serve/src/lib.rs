@@ -31,11 +31,19 @@
 //!   the chaos suite.
 //! * [`retry`] — a deterministic retry/backoff policy for clients, with
 //!   admission-aware classification of which failures are safe to retry.
+//! * [`events`] — the append-only JSON-lines event log (slow queries,
+//!   degradation, retry exhaustion, cache pressure), joined to span
+//!   traces by wire trace ID.
+//! * [`metrics_http`] — a dependency-free HTTP/1.0 endpoint serving the
+//!   Prometheus text exposition of the daemon's metrics registry
+//!   (`mublastpd --metrics-addr`).
 
 pub mod batcher;
 pub mod client;
+pub mod events;
 pub mod faulty;
 pub mod loopback;
+pub mod metrics_http;
 pub mod proto;
 pub mod retry;
 pub mod server;
@@ -44,13 +52,15 @@ pub mod transport;
 
 pub use batcher::{BatchOptions, BatchOutput, Batcher, ResidentIndex, SearchContext, SubmitError};
 pub use client::{Client, ClientError};
+pub use events::EventLog;
 pub use faulty::{FaultyConn, FaultyTransport};
 pub use loopback::{loopback, LoopbackConn, LoopbackConnector, LoopbackTransport};
+pub use metrics_http::{serve_metrics, MetricsServer, MetricsSource};
 pub use proto::{
     Degraded, ErrorCode, Frame, ParamOverrides, ProtoError, SearchRequest, SearchResponse,
     ShardStat, StageLatency, StatsReport, WireError,
 };
-pub use retry::{retry, AttemptError, RetryOutcome, RetryPolicy};
-pub use server::{serve, ServerHandle};
+pub use retry::{retry, AttemptError, RetryObs, RetryOutcome, RetryPolicy};
+pub use server::{serve, serve_with_stats, ServerHandle};
 pub use stats::ServeStats;
 pub use transport::{TcpTransport, Transport};

@@ -28,8 +28,12 @@
 //! stats. Version 5 added index-attributable memory accounting to the
 //! stats frame: resident-index bytes plus the out-of-core block cache's
 //! budget, usage, and hit/miss/eviction counters (zero on a daemon
-//! without a block cache). The protocol stays backward compatible: a peer
-//! may speak any
+//! without a block cache). Version 6 made the stats frame a full
+//! snapshot of the unified metrics registry: shard failures by cause,
+//! slow-query / retry / event-log counters, the cache fetch-and-decode
+//! counters, and the rendered Prometheus exposition text (so
+//! `mublastp-query --metrics` needs no second endpoint). The protocol
+//! stays backward compatible: a peer may speak any
 //! version in `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are
 //! *appended* to older payloads and simply omitted when encoding for an
 //! older peer, and the server always answers with the version the
@@ -45,8 +49,11 @@ pub const MAGIC: &[u8; 4] = b"MUBQ";
 /// encoding). v2 added trace ids, optional span traces, and per-stage
 /// latency digests; v3 added per-shard stats rows; v4 added
 /// degraded-result metadata and per-shard failure counts; v5 added
-/// index-attributable memory and block-cache counters to stats.
-pub const PROTO_VERSION: u32 = 5;
+/// index-attributable memory and block-cache counters to stats; v6 added
+/// the unified-registry stats fields (failures by cause, slow-query /
+/// retry / event counters, cache fetch-and-decode counters, Prometheus
+/// exposition text).
+pub const PROTO_VERSION: u32 = 6;
 /// Oldest protocol version still accepted. Older frames decode with the
 /// newer fields at their defaults (no trace requested, no stage digests,
 /// no shard rows).
@@ -287,6 +294,34 @@ pub struct StatsReport {
     pub cache_misses: u64,
     /// Blocks evicted to stay under the cache budget.
     pub cache_evictions: u64,
+    /// Shard failures whose cause was injected (v6+ only; this field and
+    /// every field below decodes as 0/empty on older wires).
+    pub shard_fail_injected: u64,
+    /// Shard failures cancelled by an expired deadline.
+    pub shard_fail_deadline: u64,
+    /// Shard failures from the storage backend.
+    pub shard_fail_storage: u64,
+    /// Requests slower than the daemon's slow-query threshold.
+    pub slow_queries: u64,
+    /// Client-visible retry attempts observed in-process.
+    pub retry_attempts: u64,
+    /// Retry loops that exhausted their budget.
+    pub retry_exhausted: u64,
+    /// Structured events written to the event log.
+    pub events_logged: u64,
+    /// Structured events lost to event-log I/O errors.
+    pub events_dropped: u64,
+    /// Block records fetched from storage.
+    pub cache_fetched_blocks: u64,
+    /// Serialized bytes fetched from storage.
+    pub cache_fetched_bytes: u64,
+    /// Nanoseconds spent decoding fetched blocks.
+    pub cache_decode_ns: u64,
+    /// Postings decoded from fetched blocks.
+    pub cache_decoded_postings: u64,
+    /// The daemon's full Prometheus text exposition, rendered from the
+    /// same registry the scalar fields above are read from.
+    pub metrics_text: String,
 }
 
 /// Latency digest for one traced pipeline stage.
@@ -463,6 +498,7 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
     let v3 = version >= 3;
     let v4 = version >= 4;
     let v5 = version >= 5;
+    let v6 = version >= 6;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -577,6 +613,21 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                 put_u64(&mut p, s.cache_hits);
                 put_u64(&mut p, s.cache_misses);
                 put_u64(&mut p, s.cache_evictions);
+            }
+            if v6 {
+                put_u64(&mut p, s.shard_fail_injected);
+                put_u64(&mut p, s.shard_fail_deadline);
+                put_u64(&mut p, s.shard_fail_storage);
+                put_u64(&mut p, s.slow_queries);
+                put_u64(&mut p, s.retry_attempts);
+                put_u64(&mut p, s.retry_exhausted);
+                put_u64(&mut p, s.events_logged);
+                put_u64(&mut p, s.events_dropped);
+                put_u64(&mut p, s.cache_fetched_blocks);
+                put_u64(&mut p, s.cache_fetched_bytes);
+                put_u64(&mut p, s.cache_decode_ns);
+                put_u64(&mut p, s.cache_decoded_postings);
+                put_str(&mut p, &s.metrics_text);
             }
         }
     }
@@ -774,6 +825,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
     let v3 = version >= 3;
     let v4 = version >= 4;
     let v5 = version >= 5;
+    let v6 = version >= 6;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -932,6 +984,16 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             } else {
                 (0, 0, 0, 0, 0, 0)
             };
+            let mut v6_counters = [0u64; 12];
+            let mut metrics_text = String::new();
+            if v6 {
+                for c in &mut v6_counters {
+                    *c = get_u64(data)?;
+                }
+                metrics_text = get_str(data)?;
+            }
+            let [shard_fail_injected, shard_fail_deadline, shard_fail_storage, slow_queries, retry_attempts, retry_exhausted, events_logged, events_dropped, cache_fetched_blocks, cache_fetched_bytes, cache_decode_ns, cache_decoded_postings] =
+                v6_counters;
             Frame::Stats(Box::new(StatsReport {
                 queue_depth,
                 queue_cap,
@@ -954,6 +1016,19 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 cache_hits,
                 cache_misses,
                 cache_evictions,
+                shard_fail_injected,
+                shard_fail_deadline,
+                shard_fail_storage,
+                slow_queries,
+                retry_attempts,
+                retry_exhausted,
+                events_logged,
+                events_dropped,
+                cache_fetched_blocks,
+                cache_fetched_bytes,
+                cache_decode_ns,
+                cache_decoded_postings,
+                metrics_text,
             }))
         }
         6 => Frame::Shutdown,
@@ -1251,6 +1326,49 @@ mod tests {
                 assert_eq!(got.cache_hits, 0);
                 assert_eq!(got.cache_misses, 0);
                 assert_eq!(got.cache_evictions, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v6_stats_registry_fields_roundtrip_and_vanish_on_v5() {
+        let report = StatsReport {
+            cache_hits: 17,
+            shard_fail_injected: 2,
+            shard_fail_deadline: 1,
+            shard_fail_storage: 4,
+            slow_queries: 3,
+            retry_attempts: 9,
+            retry_exhausted: 1,
+            events_logged: 12,
+            events_dropped: 1,
+            cache_fetched_blocks: 8,
+            cache_fetched_bytes: 2048,
+            cache_decode_ns: 77_000,
+            cache_decoded_postings: 640,
+            metrics_text: "# TYPE serve_batcher_accepted counter\nserve_batcher_accepted 2\n"
+                .to_string(),
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 5)) {
+            Ok(Frame::Stats(got)) => {
+                assert_eq!(got.cache_hits, 17, "v5 field survives a v5 wire");
+                assert_eq!(got.shard_fail_injected, 0, "v5 wire carries no registry stats");
+                assert_eq!(got.shard_fail_deadline, 0);
+                assert_eq!(got.shard_fail_storage, 0);
+                assert_eq!(got.slow_queries, 0);
+                assert_eq!(got.retry_attempts, 0);
+                assert_eq!(got.retry_exhausted, 0);
+                assert_eq!(got.events_logged, 0);
+                assert_eq!(got.events_dropped, 0);
+                assert_eq!(got.cache_fetched_blocks, 0);
+                assert_eq!(got.cache_fetched_bytes, 0);
+                assert_eq!(got.cache_decode_ns, 0);
+                assert_eq!(got.cache_decoded_postings, 0);
+                assert!(got.metrics_text.is_empty());
             }
             other => panic!("expected Stats, got {other:?}"),
         }

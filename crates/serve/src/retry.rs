@@ -20,9 +20,13 @@
 //! stops and returns the last underlying error.
 
 use crate::client::{Client, ClientError};
+use crate::events::EventLog;
 use crate::proto::{ErrorCode, ParamOverrides, SearchResponse};
 use engine::EngineKind;
+use obsv::metrics::names;
+use obsv::{Counter, Registry};
 use std::io::{Read, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// When and how long to back off between attempts.
@@ -71,6 +75,49 @@ impl RetryPolicy {
             faultfn::mix64(self.seed, u64::from(attempt)) % (span + 1)
         };
         half.saturating_add(Duration::from_nanos(jitter))
+    }
+}
+
+/// Observability hooks for a retry loop: every attempt bumps
+/// `serve.retry.attempts`, every loop that gives up bumps
+/// `serve.retry.exhausted` (whatever ended it — attempts, budget, or a
+/// non-retriable failure; the event text says which), and an attached
+/// [`EventLog`] gets a `retry_exhaustion` line. The default/[disabled]
+/// value records nothing, so instrumentation is strictly opt-in.
+///
+/// [disabled]: RetryObs::disabled
+#[derive(Clone, Debug, Default)]
+pub struct RetryObs {
+    attempts: Counter,
+    exhausted: Counter,
+    events: Option<Arc<EventLog>>,
+}
+
+impl RetryObs {
+    /// Hooks that record nothing (the uninstrumented path).
+    pub fn disabled() -> RetryObs {
+        RetryObs::default()
+    }
+
+    /// Bind the attempt/exhaustion counters to `registry`, optionally
+    /// appending exhaustion events to `events`.
+    pub fn new(registry: &Registry, events: Option<Arc<EventLog>>) -> RetryObs {
+        RetryObs {
+            attempts: registry.counter(names::RETRY_ATTEMPTS),
+            exhausted: registry.counter(names::RETRY_EXHAUSTED),
+            events,
+        }
+    }
+
+    fn on_attempt(&self) {
+        self.attempts.inc();
+    }
+
+    fn on_exhausted(&self, trace_id: u64, attempts: u32, error: &str) {
+        self.exhausted.inc();
+        if let Some(log) = &self.events {
+            log.retry_exhaustion(trace_id, attempts, error);
+        }
     }
 }
 
@@ -146,6 +193,36 @@ where
     }
 }
 
+/// [`retry`] with metrics: each attempt and each exhausted loop is
+/// recorded through `obs`. Retries happen before admission, so the
+/// request usually has no trace ID yet; pass 0 when that is the case
+/// (the event is still joinable by timestamp and error text).
+pub fn retry_observed<T, E, F, S>(
+    policy: &RetryPolicy,
+    obs: &RetryObs,
+    trace_id: u64,
+    mut op: F,
+    sleep: S,
+) -> RetryOutcome<T, E>
+where
+    E: std::fmt::Display,
+    F: FnMut(u32) -> Result<T, AttemptError<E>>,
+    S: FnMut(Duration),
+{
+    let out = retry(
+        policy,
+        |attempt| {
+            obs.on_attempt();
+            op(attempt)
+        },
+        sleep,
+    );
+    if let Err(e) = &out.result {
+        obs.on_exhausted(trace_id, out.attempts, &e.to_string());
+    }
+    out
+}
+
 /// Classify a [`ClientError`] from a completed round-trip: only the
 /// server's pre-admission refusals are retriable; everything after the
 /// request frame left the client may already be running.
@@ -167,6 +244,36 @@ pub fn classify_response_error(error: ClientError) -> AttemptError<ClientError> 
 /// Sleeps on the real clock — use [`retry`] directly to inject a fake.
 pub fn search_with_retry<C, F>(
     policy: &RetryPolicy,
+    connect: F,
+    fasta: &str,
+    engine: EngineKind,
+    overrides: ParamOverrides,
+    deadline_ms: u32,
+    want_trace: bool,
+) -> RetryOutcome<SearchResponse, ClientError>
+where
+    C: Read + Write,
+    F: FnMut() -> Result<Client<C>, ClientError>,
+{
+    search_with_retry_observed(
+        policy,
+        &RetryObs::disabled(),
+        connect,
+        fasta,
+        engine,
+        overrides,
+        deadline_ms,
+        want_trace,
+    )
+}
+
+/// [`search_with_retry`] with metrics: attempts and exhaustion are
+/// recorded through `obs` (the loop runs before admission, so
+/// exhaustion events carry trace ID 0).
+#[allow(clippy::too_many_arguments)]
+pub fn search_with_retry_observed<C, F>(
+    policy: &RetryPolicy,
+    obs: &RetryObs,
     mut connect: F,
     fasta: &str,
     engine: EngineKind,
@@ -178,8 +285,10 @@ where
     C: Read + Write,
     F: FnMut() -> Result<Client<C>, ClientError>,
 {
-    retry(
+    retry_observed(
         policy,
+        obs,
+        0,
         |_| {
             let mut client = connect().map_err(|error| AttemptError {
                 error,
@@ -328,6 +437,38 @@ mod tests {
         assert_eq!(out.attempts, 1);
         assert_eq!(out.slept, Duration::ZERO);
         assert!(matches!(out.result, Err(ClientError::Io(_))));
+    }
+
+    #[test]
+    fn observed_retries_feed_the_registry() {
+        let reg = Registry::new(true);
+        let obs = RetryObs::new(&reg, None);
+        let out = retry_observed(
+            &policy(5),
+            &obs,
+            0,
+            |a| {
+                if a < 2 {
+                    Err(refused(ErrorCode::Overloaded, 0))
+                } else {
+                    Ok(())
+                }
+            },
+            |_| {},
+        );
+        assert!(out.result.is_ok());
+        assert_eq!(reg.value(names::RETRY_ATTEMPTS), 3);
+        assert_eq!(reg.value(names::RETRY_EXHAUSTED), 0, "success is not exhaustion");
+        let out: RetryOutcome<(), ClientError> = retry_observed(
+            &RetryPolicy { max_attempts: 2, ..policy(6) },
+            &obs,
+            0,
+            |_| Err(refused(ErrorCode::Overloaded, 0)),
+            |_| {},
+        );
+        assert!(out.result.is_err());
+        assert_eq!(reg.value(names::RETRY_ATTEMPTS), 5);
+        assert_eq!(reg.value(names::RETRY_EXHAUSTED), 1);
     }
 
     #[test]

@@ -62,6 +62,29 @@ impl ServerHandle {
         self.stats
             .snapshot(self.batcher.queue_depth(), self.batcher.queue_cap())
     }
+
+    /// The live counters behind this server — the registry the stats
+    /// frame, the Prometheus endpoint, and the event log all read.
+    pub fn shared_stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Render the current Prometheus text exposition from the live
+    /// registry (what `--metrics-addr` serves).
+    pub fn render_metrics(&self) -> String {
+        self.stats
+            .render_metrics(self.batcher.queue_depth(), self.batcher.queue_cap())
+    }
+
+    /// A self-contained exposition source for
+    /// [`crate::metrics_http::serve_metrics`]: it holds its own handles
+    /// on the stats and the batcher, so the endpoint keeps serving while
+    /// the daemon blocks in [`ServerHandle::wait`].
+    pub fn metrics_source(&self) -> crate::metrics_http::MetricsSource {
+        let stats = Arc::clone(&self.stats);
+        let batcher = Arc::clone(&self.batcher);
+        Arc::new(move || stats.render_metrics(batcher.queue_depth(), batcher.queue_cap()))
+    }
 }
 
 impl Drop for ServerHandle {
@@ -73,11 +96,22 @@ impl Drop for ServerHandle {
 /// Start serving `ctx` over `transport` with the given batching knobs.
 /// Returns immediately; the returned handle owns the server's threads.
 pub fn serve<T: Transport>(
-    mut transport: T,
+    transport: T,
     ctx: Arc<SearchContext>,
     opts: BatchOptions,
 ) -> ServerHandle {
-    let stats = Arc::new(ServeStats::new());
+    serve_with_stats(transport, ctx, opts, Arc::new(ServeStats::new()))
+}
+
+/// [`serve`] over caller-provided stats. The daemon uses this to create
+/// the registry first, so the event log (and anything else that binds
+/// counters) shares it with the server from the first request on.
+pub fn serve_with_stats<T: Transport>(
+    mut transport: T,
+    ctx: Arc<SearchContext>,
+    opts: BatchOptions,
+    stats: Arc<ServeStats>,
+) -> ServerHandle {
     let batcher = Arc::new(Batcher::new(Arc::clone(&ctx), opts, Arc::clone(&stats)));
     let stop = Arc::new(AtomicBool::new(false));
 

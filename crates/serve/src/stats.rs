@@ -1,211 +1,198 @@
 //! Service health counters: queue depth, batch-size histogram, and
 //! per-stage latency digests.
 //!
-//! Latencies land in logarithmic buckets (one per power of two of
-//! microseconds), so the recorder is a fixed 64-slot array: O(1) record,
-//! O(64) percentile, no allocation on the hot path. Percentiles are the
-//! upper edge of the bucket holding the requested rank — a ≤2× bound,
-//! plenty for "is the queue melting" dashboards.
+//! Since the unified-metrics change every counter here is a view over
+//! one [`obsv::Registry`]: the `on_*` methods update pre-resolved
+//! lock-free registry handles, and [`ServeStats::snapshot`] reads the
+//! same cells the Prometheus endpoint renders — the wire stats frame,
+//! `--metrics-addr`, and the event log can never disagree. Latencies
+//! land in logarithmic buckets (one per power of two of microseconds):
+//! O(1) record, O(64) percentile, no allocation on the hot path.
+//! Percentiles are the upper edge of the bucket holding the requested
+//! rank — a ≤2× bound, plenty for "is the queue melting" dashboards.
 
 use crate::proto::{LatencySummary, ShardStat, StageLatency, StatsReport};
-use engine::{ShardFailure, ShardTiming};
+use engine::{ShardFailCause, ShardFailure, ShardTiming};
+use obsv::metrics::names;
+use obsv::{Counter, Gauge, HistSummary, Histogram, Registry, SizeHistogram};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Log2-bucketed latency histogram.
-#[derive(Clone, Debug)]
-pub struct LatencyRecorder {
-    buckets: [u64; 64],
-    count: u64,
-    max_us: u64,
-}
-
-impl LatencyRecorder {
-    /// An empty recorder.
-    pub fn new() -> LatencyRecorder {
-        LatencyRecorder {
-            buckets: [0; 64],
-            count: 0,
-            max_us: 0,
-        }
-    }
-
-    /// Record one duration. Sub-microsecond (including zero) durations
-    /// land in bucket 0, whose upper edge is 0 µs.
-    pub fn record(&mut self, d: Duration) {
-        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-        // 0 µs → bucket 0; otherwise value v lands in bucket
-        // floor(log2 v) + 1, i.e. bucket i holds [2^(i-1), 2^i).
-        let bucket = (64 - us.leading_zeros()).min(63) as usize;
-        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
-        self.count = self.count.saturating_add(1);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// The upper edge (in µs) of the bucket containing the `p`-quantile
-    /// sample, capped at the true maximum so the report never exceeds
-    /// any observed value. `p` is clamped to `[0, 1]` (`p = 0` is the
-    /// lowest occupied bucket, `p = 1` the highest). Zero when nothing
-    /// was recorded.
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let p = p.clamp(0.0, 1.0);
-        let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Bucket i holds values in [2^(i-1), 2^i); report the
-                // edge, but never more than the largest sample (a lone
-                // 1000 µs sample must not read as "1024 µs").
-                return if i == 0 {
-                    0
-                } else {
-                    (1u64 << i).min(self.max_us)
-                };
-            }
-        }
-        self.max_us
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Digest for the wire stats frame.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            p50_us: self.percentile_us(0.50),
-            p99_us: self.percentile_us(0.99),
-            max_us: self.max_us,
-        }
+/// Registry histogram digest → wire shape.
+fn wire(s: HistSummary) -> LatencySummary {
+    LatencySummary {
+        count: s.count,
+        p50_us: s.p50_us,
+        p99_us: s.p99_us,
+        max_us: s.max_us,
     }
 }
 
-impl Default for LatencyRecorder {
-    fn default() -> LatencyRecorder {
-        LatencyRecorder::new()
+/// Index of a failure cause in [`obsv::metrics::CAUSES`] order. The
+/// `causes_match_the_registry_labels` test pins the mapping.
+fn cause_idx(c: ShardFailCause) -> usize {
+    match c {
+        ShardFailCause::Injected => 0,
+        ShardFailCause::DeadlineExceeded => 1,
+        ShardFailCause::Storage => 2,
     }
 }
 
-/// One shard's counters in a sharded daemon: the static shard shape plus
-/// the scheduler-wait and search-time digests fed on every dispatch.
-#[derive(Debug, Default)]
+/// One shard's registry handles: the static shard shape plus the
+/// scheduler-wait and search-time digests fed on every dispatch.
+#[derive(Debug)]
 struct ShardSlot {
     seqs: u64,
     residues: u64,
-    queued: LatencyRecorder,
-    search: LatencyRecorder,
-    failures: u64,
+    queued: Histogram,
+    search: Histogram,
+    failures: Counter,
 }
 
-/// Everything the stats frame reports, behind one lock.
+/// The little state that is not a registry cell: the shard layout (rows
+/// must appear on the stats frame even before the first dispatch) and
+/// the out-of-core cache whose live counters snapshots fold in.
 #[derive(Debug, Default)]
-struct Inner {
-    max_depth_seen: u32,
-    accepted: u64,
-    rejected: u64,
-    expired: u64,
-    completed: u64,
-    degraded: u64,
-    batches: u64,
-    batch_hist: Vec<u64>,
-    queue_wait: LatencyRecorder,
-    search: LatencyRecorder,
-    total: LatencyRecorder,
-    /// One recorder per traced pipeline stage, indexed by
-    /// `Stage::code() - 1`. Only fed when the daemon traces.
-    stage_lat: [LatencyRecorder; obsv::Stage::ALL.len()],
-    /// One slot per database shard; empty unless the daemon serves a
-    /// sharded index (see [`ServeStats::init_shards`]).
+struct Meta {
     shards: Vec<ShardSlot>,
-    /// Bytes of decoded index pinned in memory for the daemon's lifetime
-    /// (the whole index for a resident daemon, zero out-of-core).
-    index_pinned_bytes: u64,
-    /// The out-of-core block cache, when the daemon streams its index
-    /// from disk. Snapshots fold its live counters into the report.
     block_cache: Option<Arc<blockstore::BlockCache>>,
 }
 
-/// Shared, thread-safe service counters.
-#[derive(Debug, Default)]
+/// Shared, thread-safe service counters — a facade over the unified
+/// metrics registry.
+#[derive(Debug)]
 pub struct ServeStats {
-    inner: Mutex<Inner>,
+    registry: Registry,
+    accepted: Counter,
+    rejected: Counter,
+    expired: Counter,
+    completed: Counter,
+    degraded: Counter,
+    batches: Counter,
+    slow_queries: Counter,
+    batch_size: SizeHistogram,
+    queue_wait: Histogram,
+    search: Histogram,
+    total: Histogram,
+    queue_depth: Gauge,
+    queue_cap: Gauge,
+    max_depth: Gauge,
+    index_pinned: Gauge,
+    stage_lat: [Histogram; obsv::Stage::ALL.len()],
+    by_cause: [Counter; obsv::metrics::CAUSES.len()],
+    meta: Mutex<Meta>,
 }
 
-fn lock(stats: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
-    match stats.lock() {
+fn lock(meta: &Mutex<Meta>) -> std::sync::MutexGuard<'_, Meta> {
+    match meta.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
 }
 
 impl ServeStats {
-    /// Fresh counters.
+    /// Fresh counters over a private, enabled registry.
     pub fn new() -> ServeStats {
-        ServeStats::default()
+        ServeStats::with_registry(Registry::new(true))
+    }
+
+    /// Counters over a caller-supplied registry (the daemon shares one
+    /// registry between the stats frame, the Prometheus endpoint, and
+    /// the event log).
+    pub fn with_registry(registry: Registry) -> ServeStats {
+        ServeStats {
+            accepted: registry.counter(names::BATCHER_ACCEPTED),
+            rejected: registry.counter(names::BATCHER_REJECTED),
+            expired: registry.counter(names::BATCHER_EXPIRED),
+            completed: registry.counter(names::BATCHER_COMPLETED),
+            degraded: registry.counter(names::BATCHER_DEGRADED),
+            batches: registry.counter(names::BATCHER_BATCHES),
+            slow_queries: registry.counter(names::SLOW_QUERIES),
+            batch_size: registry.size_hist(names::BATCH_SIZE),
+            queue_wait: registry.hist(names::LATENCY_QUEUE_WAIT),
+            search: registry.hist(names::LATENCY_SEARCH),
+            total: registry.hist(names::LATENCY_TOTAL),
+            queue_depth: registry.gauge(names::QUEUE_DEPTH),
+            queue_cap: registry.gauge(names::QUEUE_CAP),
+            max_depth: registry.gauge(names::QUEUE_MAX_DEPTH),
+            index_pinned: registry.gauge(names::INDEX_PINNED_BYTES),
+            stage_lat: std::array::from_fn(|i| {
+                registry.hist_for_stage(names::LATENCY_STAGE, obsv::Stage::ALL[i])
+            }),
+            by_cause: std::array::from_fn(|i| {
+                registry.counter_for_cause(
+                    names::SHARD_FAILURES_BY_CAUSE,
+                    obsv::metrics::CAUSES[i],
+                )
+            }),
+            meta: Mutex::new(Meta::default()),
+            registry,
+        }
+    }
+
+    /// The registry behind these counters (the Prometheus endpoint and
+    /// the event log resolve their handles from it).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// A request entered the queue, which now holds `depth` entries.
     pub fn on_admit(&self, depth: usize) {
-        let mut s = lock(&self.inner);
-        s.accepted += 1;
-        s.max_depth_seen = s.max_depth_seen.max(depth as u32);
+        self.accepted.inc();
+        self.max_depth.set_max(depth as u64);
     }
 
     /// A request was refused because the queue was full.
     pub fn on_reject(&self) {
-        lock(&self.inner).rejected += 1;
+        self.rejected.inc();
     }
 
     /// A request's deadline passed while it waited.
     pub fn on_expire(&self) {
-        lock(&self.inner).expired += 1;
+        self.expired.inc();
     }
 
     /// A batch of `size` requests was dispatched; `waits` are the
     /// per-request queue delays and `search` the engine time.
     pub fn on_batch(&self, size: usize, waits: &[Duration], search: Duration) {
-        let mut s = lock(&self.inner);
-        s.batches += 1;
-        if s.batch_hist.len() < size {
-            s.batch_hist.resize(size, 0);
-        }
-        s.batch_hist[size - 1] += 1;
+        self.batches.inc();
+        self.batch_size.record(size);
         for &w in waits {
-            s.queue_wait.record(w);
+            self.queue_wait.record(w);
         }
-        s.search.record(search);
+        self.search.record(search);
     }
 
     /// A request was answered `total` after admission.
     pub fn on_complete(&self, total: Duration) {
-        let mut s = lock(&self.inner);
-        s.completed += 1;
-        s.total.record(total);
+        self.completed.inc();
+        self.total.record(total);
     }
 
     /// A request was answered with partial (degraded) results.
     pub fn on_degraded(&self) {
-        lock(&self.inner).degraded += 1;
+        self.degraded.inc();
+    }
+
+    /// A request crossed the slow-query threshold.
+    pub fn on_slow_query(&self) {
+        self.slow_queries.inc();
     }
 
     /// Declare how many bytes of decoded index stay resident for the
     /// daemon's lifetime. Called once at startup by resident daemons;
     /// reported as `index_resident_bytes` on v5+ stats frames.
     pub fn set_index_memory(&self, bytes: u64) {
-        lock(&self.inner).index_pinned_bytes = bytes;
+        self.index_pinned.set(bytes);
     }
 
-    /// Attach the out-of-core block cache. Every snapshot thereafter
-    /// reads the cache's budget, residency, and hit/miss/eviction
-    /// counters into the v5+ stats fields.
+    /// Attach the out-of-core block cache. Its live counters are bound
+    /// into the registry (`blockstore.cache.*`) and every snapshot
+    /// thereafter reads the cache's budget, residency, and
+    /// hit/miss/eviction counters into the v5+ stats fields.
     pub fn set_block_cache(&self, cache: Arc<blockstore::BlockCache>) {
-        lock(&self.inner).block_cache = Some(cache);
+        cache.bind_metrics(&self.registry);
+        lock(&self.meta).block_cache = Some(cache);
     }
 
     /// Declare the shard layout of a sharded daemon (`(sequences,
@@ -213,15 +200,20 @@ impl ServeStats {
     /// every snapshot thereafter carries one [`ShardStat`] row per shard,
     /// even before the first dispatch.
     pub fn init_shards(&self, info: &[(u64, u64)]) {
-        let mut s = lock(&self.inner);
-        s.shards = info
+        let mut m = lock(&self.meta);
+        m.shards = info
             .iter()
-            .map(|&(seqs, residues)| ShardSlot {
-                seqs,
-                residues,
-                queued: LatencyRecorder::new(),
-                search: LatencyRecorder::new(),
-                failures: 0,
+            .enumerate()
+            .map(|(i, &(seqs, residues))| {
+                self.registry.gauge_for_shard(names::SHARD_SEQS, i).set(seqs);
+                self.registry.gauge_for_shard(names::SHARD_RESIDUES, i).set(residues);
+                ShardSlot {
+                    seqs,
+                    residues,
+                    queued: self.registry.hist_for_shard(names::SHARD_QUEUED_US, i),
+                    search: self.registry.hist_for_shard(names::SHARD_SEARCH_US, i),
+                    failures: self.registry.counter_for_shard(names::SHARD_FAILURES, i),
+                }
             })
             .collect();
     }
@@ -231,74 +223,88 @@ impl ServeStats {
     /// shard's digests. Timings for shards never declared via
     /// [`ServeStats::init_shards`] are ignored.
     pub fn on_shard_batch(&self, timings: &[ShardTiming]) {
-        let mut s = lock(&self.inner);
+        let m = lock(&self.meta);
         for t in timings {
-            if let Some(slot) = s.shards.get_mut(t.shard) {
+            if let Some(slot) = m.shards.get(t.shard) {
                 slot.queued.record(t.queued);
                 slot.search.record(t.search);
             }
         }
     }
 
-    /// Record which shards dropped out of one sharded dispatch. Failures
-    /// on shards never declared via [`ServeStats::init_shards`] are
-    /// ignored.
+    /// Record which shards dropped out of one sharded dispatch. Every
+    /// failure counts toward its cause; per-shard rows only count shards
+    /// declared via [`ServeStats::init_shards`].
     pub fn on_shard_failures(&self, failed: &[ShardFailure]) {
         if failed.is_empty() {
             return;
         }
-        let mut s = lock(&self.inner);
+        let m = lock(&self.meta);
         for f in failed {
-            if let Some(slot) = s.shards.get_mut(f.shard) {
-                slot.failures += 1;
+            self.by_cause[cause_idx(f.cause)].inc();
+            if let Some(slot) = m.shards.get(f.shard) {
+                slot.failures.inc();
             }
         }
     }
 
     /// Digest the span durations of a traced batch into the per-stage
-    /// latency recorders. A no-op for empty traces, so untraced
-    /// deployments never take the lock here.
+    /// latency histograms. A no-op for empty traces.
     pub fn on_trace(&self, trace: &obsv::Trace) {
-        if trace.spans.is_empty() {
-            return;
-        }
-        let mut s = lock(&self.inner);
         for span in &trace.spans {
             let idx = (span.stage.code() - 1) as usize;
-            s.stage_lat[idx].record(Duration::from_nanos(span.dur_ns));
+            self.stage_lat[idx].record(Duration::from_nanos(span.dur_ns));
         }
     }
 
+    /// Render the Prometheus text exposition of the registry, refreshing
+    /// the queue gauges first (they are owned by the batcher and sampled
+    /// at read time, like in [`ServeStats::snapshot`]).
+    pub fn render_metrics(&self, queue_depth: usize, queue_cap: usize) -> String {
+        self.queue_depth.set(queue_depth as u64);
+        self.queue_cap.set(queue_cap as u64);
+        self.registry.render_prometheus()
+    }
+
     /// Point-in-time report (`queue_depth`/`queue_cap` are owned by the
-    /// batcher and passed in).
+    /// batcher and passed in; they are published to the registry gauges
+    /// here so a scrape racing a stats frame sees the same values).
     pub fn snapshot(&self, queue_depth: usize, queue_cap: usize) -> StatsReport {
-        let s = lock(&self.inner);
-        let cache = s.block_cache.as_ref().map(|c| (c.budget_bytes(), c.counters().snapshot()));
+        self.queue_depth.set(queue_depth as u64);
+        self.queue_cap.set(queue_cap as u64);
+        let m = lock(&self.meta);
+        let cache = m
+            .block_cache
+            .as_ref()
+            .map(|c| (c.budget_bytes(), c.counters().snapshot()));
+        let cs = |f: fn(&blockstore::CounterSnapshot) -> u64| {
+            cache.as_ref().map_or(0, |(_, c)| f(c))
+        };
         StatsReport {
             queue_depth: queue_depth as u32,
             queue_cap: queue_cap as u32,
-            max_depth_seen: s.max_depth_seen,
-            accepted: s.accepted,
-            rejected: s.rejected,
-            expired: s.expired,
-            completed: s.completed,
-            degraded: s.degraded,
-            batches: s.batches,
-            batch_hist: s.batch_hist.clone(),
-            queue_wait: s.queue_wait.summary(),
-            search: s.search.summary(),
-            total: s.total.summary(),
+            max_depth_seen: self.max_depth.value() as u32,
+            accepted: self.accepted.value(),
+            rejected: self.rejected.value(),
+            expired: self.expired.value(),
+            completed: self.completed.value(),
+            degraded: self.degraded.value(),
+            batches: self.batches.value(),
+            batch_hist: self.batch_size.counts(),
+            queue_wait: wire(self.queue_wait.summary()),
+            search: wire(self.search.summary()),
+            total: wire(self.total.summary()),
             stages: obsv::Stage::ALL
                 .iter()
                 .filter_map(|&stage| {
-                    let summary = s.stage_lat[(stage.code() - 1) as usize].summary();
+                    let summary = self.stage_lat[(stage.code() - 1) as usize].summary();
                     (summary.count > 0).then_some(StageLatency {
                         stage,
-                        latency: summary,
+                        latency: wire(summary),
                     })
                 })
                 .collect(),
-            shards: s
+            shards: m
                 .shards
                 .iter()
                 .enumerate()
@@ -306,19 +312,38 @@ impl ServeStats {
                     shard: i as u32,
                     seqs: sh.seqs,
                     residues: sh.residues,
-                    queued: sh.queued.summary(),
-                    search: sh.search.summary(),
-                    failures: sh.failures,
+                    queued: wire(sh.queued.summary()),
+                    search: wire(sh.search.summary()),
+                    failures: sh.failures.value(),
                 })
                 .collect(),
-            index_resident_bytes: s.index_pinned_bytes
-                + cache.as_ref().map_or(0, |(_, c)| c.resident_bytes),
+            index_resident_bytes: self.index_pinned.value()
+                + cs(|c| c.resident_bytes),
             cache_budget_bytes: cache.as_ref().map_or(0, |&(budget, _)| budget),
-            cache_used_bytes: cache.as_ref().map_or(0, |(_, c)| c.resident_bytes),
-            cache_hits: cache.as_ref().map_or(0, |(_, c)| c.hits),
-            cache_misses: cache.as_ref().map_or(0, |(_, c)| c.misses),
-            cache_evictions: cache.as_ref().map_or(0, |(_, c)| c.evictions),
+            cache_used_bytes: cs(|c| c.resident_bytes),
+            cache_hits: cs(|c| c.hits),
+            cache_misses: cs(|c| c.misses),
+            cache_evictions: cs(|c| c.evictions),
+            shard_fail_injected: self.by_cause[0].value(),
+            shard_fail_deadline: self.by_cause[1].value(),
+            shard_fail_storage: self.by_cause[2].value(),
+            slow_queries: self.slow_queries.value(),
+            retry_attempts: self.registry.value(names::RETRY_ATTEMPTS),
+            retry_exhausted: self.registry.value(names::RETRY_EXHAUSTED),
+            events_logged: self.registry.value(names::EVENTS_LOGGED),
+            events_dropped: self.registry.value(names::EVENTS_DROPPED),
+            cache_fetched_blocks: cs(|c| c.fetched_blocks),
+            cache_fetched_bytes: cs(|c| c.fetched_bytes),
+            cache_decode_ns: cs(|c| c.decode_ns),
+            cache_decoded_postings: cs(|c| c.decoded_postings),
+            metrics_text: self.registry.render_prometheus(),
         }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
     }
 }
 
@@ -327,78 +352,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_bracket_the_samples() {
-        let mut r = LatencyRecorder::new();
-        for us in [10u64, 20, 30, 40, 50, 1000] {
-            r.record(Duration::from_micros(us));
+    fn causes_match_the_registry_labels() {
+        for c in [
+            ShardFailCause::Injected,
+            ShardFailCause::DeadlineExceeded,
+            ShardFailCause::Storage,
+        ] {
+            assert_eq!(obsv::metrics::CAUSES[cause_idx(c)], c.name());
         }
-        let p50 = r.percentile_us(0.50);
-        let p99 = r.percentile_us(0.99);
-        assert!((16..=64).contains(&p50), "p50={p50}");
-        assert!(p99 >= 1000, "p99={p99}");
-        assert!(p50 <= p99);
-        assert_eq!(r.summary().count, 6);
-        assert_eq!(r.summary().max_us, 1000);
-    }
-
-    #[test]
-    fn empty_recorder_reports_zero() {
-        let r = LatencyRecorder::new();
-        assert_eq!(r.percentile_us(0.5), 0);
-        assert_eq!(r.summary(), LatencySummary::default());
-    }
-
-    #[test]
-    fn zero_duration_records_and_reports_zero() {
-        let mut r = LatencyRecorder::new();
-        r.record(Duration::ZERO);
-        r.record(Duration::from_nanos(500)); // sub-µs truncates to 0 µs
-        assert_eq!(r.count(), 2);
-        assert_eq!(r.percentile_us(0.5), 0);
-        assert_eq!(r.percentile_us(1.0), 0);
-        assert_eq!(r.summary().max_us, 0);
-    }
-
-    /// Exhaustive power-of-two boundaries: 1 µs below, at, and above each
-    /// boundary must land in the documented bucket and report a
-    /// percentile that brackets the sample without ever exceeding it.
-    #[test]
-    fn power_of_two_boundaries_bucket_and_bound_correctly() {
-        for k in 1..=40u32 {
-            let edge = 1u64 << k;
-            for us in [edge - 1, edge, edge + 1] {
-                let mut r = LatencyRecorder::new();
-                r.record(Duration::from_micros(us));
-                let p100 = r.percentile_us(1.0);
-                // Sole sample: every percentile is the same bucket.
-                assert_eq!(r.percentile_us(0.0), p100, "us={us}");
-                assert_eq!(r.percentile_us(0.5), p100, "us={us}");
-                // The reported edge never exceeds the observed maximum...
-                assert!(p100 <= us, "us={us}: p100={p100} exceeds the sample");
-                // ...and stays within the log2 bucket below it.
-                assert!(p100 * 2 > us, "us={us}: p100={p100} is over 2x low");
-            }
-        }
-    }
-
-    #[test]
-    fn percentile_p_is_clamped_to_the_unit_interval() {
-        let mut r = LatencyRecorder::new();
-        for us in [3u64, 300, 30_000] {
-            r.record(Duration::from_micros(us));
-        }
-        assert_eq!(r.percentile_us(-1.0), r.percentile_us(0.0));
-        assert_eq!(r.percentile_us(2.0), r.percentile_us(1.0));
-        assert!(r.percentile_us(1.0) <= 30_000, "cap at the true maximum");
-    }
-
-    #[test]
-    fn percentile_never_exceeds_max_even_mid_bucket() {
-        // 1000 µs lands in the [512, 1024) bucket whose raw edge, 1024,
-        // exceeds the sample — the cap must bring it back to 1000.
-        let mut r = LatencyRecorder::new();
-        r.record(Duration::from_micros(1000));
-        assert_eq!(r.percentile_us(0.99), 1000);
     }
 
     #[test]
@@ -502,6 +463,11 @@ mod tests {
         assert_eq!(report.degraded, 1);
         assert_eq!(report.shards[0].failures, 0);
         assert_eq!(report.shards[1].failures, 1);
+        // Every failure counts toward its cause, even on undeclared
+        // shard ids.
+        assert_eq!(report.shard_fail_injected, 2);
+        assert_eq!(report.shard_fail_deadline, 0);
+        assert_eq!(report.shard_fail_storage, 0);
     }
 
     #[test]
@@ -535,6 +501,11 @@ mod tests {
         assert_eq!(report.cache_used_bytes, block_bytes);
         assert_eq!(report.index_resident_bytes, 12_345 + block_bytes);
         assert_eq!(report.cache_evictions, 0);
+        // The bound registry reads the same cells the frame reports.
+        assert_eq!(
+            stats.registry().value(obsv::metrics::names::CACHE_RESIDENT_BYTES),
+            block_bytes
+        );
     }
 
     #[test]
@@ -553,5 +524,27 @@ mod tests {
         assert_eq!(report.max_depth_seen, 2);
         assert_eq!(report.queue_depth, 2);
         assert_eq!(report.queue_cap, 4);
+    }
+
+    /// The stats frame and the Prometheus exposition are snapshots of
+    /// the same registry: counters read back identically through both.
+    #[test]
+    fn wire_frame_and_exposition_agree() {
+        let stats = ServeStats::new();
+        stats.on_admit(1);
+        stats.on_admit(1);
+        stats.on_reject();
+        stats.on_complete(Duration::from_micros(800));
+        stats.on_slow_query();
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.slow_queries, 1);
+        let text = stats.registry().render_prometheus();
+        assert!(text.contains("serve_batcher_accepted 2"));
+        assert!(text.contains("serve_batcher_rejected 1"));
+        assert!(text.contains("serve_batcher_slow_queries 1"));
+        assert!(text.contains("serve_latency_total_count 1"));
+        // The v6 frame carries the very same exposition text.
+        assert_eq!(report.metrics_text, text);
     }
 }

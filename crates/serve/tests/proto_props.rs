@@ -222,6 +222,19 @@ fn random_frame(rng: &mut Rng) -> Frame {
             cache_hits: rng.below(1 << 40),
             cache_misses: rng.below(1 << 30),
             cache_evictions: rng.below(1 << 24),
+            shard_fail_injected: rng.below(1 << 16),
+            shard_fail_deadline: rng.below(1 << 16),
+            shard_fail_storage: rng.below(1 << 16),
+            slow_queries: rng.below(1 << 20),
+            retry_attempts: rng.below(1 << 20),
+            retry_exhausted: rng.below(1 << 12),
+            events_logged: rng.below(1 << 20),
+            events_dropped: rng.below(1 << 8),
+            cache_fetched_blocks: rng.below(1 << 24),
+            cache_fetched_bytes: rng.below(1 << 36),
+            cache_decode_ns: rng.below(1 << 40),
+            cache_decoded_postings: rng.below(1 << 32),
+            metrics_text: rng.string(120),
         })),
         5 => Frame::Shutdown,
         _ => Frame::ShutdownAck,
@@ -270,6 +283,33 @@ fn v1_encodings_always_decode() {
     }
 }
 
+/// Zero every stats field a pre-v5 wire cannot carry.
+fn strip_v5(s: &mut StatsReport) {
+    s.index_resident_bytes = 0;
+    s.cache_budget_bytes = 0;
+    s.cache_used_bytes = 0;
+    s.cache_hits = 0;
+    s.cache_misses = 0;
+    s.cache_evictions = 0;
+}
+
+/// Zero every stats field a pre-v6 wire cannot carry.
+fn strip_v6(s: &mut StatsReport) {
+    s.shard_fail_injected = 0;
+    s.shard_fail_deadline = 0;
+    s.shard_fail_storage = 0;
+    s.slow_queries = 0;
+    s.retry_attempts = 0;
+    s.retry_exhausted = 0;
+    s.events_logged = 0;
+    s.events_dropped = 0;
+    s.cache_fetched_blocks = 0;
+    s.cache_fetched_bytes = 0;
+    s.cache_decode_ns = 0;
+    s.cache_decoded_postings = 0;
+    s.metrics_text = String::new();
+}
+
 /// v3 encodings strip exactly the v4 additions — the degraded block, the
 /// per-shard failure counters, and the degraded-batches counter — while
 /// everything v3 carries survives untouched.
@@ -293,13 +333,9 @@ fn v3_encodings_strip_only_the_v4_fields() {
                 for s in &mut expect.shards {
                     s.failures = 0;
                 }
-                // The v5 memory fields vanish on a v3 wire too.
-                expect.index_resident_bytes = 0;
-                expect.cache_budget_bytes = 0;
-                expect.cache_used_bytes = 0;
-                expect.cache_hits = 0;
-                expect.cache_misses = 0;
-                expect.cache_evictions = 0;
+                // The v5 and v6 fields vanish on a v3 wire too.
+                strip_v5(&mut expect);
+                strip_v6(&mut expect);
                 assert_eq!(*got, expect, "case {case}");
             }
             (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
@@ -319,16 +355,33 @@ fn v4_encodings_strip_only_the_v5_fields() {
         match (decode_frame(&bytes), &frame) {
             (Ok(Frame::Stats(got)), Frame::Stats(sent)) => {
                 let mut expect = (**sent).clone();
-                expect.index_resident_bytes = 0;
-                expect.cache_budget_bytes = 0;
-                expect.cache_used_bytes = 0;
-                expect.cache_hits = 0;
-                expect.cache_misses = 0;
-                expect.cache_evictions = 0;
+                strip_v5(&mut expect);
+                strip_v6(&mut expect);
                 assert_eq!(*got, expect, "case {case}");
             }
             (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
             (Err(e), _) => panic!("case {case}: v4 encoding failed to decode: {e}"),
+        }
+    }
+}
+
+/// v5 encodings strip exactly the v6 additions — the registry counter
+/// mirrors and the embedded metrics exposition — while every v5 field
+/// survives.
+#[test]
+fn v5_encodings_strip_only_the_v6_fields() {
+    let mut rng = Rng(0x5EED_0009);
+    for case in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_v(&frame, 5);
+        match (decode_frame(&bytes), &frame) {
+            (Ok(Frame::Stats(got)), Frame::Stats(sent)) => {
+                let mut expect = (**sent).clone();
+                strip_v6(&mut expect);
+                assert_eq!(*got, expect, "case {case}");
+            }
+            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Err(e), _) => panic!("case {case}: v5 encoding failed to decode: {e}"),
         }
     }
 }
@@ -480,6 +533,20 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                 cache_hits: 3_000,
                 cache_misses: 180,
                 cache_evictions: 75,
+                shard_fail_injected: 4,
+                shard_fail_deadline: 1,
+                shard_fail_storage: 2,
+                slow_queries: 6,
+                retry_attempts: 15,
+                retry_exhausted: 3,
+                events_logged: 12,
+                events_dropped: 1,
+                cache_fetched_blocks: 181,
+                cache_fetched_bytes: 92_160,
+                cache_decode_ns: 7_500_000,
+                cache_decoded_postings: 44_000,
+                metrics_text: "# TYPE serve_batcher_accepted counter\nserve_batcher_accepted 120\n"
+                    .to_string(),
             })),
         ),
         (
@@ -497,11 +564,11 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
 /// version, and decode back to the expected frames (with each version's
 /// later-version fields stripped).
 #[test]
-fn golden_fixtures_pin_the_v3_v4_and_v5_wire_bytes() {
+fn golden_fixtures_pin_the_v3_through_v6_wire_bytes() {
     let dir = fixtures_dir();
     let bless = std::env::var_os("PROTO_BLESS").is_some();
     for (name, frame) in golden_frames() {
-        for version in [3u32, 4, 5] {
+        for version in [3u32, 4, 5, 6] {
             let bytes = encode_frame_v(&frame, version);
             let path = dir.join(format!("{name}.v{version}.bin"));
             if bless {
@@ -519,15 +586,17 @@ fn golden_fixtures_pin_the_v3_v4_and_v5_wire_bytes() {
             let decoded = decode_frame(&golden)
                 .unwrap_or_else(|e| panic!("{name} v{version}: fixture failed to decode: {e}"));
             match (version, &frame, &decoded) {
+                (6, sent, got) => assert_eq!(got, sent, "{name} v6"),
+                (5, Frame::Stats(sent), Frame::Stats(got)) => {
+                    let mut expect = (**sent).clone();
+                    strip_v6(&mut expect);
+                    assert_eq!(**got, expect, "{name} v5");
+                }
                 (5, sent, got) => assert_eq!(got, sent, "{name} v5"),
                 (4, Frame::Stats(sent), Frame::Stats(got)) => {
                     let mut expect = (**sent).clone();
-                    expect.index_resident_bytes = 0;
-                    expect.cache_budget_bytes = 0;
-                    expect.cache_used_bytes = 0;
-                    expect.cache_hits = 0;
-                    expect.cache_misses = 0;
-                    expect.cache_evictions = 0;
+                    strip_v5(&mut expect);
+                    strip_v6(&mut expect);
                     assert_eq!(**got, expect, "{name} v4");
                 }
                 (4, sent, got) => assert_eq!(got, sent, "{name} v4"),

@@ -1,0 +1,16 @@
+//! Fixture: must trip `metrics-decl` (and nothing else).
+//!
+//! `GHOST_SERIES` is named in the `names` module but never declared in
+//! `declare_all` — a dashboard keyed on `serve.ghost.series` would read
+//! nothing, silently. The pass must convict the missing declaration.
+
+pub const METRICS_VERSION: u32 = 1;
+
+pub mod names {
+    pub const ACCEPTED: &str = crate::series!(serve.batcher.accepted);
+    pub const GHOST_SERIES: &str = crate::series!(serve.ghost.series);
+}
+
+fn declare_all(r: &Registry) {
+    r.def_counter(names::ACCEPTED);
+}

@@ -11,6 +11,8 @@
 //!   `serve/src/proto.rs` and `crates/serve/proto.schema`.
 //! * [`store`] — the on-disk store-layout ratchet over
 //!   `dbindex/src/store.rs` and `crates/dbindex/store.schema`.
+//! * [`metrics`] — the exported-metrics surface ratchet over
+//!   `obsv/src/metrics.rs` and `crates/obsv/metrics.schema`.
 //!
 //! All passes reuse the lint engine's suppression machinery: inline
 //! `// lint: allow(<rule>)` annotations and the `lint.allow` budget file.
@@ -18,6 +20,7 @@
 //! documented in DESIGN.md §"Static analysis architecture".
 
 pub mod locks;
+pub mod metrics;
 pub mod panics;
 pub mod proto;
 pub mod store;

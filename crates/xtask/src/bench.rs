@@ -1,0 +1,498 @@
+//! `xtask bench diff` — the performance-regression gate.
+//!
+//! The bench harnesses (`crates/bench/src/bin/*`) append one run object
+//! per invocation to `BENCH_<date>.json` at the workspace root (or
+//! `$MUBLASTP_BENCH_DIR`). Each run is self-describing: a harness name,
+//! a timestamp, and a flat list of `{id, value, unit}` measurements.
+//!
+//! `diff` loads every `BENCH_*.json`, groups runs by harness, takes the
+//! latest two by `unix_time_s`, and compares the *guarded* measurements
+//! — the ones the paper's claims ride on:
+//!
+//! * `speedup_ideal` (higher is better) — the batch-parallel scaling the
+//!   index amortization argument promises;
+//! * `decode` timings (lower is better) — posting-decode cost on the
+//!   out-of-core path;
+//! * `hit-rate` / `hit_rate` (higher is better) — block-cache locality.
+//!
+//! A guarded measurement that regresses by more than 25% between the two
+//! runs fails the gate (exit 1). Unguarded measurements ride along as
+//! context but never fail the build — micro-benchmarks are noisy, and a
+//! gate that cries wolf gets deleted.
+//!
+//! Like the rest of `xtask`, this is dependency-free: the tiny JSON
+//! reader below handles exactly the subset `bench::report` emits.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Regression threshold: a guarded metric may lose up to this fraction
+/// of its previous value before the gate fails.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// One benchmark run parsed out of a `BENCH_*.json` array.
+#[derive(Clone, Debug)]
+pub struct Run {
+    pub harness: String,
+    pub unix_time_s: i64,
+    /// Which file the run came from (for messages).
+    pub source: String,
+    /// `id → value`, insertion order irrelevant.
+    pub measurements: BTreeMap<String, f64>,
+}
+
+/// The result of comparing one guarded measurement across two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    pub id: String,
+    pub old: f64,
+    pub new: f64,
+    /// Fraction lost relative to the old value, after orienting so that
+    /// positive = worse. Zero when the metric improved or held.
+    pub regression: f64,
+}
+
+pub fn cmd_bench(args: &[String]) -> ExitCode {
+    let Some(("diff", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
+        eprintln!("usage: xtask bench diff [DIR]");
+        return ExitCode::from(2);
+    };
+    let dir = match rest.first() {
+        Some(d) => std::path::PathBuf::from(d),
+        None => match std::env::var_os("MUBLASTP_BENCH_DIR") {
+            Some(d) => std::path::PathBuf::from(d),
+            None => match crate::workspace::find_root() {
+                Some(root) => root,
+                None => {
+                    eprintln!("xtask: no workspace root above the cwd");
+                    return ExitCode::from(2);
+                }
+            },
+        },
+    };
+    let runs = match load_runs(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if runs.is_empty() {
+        eprintln!("xtask bench: no BENCH_*.json runs under {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (harness, mut group) in group_by_harness(runs) {
+        group.sort_by_key(|r| r.unix_time_s);
+        if group.len() < 2 {
+            eprintln!(
+                "xtask bench: harness `{harness}` has a single run ({}) — nothing to diff",
+                group[0].source
+            );
+            continue;
+        }
+        let (old, new) = (&group[group.len() - 2], &group[group.len() - 1]);
+        eprintln!(
+            "xtask bench: `{harness}` {} ({}) vs {} ({})",
+            old.unix_time_s, old.source, new.unix_time_s, new.source
+        );
+        for d in diff_runs(old, new) {
+            compared += 1;
+            if d.regression > MAX_REGRESSION {
+                failed = true;
+                println!(
+                    "REGRESSION {}: {:.6} -> {:.6} ({:.1}% worse, limit {:.0}%)",
+                    d.id,
+                    d.old,
+                    d.new,
+                    d.regression * 100.0,
+                    MAX_REGRESSION * 100.0
+                );
+            } else {
+                eprintln!(
+                    "  ok {}: {:.6} -> {:.6} ({:.1}% regression)",
+                    d.id,
+                    d.old,
+                    d.new,
+                    d.regression * 100.0
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "xtask bench: guarded measurements regressed beyond {:.0}%",
+            MAX_REGRESSION * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask bench: {compared} guarded measurement(s) within budget");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Whether a measurement id is guarded, and its direction:
+/// `Some(true)` = higher is better, `Some(false)` = lower is better.
+pub fn guarded(id: &str) -> Option<bool> {
+    if id.contains("speedup_ideal") || id.contains("hit-rate") || id.contains("hit_rate") {
+        Some(true)
+    } else if id.contains("decode") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Compare the guarded measurements two runs share. A guarded id present
+/// in only one run is skipped — harnesses may grow measurements, and the
+/// gate judges deltas, not coverage.
+pub fn diff_runs(old: &Run, new: &Run) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for (id, &old_v) in &old.measurements {
+        let Some(higher_better) = guarded(id) else { continue };
+        let Some(&new_v) = new.measurements.get(id) else { continue };
+        let regression = if old_v.abs() < f64::EPSILON {
+            // A zero baseline can't regress fractionally; only judge a
+            // lower-is-better metric that became nonzero.
+            if !higher_better && new_v > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else if higher_better {
+            (old_v - new_v) / old_v
+        } else {
+            (new_v - old_v) / old_v
+        };
+        out.push(Delta { id: id.clone(), old: old_v, new: new_v, regression: regression.max(0.0) });
+    }
+    out
+}
+
+fn group_by_harness(runs: Vec<Run>) -> BTreeMap<String, Vec<Run>> {
+    let mut groups: BTreeMap<String, Vec<Run>> = BTreeMap::new();
+    for r in runs {
+        groups.entry(r.harness.clone()).or_default().push(r);
+    }
+    groups
+}
+
+/// Load every run from every `BENCH_*.json` under `dir` (not recursive —
+/// reports land at the root of wherever the harness was pointed).
+pub fn load_runs(dir: &Path) -> Result<Vec<Run>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut runs = Vec::new();
+    for p in &paths {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let name = p.file_name().map(|f| f.to_string_lossy().into_owned()).unwrap_or_default();
+        runs.extend(parse_report(&text, &name)?);
+    }
+    Ok(runs)
+}
+
+/// Parse one report file: a JSON array of run objects.
+pub fn parse_report(text: &str, source: &str) -> Result<Vec<Run>, String> {
+    let v = Json::parse(text).map_err(|e| format!("{source}: {e}"))?;
+    let Json::Array(items) = v else {
+        return Err(format!("{source}: expected a top-level array of runs"));
+    };
+    let mut runs = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let Json::Object(obj) = item else {
+            return Err(format!("{source}: run {i} is not an object"));
+        };
+        let harness = match obj.get("harness") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(format!("{source}: run {i} has no `harness`")),
+        };
+        let unix_time_s = match obj.get("unix_time_s") {
+            Some(Json::Number(n)) => *n as i64,
+            _ => return Err(format!("{source}: run {i} has no `unix_time_s`")),
+        };
+        let mut measurements = BTreeMap::new();
+        if let Some(Json::Array(ms)) = obj.get("measurements") {
+            for m in ms {
+                if let Json::Object(mo) = m {
+                    if let (Some(Json::String(id)), Some(Json::Number(value))) =
+                        (mo.get("id"), mo.get("value"))
+                    {
+                        measurements.insert(id.clone(), *value);
+                    }
+                }
+            }
+        }
+        runs.push(Run { harness, unix_time_s, source: source.to_string(), measurements });
+    }
+    Ok(runs)
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader — just enough for bench reports.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = JsonParser { b: text.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.b.get(self.i) else { break };
+                    self.i += 1;
+                    match e {
+                        b'"' | b'\\' | b'/' => out.push(e as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    format!("bad \\u escape at offset {}", self.i)
+                                })?;
+                            out.push(hex);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(harness: &str, t: i64, ms: &[(&str, f64)]) -> Run {
+        Run {
+            harness: harness.to_string(),
+            unix_time_s: t,
+            source: "test".to_string(),
+            measurements: ms.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn report_files_parse() {
+        let text = r#"[
+            {"schema":1,"harness":"shards","date":"2026-08-06","unix_time_s":100,
+             "env":{"MUBLASTP_SCALE":"0.1"},
+             "measurements":[{"id":"shards/k2/speedup_ideal","value":1.88,"unit":"ratio"},
+                             {"id":"shards/k2/wall","value":0.029,"unit":"s"}]}
+        ]"#;
+        let runs = parse_report(text, "BENCH_test.json").unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].harness, "shards");
+        assert_eq!(runs[0].unix_time_s, 100);
+        assert_eq!(runs[0].measurements["shards/k2/speedup_ideal"], 1.88);
+    }
+
+    #[test]
+    fn guarded_ids_and_directions() {
+        assert_eq!(guarded("shards/k4/speedup_ideal"), Some(true));
+        assert_eq!(guarded("oocore/decode/ns_per_posting"), Some(false));
+        assert_eq!(guarded("oocore/cache/hit-rate"), Some(true));
+        assert_eq!(guarded("shards/k4/wall"), None);
+    }
+
+    #[test]
+    fn higher_better_regression_is_oriented() {
+        let old = run("shards", 1, &[("a/speedup_ideal", 4.0)]);
+        let new = run("shards", 2, &[("a/speedup_ideal", 2.0)]);
+        let d = diff_runs(&old, &new);
+        assert_eq!(d.len(), 1);
+        assert!((d[0].regression - 0.5).abs() < 1e-9);
+        // Improvement clamps to zero regression.
+        let d = diff_runs(&new, &old);
+        assert_eq!(d[0].regression, 0.0);
+    }
+
+    #[test]
+    fn lower_better_regression_is_oriented() {
+        let old = run("oocore", 1, &[("b/decode_ns", 100.0)]);
+        let new = run("oocore", 2, &[("b/decode_ns", 140.0)]);
+        let d = diff_runs(&old, &new);
+        assert!((d[0].regression - 0.4).abs() < 1e-9);
+        let d = diff_runs(&new, &old);
+        assert_eq!(d[0].regression, 0.0);
+    }
+
+    #[test]
+    fn unguarded_and_unshared_ids_are_skipped() {
+        let old = run("shards", 1, &[("a/wall", 1.0), ("a/speedup_ideal", 2.0)]);
+        let new = run("shards", 2, &[("a/wall", 9.0), ("b/speedup_ideal", 1.0)]);
+        assert!(diff_runs(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn json_reader_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a":[1,-2.5e1,"x\n\"y"],"b":{"c":null,"d":true}}"#).unwrap();
+        let Json::Object(o) = v else { panic!() };
+        let Json::Array(a) = &o["a"] else { panic!() };
+        assert_eq!(a[1], Json::Number(-25.0));
+        assert_eq!(a[2], Json::String("x\n\"y".to_string()));
+    }
+
+    #[test]
+    fn json_reader_rejects_trailing_garbage() {
+        assert!(Json::parse("[1] x").is_err());
+        assert!(Json::parse("[1,").is_err());
+    }
+}

@@ -12,6 +12,8 @@
 //! cargo run -p xtask -- analyze               # lock-order, panic-reach, schema ratchets
 //! cargo run -p xtask -- analyze --bless-proto # (re)pin crates/serve/proto.schema
 //! cargo run -p xtask -- analyze --bless-store # (re)pin crates/dbindex/store.schema
+//! cargo run -p xtask -- analyze --bless-metrics # (re)pin crates/obsv/metrics.schema
+//! cargo run -p xtask -- bench diff            # gate: latest two BENCH_*.json per harness
 //! cargo run -p xtask -- fixtures              # self-test: every fixture must fail
 //! cargo run -p xtask -- rules                 # list the rules and their rationale
 //! ```
@@ -24,6 +26,7 @@
 //! parallel`.
 
 mod analyze;
+mod bench;
 mod json;
 mod lexer;
 mod parser;
@@ -38,13 +41,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("bench") => bench::cmd_bench(&args[1..]),
         Some("fixtures") => cmd_fixtures(),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
                 "usage: xtask <lint [--json FILE] [--update-allow] [FILE...] \
-                 | analyze [--json FILE] [--bless-proto] [--bless-store] [--strict-panics] \
-                 | fixtures | rules>"
+                 | analyze [--json FILE] [--bless-proto] [--bless-store] [--bless-metrics] \
+                 [--strict-panics] | bench diff [DIR] | fixtures | rules>"
             );
             ExitCode::from(2)
         }
@@ -65,6 +69,8 @@ fn cmd_rules() -> ExitCode {
         (analyze::proto::RULE_DRIFT, "shipped wire layouts match the pinned proto.schema"),
         (analyze::store::RULE_PAIR, "store writer/reader field sequences agree per section"),
         (analyze::store::RULE_DRIFT, "shipped store layouts match the pinned store.schema"),
+        (analyze::metrics::RULE_DECL, "every named metrics series is declared exactly once"),
+        (analyze::metrics::RULE_DRIFT, "exported series match the pinned metrics.schema"),
     ] {
         println!("{name:<18} {desc}");
     }
@@ -77,6 +83,7 @@ struct Opts {
     update_allow: bool,
     bless_proto: bool,
     bless_store: bool,
+    bless_metrics: bool,
     strict_panics: bool,
     paths: Vec<String>,
 }
@@ -87,6 +94,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         update_allow: false,
         bless_proto: false,
         bless_store: false,
+        bless_metrics: false,
         strict_panics: false,
         paths: Vec::new(),
     };
@@ -100,6 +108,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--update-allow" => o.update_allow = true,
             "--bless-proto" => o.bless_proto = true,
             "--bless-store" => o.bless_store = true,
+            "--bless-metrics" => o.bless_metrics = true,
             "--strict-panics" => o.strict_panics = true,
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             p => o.paths.push(p.to_string()),
@@ -208,6 +217,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let old_schema = std::fs::read_to_string(&schema_path).ok();
     let store_schema_path = root.join("crates/dbindex/store.schema");
     let old_store_schema = std::fs::read_to_string(&store_schema_path).ok();
+    let metrics_schema_path = root.join("crates/obsv/metrics.schema");
+    let old_metrics_schema = std::fs::read_to_string(&metrics_schema_path).ok();
 
     if opts.bless_proto {
         match analyze::proto::bless(&units, old_schema.as_deref()) {
@@ -217,6 +228,21 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
                 eprintln!("xtask analyze: pinned {}", schema_path.display());
+                return ExitCode::SUCCESS;
+            }
+            Err(findings) => {
+                return report("analyze", findings, Vec::new(), opts.json.as_deref())
+            }
+        }
+    }
+    if opts.bless_metrics {
+        match analyze::metrics::bless(&units, old_metrics_schema.as_deref()) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&metrics_schema_path, &text) {
+                    eprintln!("xtask: cannot write {}: {e}", metrics_schema_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("xtask analyze: pinned {}", metrics_schema_path.display());
                 return ExitCode::SUCCESS;
             }
             Err(findings) => {
@@ -275,7 +301,21 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             findings.extend(f);
         }
     }
-    eprintln!("xtask analyze: {} files, 4 passes", files.len());
+    match &old_metrics_schema {
+        Some(schema) => findings.extend(analyze::metrics::check(&units, Some(schema))),
+        None => {
+            let mut f = analyze::metrics::check(&units, None);
+            f.push(rules::Finding::new(
+                analyze::metrics::RULE_DRIFT,
+                "crates/obsv/metrics.schema",
+                0,
+                "missing — run `xtask analyze --bless-metrics` to pin the metrics surface"
+                    .to_string(),
+            ));
+            findings.extend(f);
+        }
+    }
+    eprintln!("xtask analyze: {} files, 5 passes", files.len());
     report("analyze", findings, Vec::new(), opts.json.as_deref())
 }
 
@@ -314,6 +354,7 @@ enum FixtureKind {
     Panics,
     Proto,
     Store,
+    Metrics,
 }
 
 fn fixture_kind(stem: &str) -> FixtureKind {
@@ -322,6 +363,7 @@ fn fixture_kind(stem: &str) -> FixtureKind {
         s if s.starts_with("panic_reach") => FixtureKind::Panics,
         s if s.starts_with("proto_") => FixtureKind::Proto,
         s if s.starts_with("store_") => FixtureKind::Store,
+        s if s.starts_with("metrics_") => FixtureKind::Metrics,
         _ => FixtureKind::Lint,
     }
 }
@@ -384,6 +426,10 @@ fn cmd_fixtures() -> ExitCode {
             FixtureKind::Store => {
                 let units = analyze::build_units(&[(rel.clone(), src)]);
                 analyze::store::check(&units, None)
+            }
+            FixtureKind::Metrics => {
+                let units = analyze::build_units(&[(rel.clone(), src)]);
+                analyze::metrics::check(&units, None)
             }
         };
         let hits = findings.iter().filter(|f| f.rule == expected).count();

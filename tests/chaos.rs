@@ -402,8 +402,32 @@ fn served_search_reports_degradation_on_the_wire() {
             "request {i}: fixture must hit"
         );
     }
-    assert_eq!(degraded_handle.stats().degraded, 4);
+    // The registry and the wire Results/Stats frames are one set of
+    // books: 4 degraded replies ⇒ 4 injected shard failures, all on the
+    // victim shard, and the stats frame's by-cause counters agree with
+    // the registry cells they are snapshots of.
+    let report = degraded_handle.stats();
+    assert_eq!(report.degraded, 4);
+    assert_eq!(report.shard_fail_injected, 4);
+    assert_eq!(report.shard_fail_deadline, 0);
+    assert_eq!(report.shard_fail_storage, 0);
+    let reg = degraded_handle.shared_stats();
+    let reg = reg.registry();
+    use obsv::metrics::names;
+    assert_eq!(reg.value(names::BATCHER_DEGRADED), 4);
+    assert_eq!(reg.value_for(names::SHARD_FAILURES_BY_CAUSE, "injected"), 4);
+    assert_eq!(reg.value_for(names::SHARD_FAILURES_BY_CAUSE, "deadline"), 0);
+    assert_eq!(reg.value_for(names::SHARD_FAILURES_BY_CAUSE, "storage"), 0);
+    for s in 0..SHARDS {
+        let expect = if s == victim { 4 } else { 0 };
+        assert_eq!(
+            reg.value_for(names::SHARD_FAILURES, &s.to_string()),
+            expect,
+            "shard {s} failure count"
+        );
+    }
     assert_eq!(clean_handle.stats().degraded, 0);
+    assert_eq!(clean_handle.stats().shard_fail_injected, 0);
     degraded_handle.shutdown();
     clean_handle.shutdown();
 }
@@ -737,5 +761,97 @@ fn total_block_store_loss_degrades_every_shard_without_panic() {
         assert_eq!(qr.query_index, i);
         assert!(qr.alignments.is_empty(), "query {i} has rows from dead shards");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full service stack over an out-of-core index under seeded block
+/// corruption: every degraded reply's coverage arithmetic must agree
+/// *exactly* with the registry's `engine.shard.failures{cause=storage}`
+/// books — N requests × the block-depth-predicted dead set, no more, no
+/// less — and the v6 stats frame is a snapshot of the same cells.
+#[test]
+fn served_streaming_storage_faults_keep_registry_and_wire_books_equal() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let dir = store_dir("served-storage");
+    // Fault-free probes pin the partition and per-shard block depths, so
+    // the dead set under Nth(victim_block) is predictable arithmetic.
+    // Scan db sizes until the depths differ — a uniform partition would
+    // kill every shard and leave no survivor books to check.
+    let (db, probe, depths, victim_block) = [33usize, 37, 41, 45, 29]
+        .into_iter()
+        .find_map(|n| {
+            let db = toy_db(n, seed ^ 0x57AB);
+            let probe = build_streaming(&db, 3, &dir, &Faults::none());
+            let depths: Vec<usize> =
+                probe.shards().iter().map(|s| s.store.num_blocks()).collect();
+            let deepest = *depths.iter().max()?;
+            let victim_block = (deepest - 1) as u64;
+            (deepest >= 2 && depths.iter().any(|&d| (d as u64) <= victim_block))
+                .then_some((db, probe, depths, victim_block))
+        })
+        .unwrap_or_else(|| {
+            panic!("CHAOS_SEED={seed}: no scanned db size gave uneven shard depths")
+        });
+    let expected_dead: Vec<u32> = depths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d as u64 > victim_block)
+        .map(|(s, _)| s as u32)
+        .collect();
+    let lost: usize = expected_dead
+        .iter()
+        .map(|&s| probe.shards()[s as usize].db.total_residues())
+        .sum();
+    let faults = FaultPlan::new(seed).with(FAULT_FETCH_SHORT, Schedule::Nth(victim_block)).build();
+    let streaming = build_streaming(&db, 3, &dir, &faults);
+    let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(2);
+    base.params.evalue_cutoff = 1e9;
+    let ctx = Arc::new(SearchContext {
+        db: db.clone(),
+        index: ResidentIndex::Streaming(streaming),
+        neighbors: neighbors(),
+        base,
+    });
+    let (transport, connector) = loopback();
+    let mut handle = serve(transport, ctx, BatchOptions::default());
+
+    const REQUESTS: u64 = 3;
+    for i in 0..REQUESTS {
+        let fasta = fasta_for(&db, (i as usize % db.len()) as bioseq::SequenceId);
+        let mut client = Client::new(connector.connect().unwrap_or_else(|e| panic!("{e}")));
+        let resp = client
+            .search(&fasta, EngineKind::MuBlastp, ParamOverrides::default(), 0)
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        let d = resp
+            .degraded
+            .as_ref()
+            .unwrap_or_else(|| panic!("request {i}: degraded block missing"));
+        assert_eq!(d.failed_shards, expected_dead, "request {i}");
+        assert_eq!(d.total_residues, db.total_residues() as u64, "request {i}");
+        assert_eq!(d.coverage_residues, d.total_residues - lost as u64, "request {i}");
+    }
+
+    let per_cause = REQUESTS * expected_dead.len() as u64;
+    let report = handle.stats();
+    assert_eq!(report.degraded, REQUESTS);
+    assert_eq!(report.shard_fail_storage, per_cause);
+    assert_eq!(report.shard_fail_injected, 0);
+    assert_eq!(report.shard_fail_deadline, 0);
+    let reg = handle.shared_stats();
+    let reg = reg.registry();
+    use obsv::metrics::names as n2;
+    assert_eq!(reg.value(n2::BATCHER_DEGRADED), REQUESTS);
+    assert_eq!(reg.value_for(n2::SHARD_FAILURES_BY_CAUSE, "storage"), per_cause);
+    assert_eq!(reg.value_for(n2::SHARD_FAILURES_BY_CAUSE, "injected"), 0);
+    for (s, &d) in depths.iter().enumerate() {
+        let expect = if d as u64 > victim_block { REQUESTS } else { 0 };
+        assert_eq!(
+            reg.value_for(n2::SHARD_FAILURES, &s.to_string()),
+            expect,
+            "shard {s} (depth {d}) storage failures"
+        );
+    }
+    handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
