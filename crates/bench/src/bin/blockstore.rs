@@ -19,9 +19,9 @@
 //! cargo run --release -p bench --bin blockstore
 //! ```
 
-use bench::{batch_size, default_index, neighbors, query_batch, sprot};
+use bench::{assert_outputs_identical, batch_size, default_index, neighbors, query_batch, sprot};
 use dbindex::IndexConfig;
-use engine::{results_identical, search_batch, EngineKind, SearchConfig};
+use engine::{search_batch, EngineKind, SearchConfig};
 use obsv::TraceSession;
 use std::sync::Arc;
 use std::time::Instant;
@@ -101,8 +101,7 @@ fn main() {
         );
         let wall = t0.elapsed().as_secs_f64();
         assert!(out.failed.is_empty(), "fault-free run degraded: {:?}", out.failed);
-        results_identical(&reference, &out.results)
-            .unwrap_or_else(|e| panic!("budget {label} diverged from the resident engine: {e}"));
+        assert_outputs_identical(&reference, &out.results, &format!("budget {label}"));
         let c = cache.counters().snapshot();
         if denom == 1 {
             wall_full = wall;

@@ -18,11 +18,9 @@
 //! cargo run --release -p bench --bin shards
 //! ```
 
-use bench::{batch_size, default_index, neighbors, query_batch, sprot};
+use bench::{assert_outputs_identical, batch_size, default_index, neighbors, query_batch, sprot};
 use dbindex::{IndexConfig, ShardedIndex};
-use engine::{
-    results_identical, search_batch, search_batch_sharded_traced, EngineKind, SearchConfig,
-};
+use engine::{search_batch, search_batch_sharded_traced, EngineKind, SearchConfig};
 use obsv::TraceSession;
 use std::time::Instant;
 
@@ -59,16 +57,14 @@ fn main() {
         let t0 = Instant::now();
         let out = search_batch_sharded_traced(&sharded, neighbors(), &queries, &config, &session);
         let wall = t0.elapsed().as_secs_f64();
-        results_identical(&reference, &out.results)
-            .unwrap_or_else(|e| panic!("K={k} diverged from the unsharded engine: {e}"));
+        assert_outputs_identical(&reference, &out.results, &format!("K={k}"));
         // Ideal-parallel wall time: the slowest shard (LPT makespan),
         // with per-shard times taken from a *serial* pass so CPU
         // time-slicing on an undersized machine cannot pollute them.
         let serial = SearchConfig::new(EngineKind::MuBlastp).with_threads(1);
         let timed =
             search_batch_sharded_traced(&sharded, neighbors(), &queries, &serial, &session);
-        results_identical(&reference, &timed.results)
-            .unwrap_or_else(|e| panic!("K={k} serial pass diverged: {e}"));
+        assert_outputs_identical(&reference, &timed.results, &format!("K={k} serial pass"));
         let makespan = timed
             .timings
             .iter()

@@ -77,6 +77,22 @@ pub fn mixed_batch(db: &SequenceDb, n: usize) -> Vec<Sequence> {
     sample_mixed_queries(db, n, 777)
 }
 
+/// The byte-equality gate every comparative harness passes through before
+/// reporting a single number: `actual` must match the reference engine's
+/// output exactly (alignment-for-alignment, via
+/// [`engine::results_identical`]) or the run panics with `context` and
+/// the first divergence. Centralised so no harness can drift into
+/// reporting times for an output it never proved correct.
+pub fn assert_outputs_identical(
+    reference: &[engine::QueryResult],
+    actual: &[engine::QueryResult],
+    context: &str,
+) {
+    if let Err(e) = engine::results_identical(reference, actual) {
+        panic!("{context} diverged from the reference engine: {e}");
+    }
+}
+
 /// Number of queries per batch used by the figure harnesses. The paper
 /// uses 128; the scaled default is 16 so a full figure regenerates in
 /// minutes (raise `MUBLASTP_QUERIES` to match the paper exactly).

@@ -31,7 +31,8 @@ pub mod stream;
 
 pub use cache::{BlockCache, CacheCounters, CounterSnapshot};
 pub use stream::{
-    search_store, write_store_file, SequenceStore, StoreError, StreamingShard, StreamingShards,
+    search_store, search_store_topk, write_store_file, SequenceStore, StoreError, StreamingShard,
+    StreamingShards,
     FAULT_FETCH_FLIP, FAULT_FETCH_LATENCY, FAULT_FETCH_SHORT,
 };
 

@@ -187,6 +187,11 @@ pub fn search_store<R: Read + Seek>(
     queries: &[Sequence],
     config: &SearchConfig,
 ) -> Result<Vec<QueryResult>, StoreError> {
+    if config.top_k.is_some() {
+        // Pruned reporting mode: bounds come from the store directory.
+        return search_store_topk(db, store, neighbors, queries, config, None)
+            .map(|o| o.results);
+    }
     let first_error: RefCell<Option<StoreError>> = RefCell::new(None);
     let mut next = 0usize;
     let n = store.num_blocks();
@@ -210,6 +215,35 @@ pub fn search_store<R: Read + Seek>(
         Some(e) => Err(e),
         None => Ok(results),
     }
+}
+
+/// Top-k pruned search against a disk-resident store: per-block bounds
+/// come straight from the v4 footer directory, so a skipped block is
+/// never read from disk at all — the I/O the pruning mode exists to
+/// save. v3 stores carry no bounds, so every block scans (still exact,
+/// just unpruned). Output is bit-identical to the exhaustive search with
+/// the reporting cap applied; a fetch failure of a block that actually
+/// needed scanning aborts with its typed error.
+pub fn search_store_topk<R: Read + Seek>(
+    db: &SequenceDb,
+    store: &SequenceStore<R>,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    shared: Option<&engine::TopKShared>,
+) -> Result<engine::TopKOutcome, StoreError> {
+    let bounds: Vec<Option<dbindex::BlockBound>> =
+        store.directory().blocks.iter().map(|m| m.bound).collect();
+    engine::search_batch_topk_blocks(
+        db,
+        store.num_blocks(),
+        &bounds,
+        |i| store.block(i),
+        neighbors,
+        queries,
+        config,
+        shared,
+    )
 }
 
 /// One disk-resident shard: its sub-database (needed by the finish
@@ -337,5 +371,30 @@ impl<R: Read + Seek + Send> ShardBackend for StreamingShards<R> {
             }
         }
         Ok((results, Trace::new()))
+    }
+
+    /// Pruned top-k over one disk shard: bounds from the shard store's
+    /// directory, cross-shard thresholds consulted before each fetch — a
+    /// block pruned here was never read from disk. Storage failures
+    /// degrade exactly like the exhaustive path.
+    fn search_shard_topk(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        shared: &engine::TopKShared,
+        _session: &TraceSession,
+    ) -> Result<(engine::TopKOutcome, Trace), ShardFailCause> {
+        let shard = &self.shards[s];
+        let mut out =
+            search_store_topk(&shard.db, &shard.store, neighbors, queries, inner, Some(shared))
+                .map_err(|_| ShardFailCause::Storage)?;
+        for qr in &mut out.results {
+            for a in &mut qr.alignments {
+                a.subject = shard.ids[a.subject as usize];
+            }
+        }
+        Ok((out, Trace::new()))
     }
 }

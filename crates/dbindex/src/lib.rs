@@ -41,6 +41,7 @@ pub use serial::{
 };
 pub use shard::{DbShard, ShardPlan, ShardedIndex};
 pub use store::{
-    decode_block, encode_block, read_directory, read_store, write_store, PostingsCursor,
-    StoreBlockMeta, StoreDirectory, StoreWriter, CHUNK_FANOUT, STORE_VERSION,
+    decode_block, encode_block, read_directory, read_store, write_store, BlockBound,
+    PostingsCursor, StoreBlockMeta, StoreDirectory, StoreWriter, CHUNK_FANOUT,
+    MIN_STORE_VERSION, STORE_VERSION,
 };

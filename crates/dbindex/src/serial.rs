@@ -146,7 +146,7 @@ pub fn read_index(data: &[u8]) -> Result<DbIndex, SerialError> {
         return Err(SerialError::BadMagic);
     }
     let version = get_u32(&mut cur)?;
-    if version == crate::store::STORE_VERSION {
+    if (crate::store::MIN_STORE_VERSION..=crate::store::STORE_VERSION).contains(&version) {
         return crate::store::read_store(data);
     }
     if !(MIN_VERSION..=VERSION).contains(&version) {

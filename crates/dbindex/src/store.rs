@@ -18,8 +18,15 @@
 //!   range, residue count and decoded size, so a reader can fetch any
 //!   block with one seek and budget a cache without decoding anything.
 //!
+//! Version 4 appends a per-block **score-bound summary** ([`BlockBound`])
+//! to every directory row — longest subject extent, a whole-sequences
+//! flag, and a per-residue count histogram — so a top-k search can prove
+//! a block unproductive and skip the fetch without decoding anything.
+//! The block record format is unchanged; v3 files still read (their
+//! directory simply carries no bounds).
+//!
 //! ```text
-//! header  := magic "MUBP" | version u32 = 3 | block_bytes u64 |
+//! header  := magic "MUBP" | version u32 = 4 | block_bytes u64 |
 //!            offset_bits u32 | frag_overlap u64 | n_blocks u32
 //! record  := n_seqs u32 | {global_id, frag_offset, start, len}×n |
 //!            residues (len u64 + bytes) |
@@ -29,7 +36,8 @@
 //! chunks  := n_chunks u32 | {count u16, byte_len u32}×n | payloads
 //! footer  := {offset u64, len u32, crc u32, n_seqs u32, first_seq u32,
 //!             last_seq u32, residues u64, decoded_bytes u64,
-//!             n_entries u64}×n_blocks |
+//!             n_entries u64,
+//!             max_len u32, flags u32, hist u32×24 (v4)}×n_blocks |
 //!            n_blocks u32 | dir_len u32 | dir_crc u32 | magic "MUBF"
 //! ```
 //!
@@ -42,12 +50,20 @@ use crate::block::{BlockSeq, DbIndex, IndexBlock};
 use crate::config::IndexConfig;
 use crate::crc::crc32;
 use crate::serial::SerialError;
-use bioseq::alphabet::WORD_SPACE;
+use bioseq::alphabet::{ALPHABET_SIZE, WORD_SPACE};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 /// Format version of the block/chunk store (the family shares the v1/v2
-/// magic, so one loader dispatches on the version field).
-pub const STORE_VERSION: u32 = 3;
+/// magic, so one loader dispatches on the version field). Version 4
+/// appends a [`BlockBound`] to every footer-directory row — the
+/// per-block score-bound summary top-k pruning reads without fetching
+/// the block; the record format itself is unchanged from v3.
+pub const STORE_VERSION: u32 = 4;
+
+/// Oldest block/chunk store version still readable. v3 files carry no
+/// block bounds ([`StoreBlockMeta::bound`] is `None`), so a top-k search
+/// over them scans every block; everything else works unchanged.
+pub const MIN_STORE_VERSION: u32 = 3;
 
 /// Postings per chunk: the decompression grain. 128 packed postings keep
 /// a decoded chunk inside one or two cache lines' worth of work while the
@@ -61,8 +77,12 @@ const FOOTER_MAGIC: &[u8; 4] = b"MUBF";
 const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 8 + 4;
 /// Byte offset of the `n_blocks` field [`StoreWriter::finish`] patches.
 const N_BLOCKS_OFFSET: u64 = (HEADER_LEN - 4) as u64;
-/// One directory row (see module docs).
-const DIR_ROW: usize = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+/// Serialized [`BlockBound`]: max_len u32 | flags u32 | hist 24×u32.
+const BOUND_BYTES: usize = 4 + 4 + 4 * ALPHABET_SIZE;
+/// One v4 directory row (see module docs): the v3 row plus the bound.
+const DIR_ROW: usize = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + BOUND_BYTES;
+/// One v3 directory row (bound-less), still read for old files.
+const DIR_ROW_V3: usize = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
 /// footer tail = n_blocks + dir_len + dir_crc + footer magic.
 const TAIL_LEN: usize = 4 + 4 + 4 + 4;
 
@@ -370,6 +390,70 @@ pub fn decode_block(record: &[u8], offset_bits: u32) -> Result<IndexBlock, Seria
 // Directory and whole-file read/write.
 // ---------------------------------------------------------------------
 
+/// Per-block score-bound summary, stored in every v4 footer-directory
+/// row so a top-k search can prove a block unproductive — and skip the
+/// fetch entirely — from the directory alone.
+///
+/// The summary is matrix-independent: it records only what the block's
+/// residues allow, and the engine combines it with the query and the
+/// scoring matrix at search time. For any subject in the block, any
+/// gapped alignment score is bounded by taking the `min(query_len,
+/// max_len)` best row-maximum residues the histogram admits — gaps and
+/// mismatches only subtract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockBound {
+    /// Longest subject extent in the block: max over fragments of
+    /// `frag_offset + len`. An alignment matches at most this many
+    /// subject positions.
+    pub max_len: u32,
+    /// Every fragment in the block is a whole subject sequence. Only
+    /// then is the block a sound skip unit — a split subject's sibling
+    /// fragments live in other blocks, so its final score is not
+    /// bounded by any single block's summary.
+    pub whole_only: bool,
+    /// `hist[r]` = max over fragments of the count of residue code `r`:
+    /// an elementwise upper bound on any one subject's residue multiset.
+    pub hist: [u32; ALPHABET_SIZE],
+}
+
+impl Default for BlockBound {
+    /// The empty-block bound: nothing can score above zero.
+    fn default() -> BlockBound {
+        BlockBound { max_len: 0, whole_only: true, hist: [0; ALPHABET_SIZE] }
+    }
+}
+
+impl BlockBound {
+    /// Summarize one block. `whole_only` is conservative at the
+    /// boundary: a fragment that starts past offset 0 or fills the
+    /// offset field entirely may be part of a split subject, so its
+    /// block is never treated as skippable.
+    pub fn from_block(block: &IndexBlock) -> BlockBound {
+        let max_frag = (1u32 << block.offset_bits()) - 1;
+        let mut bound = BlockBound::default();
+        for local in 0..block.n_seqs() {
+            // lint: allow(lossy-cast): local ids are bounded by
+            // `max_seqs_per_block() ≤ 2^(32-offset_bits)`.
+            let local = local as u32;
+            let s = block.seq(local);
+            bound.max_len = bound.max_len.max(s.frag_offset + s.len);
+            if s.frag_offset > 0 || s.len >= max_frag {
+                bound.whole_only = false;
+            }
+            let mut counts = [0u32; ALPHABET_SIZE];
+            for &r in block.seq_residues(local) {
+                if let Some(c) = counts.get_mut(r as usize) {
+                    *c += 1;
+                }
+            }
+            for (h, c) in bound.hist.iter_mut().zip(counts) {
+                *h = (*h).max(c);
+            }
+        }
+        bound
+    }
+}
+
 /// Footer-directory row: everything a reader needs to fetch, verify and
 /// budget one block without decoding it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -394,11 +478,15 @@ pub struct StoreBlockMeta {
     pub decoded_bytes: u64,
     /// Postings in the block.
     pub n_entries: u64,
+    /// Score-bound summary (v4 rows; `None` when read from a v3 file).
+    pub bound: Option<BlockBound>,
 }
 
-/// Parsed header + footer of a v3 store: the block map.
+/// Parsed header + footer of a block/chunk store: the block map.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreDirectory {
+    /// Format version the file was written with (3 or 4).
+    pub version: u32,
     /// Build configuration recorded in the header.
     pub config: IndexConfig,
     /// Per-block metadata, in block order.
@@ -486,6 +574,7 @@ impl<W: Write + Seek> StoreWriter<W> {
             residues: block.total_residues() as u64,
             decoded_bytes: block.memory_bytes() as u64,
             n_entries: block.total_positions() as u64,
+            bound: Some(BlockBound::from_block(block)),
         });
         self.pos += record.len() as u64;
         Ok(())
@@ -505,6 +594,14 @@ impl<W: Write + Seek> StoreWriter<W> {
             put_u64(&mut dir_bytes, m.residues);
             put_u64(&mut dir_bytes, m.decoded_bytes);
             put_u64(&mut dir_bytes, m.n_entries);
+            // v4 extension: the score-bound summary, appended after the
+            // v3 fields so the row stays prefix-compatible.
+            let bound = m.bound.unwrap_or_default();
+            put_u32(&mut dir_bytes, bound.max_len);
+            put_u32(&mut dir_bytes, u32::from(bound.whole_only));
+            for h in bound.hist {
+                put_u32(&mut dir_bytes, h);
+            }
         }
         // The directory CRC also covers the (patched) header, so a bit
         // flip in the build configuration is caught at open time — the
@@ -527,7 +624,8 @@ impl<W: Write + Seek> StoreWriter<W> {
         // lint: allow(lossy-cast): same u32 block-count bound as above.
         self.w.write_all(&(self.dir.len() as u32).to_le_bytes())?;
         self.w.seek(SeekFrom::End(0))?;
-        let dir = StoreDirectory { config: self.config, blocks: self.dir };
+        let dir =
+            StoreDirectory { version: STORE_VERSION, config: self.config, blocks: self.dir };
         Ok((self.w, dir))
     }
 }
@@ -547,13 +645,13 @@ pub fn write_store(index: &DbIndex) -> Vec<u8> {
     cursor.into_inner()
 }
 
-fn parse_header(data: &mut &[u8]) -> Result<(IndexConfig, usize), SerialError> {
+fn parse_header(data: &mut &[u8]) -> Result<(IndexConfig, usize, u32), SerialError> {
     let magic = take(data, 4)?;
     if magic != MAGIC {
         return Err(SerialError::BadMagic);
     }
     let version = get_u32(data)?;
-    if version != STORE_VERSION {
+    if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
         return Err(SerialError::BadVersion(version));
     }
     let config = IndexConfig {
@@ -565,7 +663,7 @@ fn parse_header(data: &mut &[u8]) -> Result<(IndexConfig, usize), SerialError> {
         return Err(SerialError::Truncated);
     }
     let n_blocks = get_u32(data)? as usize;
-    Ok((config, n_blocks))
+    Ok((config, n_blocks, version))
 }
 
 /// Read the header and footer directory from a seekable store — the
@@ -578,7 +676,7 @@ pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, Seria
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header).map_err(io)?;
     let mut h: &[u8] = &header;
-    let (config, n_blocks) = parse_header(&mut h)?;
+    let (config, n_blocks, version) = parse_header(&mut h)?;
     let file_len = r.seek(SeekFrom::End(0)).map_err(io)?;
     if file_len < (HEADER_LEN + TAIL_LEN) as u64 {
         return Err(SerialError::Truncated);
@@ -593,7 +691,8 @@ pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, Seria
     if take(&mut t, 4)? != FOOTER_MAGIC || tail_blocks != n_blocks {
         return Err(SerialError::Truncated);
     }
-    if dir_len != n_blocks * DIR_ROW
+    let dir_row = if version >= 4 { DIR_ROW } else { DIR_ROW_V3 };
+    if dir_len != n_blocks * dir_row
         || (dir_len + TAIL_LEN + HEADER_LEN) as u64 > file_len
     {
         return Err(SerialError::Truncated);
@@ -612,7 +711,7 @@ pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, Seria
     let mut d: &[u8] = &dir_bytes;
     let mut blocks = Vec::with_capacity(n_blocks);
     for _ in 0..n_blocks {
-        let m = StoreBlockMeta {
+        let mut m = StoreBlockMeta {
             offset: get_u64(&mut d)?,
             len: get_u32(&mut d)?,
             crc: get_u32(&mut d)?,
@@ -622,7 +721,17 @@ pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, Seria
             residues: get_u64(&mut d)?,
             decoded_bytes: get_u64(&mut d)?,
             n_entries: get_u64(&mut d)?,
+            bound: None,
         };
+        if version >= 4 {
+            let max_len = get_u32(&mut d)?;
+            let flags = get_u32(&mut d)?;
+            let mut hist = [0u32; ALPHABET_SIZE];
+            for h in hist.iter_mut() {
+                *h = get_u32(&mut d)?;
+            }
+            m.bound = Some(BlockBound { max_len, whole_only: flags & 1 != 0, hist });
+        }
         // Extents must stay inside the record region of the file.
         let end = m.offset.checked_add(u64::from(m.len)).ok_or(SerialError::Truncated)?;
         if m.offset < HEADER_LEN as u64 || end > file_len - (TAIL_LEN + dir_len) as u64 {
@@ -630,7 +739,7 @@ pub fn read_directory<R: Read + Seek>(r: &mut R) -> Result<StoreDirectory, Seria
         }
         blocks.push(m);
     }
-    Ok(StoreDirectory { config, blocks })
+    Ok(StoreDirectory { version, config, blocks })
 }
 
 /// Deserialize a whole v3 image into a resident [`DbIndex`] — the path
@@ -756,6 +865,7 @@ mod tests {
         assert_eq!(&dir.config, idx.config());
         assert_eq!(dir.blocks.len(), idx.blocks().len());
         for (m, b) in dir.blocks.iter().zip(idx.blocks()) {
+            assert_eq!(m.bound, Some(BlockBound::from_block(b)));
             assert_eq!(m.n_seqs as usize, b.n_seqs());
             assert_eq!(m.residues as usize, b.total_residues());
             assert_eq!(m.n_entries as usize, b.total_positions());
@@ -813,6 +923,84 @@ mod tests {
         let dir = read_directory(&mut std::io::Cursor::new(&bytes[..])).unwrap();
         assert!(dir.blocks.is_empty());
         assert_eq!(dir.total_decoded_bytes(), 0);
+    }
+
+    /// Rewrite a v4 image as the v3 layout it extends: strip the bound
+    /// fields from each directory row, patch the version field, and
+    /// recompute the directory CRC. This is exactly what a file written
+    /// before the v4 bump looks like.
+    fn downgrade_to_v3(bytes: &[u8]) -> Vec<u8> {
+        let tail = &bytes[bytes.len() - TAIL_LEN..];
+        let n_blocks = u32::from_le_bytes(tail[0..4].try_into().unwrap());
+        let dir_len = u32::from_le_bytes(tail[4..8].try_into().unwrap()) as usize;
+        let dir_start = bytes.len() - TAIL_LEN - dir_len;
+        let mut out = bytes[..dir_start].to_vec();
+        out[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let mut dir_bytes = Vec::new();
+        for row in bytes[dir_start..dir_start + dir_len].chunks(DIR_ROW) {
+            dir_bytes.extend_from_slice(&row[..DIR_ROW_V3]);
+        }
+        let mut crc = crate::crc::Crc32::new();
+        crc.update(&out[..HEADER_LEN]);
+        crc.update(&dir_bytes);
+        let sum = crc.finalize();
+        out.extend_from_slice(&dir_bytes);
+        out.extend_from_slice(&n_blocks.to_le_bytes());
+        out.extend_from_slice(&(dir_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&sum.to_le_bytes());
+        out.extend_from_slice(FOOTER_MAGIC);
+        out
+    }
+
+    #[test]
+    fn v3_files_still_read_and_carry_no_bounds() {
+        let idx = sample_index();
+        let v4 = write_store(&idx);
+        let v3 = downgrade_to_v3(&v4);
+        assert_eq!(read_store(&v3).unwrap(), idx);
+        let dir = read_directory(&mut std::io::Cursor::new(&v3[..])).unwrap();
+        assert_eq!(dir.version, 3);
+        assert!(dir.blocks.iter().all(|m| m.bound.is_none()));
+        let v4dir = read_directory(&mut std::io::Cursor::new(&v4[..])).unwrap();
+        assert_eq!(v4dir.version, STORE_VERSION);
+        assert!(v4dir.blocks.iter().all(|m| m.bound.is_some()));
+        assert_eq!(dir.blocks.len(), v4dir.blocks.len());
+    }
+
+    #[test]
+    fn bound_histograms_dominate_every_fragment_and_flag_split_subjects() {
+        let db: SequenceDb = ["MARNDWWWCQEGHILKMFPSTWYV", "MKVLWAALLVT", "ARNDARND"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Sequence::from_str_checked(format!("s{i}"), s).unwrap())
+            .collect();
+        // offset_bits = 4 → fragments cap at 15 residues, so the first
+        // sequence splits and must poison `whole_only` in its blocks.
+        let config = IndexConfig { block_bytes: 64, offset_bits: 4, frag_overlap: 4 };
+        let idx = DbIndex::build(&db, &config);
+        let mut saw_split = false;
+        for b in idx.blocks() {
+            let bound = BlockBound::from_block(b);
+            let mut max_len = 0;
+            for local in 0..b.n_seqs() {
+                let local = local as u32;
+                let s = b.seq(local);
+                max_len = max_len.max(s.frag_offset + s.len);
+                let mut counts = [0u32; ALPHABET_SIZE];
+                for &r in b.seq_residues(local) {
+                    counts[r as usize] += 1;
+                }
+                for (h, c) in bound.hist.iter().zip(counts) {
+                    assert!(*h >= c, "histogram undercounts a residue");
+                }
+                if s.frag_offset > 0 || s.len as usize >= config.max_seq_len() {
+                    assert!(!bound.whole_only, "split fragment in a whole-only block");
+                    saw_split = true;
+                }
+            }
+            assert_eq!(bound.max_len, max_len);
+        }
+        assert!(saw_split, "no split fragment exercised the whole_only flag");
     }
 
     #[test]

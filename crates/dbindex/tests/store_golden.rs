@@ -1,15 +1,25 @@
-//! Golden byte fixtures for the v3 block/chunk store.
+//! Golden byte fixtures for the block/chunk store.
 //!
-//! The committed `tests/fixtures/store_v3*.bin` files pin the on-disk
-//! format itself: any serializer change that alters bytes — field order,
-//! widths, chunk fanout, CRC coverage — fails here even if it round-trips
-//! symmetrically, because stores already written by shipped builds would
-//! no longer parse the same way. Regenerate deliberately with
-//! `STORE_BLESS=1` after an intentional `STORE_VERSION` bump (the
-//! `xtask analyze` store ratchet enforces the bump side).
+//! Two generations are pinned at once:
+//!
+//! * `tests/fixtures/store_v4*.bin` — what the current serializer writes
+//!   (v4: per-block [`BlockBound`] score summaries in the directory).
+//!   Any serializer change that alters bytes — field order, widths,
+//!   chunk fanout, CRC coverage, bound layout — fails here even if it
+//!   round-trips symmetrically, because stores already written by
+//!   shipped builds would no longer parse the same way. Regenerate
+//!   deliberately with `STORE_BLESS=1` after an intentional
+//!   `STORE_VERSION` bump (the `xtask analyze` store ratchet enforces
+//!   the bump side).
+//! * `tests/fixtures/store_v3*.bin` — **frozen** artifacts written by
+//!   the pre-bound serializer. Never regenerated: they are the proof
+//!   that files from older builds keep reading (blocks identical,
+//!   `bound: None` in every directory row).
 
 use bioseq::{Sequence, SequenceDb};
-use dbindex::{read_store, write_store, DbIndex, IndexConfig};
+use dbindex::{
+    read_directory, read_store, write_store, BlockBound, DbIndex, IndexConfig, STORE_VERSION,
+};
 
 fn fixtures_dir() -> std::path::PathBuf {
     if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
@@ -25,7 +35,8 @@ fn fixtures_dir() -> std::path::PathBuf {
 
 /// Fixed, hand-written database — no RNG, so the bytes cannot drift with
 /// generator tweaks. Small block budget forces multiple blocks and at
-/// least one fragmented sequence.
+/// least one fragmented sequence (whose block must be `whole_only:
+/// false` in the v4 bounds).
 fn golden_index() -> DbIndex {
     let db: SequenceDb = [
         "MARNDWWWCQEGHILKMFPSTWYVA",
@@ -43,18 +54,34 @@ fn golden_index() -> DbIndex {
     DbIndex::build(&db, &config)
 }
 
+/// A second fixed database whose long repeat-heavy sequence must split:
+/// at `offset_bits: 8` the offset field caps fragments at 255 residues,
+/// so the 420-residue sequence fragments — the case the conservative
+/// (`whole_only: false`) side of the bound format needs.
+fn golden_fragmented_index() -> DbIndex {
+    let long: String = "MARNDCQEGHILKMFPSTWYV".chars().cycle().take(420).collect();
+    let db: SequenceDb = [long.as_str(), "WWWHILKMFPSTARNDCQEG", "MKVLWAALLVTFLAG"]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Sequence::from_str_checked(format!("frag{i}"), s).unwrap())
+        .collect();
+    let config = IndexConfig { block_bytes: 96, offset_bits: 8, frag_overlap: 8 };
+    DbIndex::build(&db, &config)
+}
+
 fn golden_stores() -> Vec<(&'static str, Vec<u8>)> {
     vec![
-        ("store_v3.bin", write_store(&golden_index())),
+        ("store_v4.bin", write_store(&golden_index())),
+        ("store_v4_frag.bin", write_store(&golden_fragmented_index())),
         (
-            "store_v3_empty.bin",
+            "store_v4_empty.bin",
             write_store(&DbIndex::build(&SequenceDb::new(), &IndexConfig::default())),
         ),
     ]
 }
 
 #[test]
-fn golden_fixtures_pin_the_v3_store_bytes() {
+fn golden_fixtures_pin_the_v4_store_bytes() {
     let dir = fixtures_dir();
     let bless = std::env::var_os("STORE_BLESS").is_some();
     if bless {
@@ -72,7 +99,7 @@ fn golden_fixtures_pin_the_v3_store_bytes() {
         assert_eq!(
             committed,
             bytes,
-            "{name}: serializer output diverged from the committed fixture — the v3 \
+            "{name}: serializer output diverged from the committed fixture — the v4 \
              layout changed; bump STORE_VERSION, re-bless the xtask store ratchet, \
              and regenerate with STORE_BLESS=1"
         );
@@ -81,12 +108,68 @@ fn golden_fixtures_pin_the_v3_store_bytes() {
 }
 
 #[test]
-fn committed_fixture_still_parses_to_the_same_index() {
+fn committed_v4_fixture_parses_and_its_bounds_are_sound() {
     // Guards the read side independently: the committed bytes must decode
     // to exactly the index they were written from, so a paired
-    // writer+reader change cannot slip past the byte comparison.
+    // writer+reader change cannot slip past the byte comparison — and
+    // every directory row must carry a bound equal to one recomputed
+    // from the decoded block (the soundness anchor block pruning rests
+    // on).
+    let mut saw_fragmented = false;
+    let mut saw_whole = false;
+    for (name, want) in [
+        ("store_v4.bin", golden_index()),
+        ("store_v4_frag.bin", golden_fragmented_index()),
+    ] {
+        let path = fixtures_dir().join(name);
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("{}: {e} (regenerate with STORE_BLESS=1)", path.display())
+        });
+        let index = read_store(&bytes).unwrap();
+        assert_eq!(index, want, "{name}");
+
+        let dir = read_directory(&mut std::io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(dir.version, STORE_VERSION, "{name}");
+        assert_eq!(dir.blocks.len(), index.blocks().len(), "{name}");
+        for (i, (meta, block)) in dir.blocks.iter().zip(index.blocks()).enumerate() {
+            let bound = meta
+                .bound
+                .unwrap_or_else(|| panic!("{name} block {i}: v4 row without a bound"));
+            assert_eq!(
+                bound,
+                BlockBound::from_block(block),
+                "{name} block {i}: recomputed bound"
+            );
+            saw_fragmented |= !bound.whole_only;
+            saw_whole |= bound.whole_only;
+        }
+    }
+    assert!(
+        saw_fragmented && saw_whole,
+        "fixtures must cover both whole_only (skippable) and fragmented \
+         (never-skippable) blocks or half the bound format goes untested"
+    );
+}
+
+/// The frozen v3 artifacts keep reading: same blocks, no bounds. These
+/// fixtures are never re-blessed — they stand in for files written by
+/// builds that predate the bound rows.
+#[test]
+fn frozen_v3_fixture_still_parses_without_bounds() {
     let path = fixtures_dir().join("store_v3.bin");
     let bytes = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("{}: {e} (regenerate with STORE_BLESS=1)", path.display()));
+        .unwrap_or_else(|e| panic!("{}: {e} (a frozen artifact — restore it from git)", path.display()));
     assert_eq!(read_store(&bytes).unwrap(), golden_index());
+    let dir = read_directory(&mut std::io::Cursor::new(&bytes)).unwrap();
+    assert_eq!(dir.version, 3);
+    assert!(
+        dir.blocks.iter().all(|m| m.bound.is_none()),
+        "a v3 directory row must decode with bound: None"
+    );
+
+    let empty = fixtures_dir().join("store_v3_empty.bin");
+    let bytes = std::fs::read(&empty)
+        .unwrap_or_else(|e| panic!("{}: {e} (a frozen artifact — restore it from git)", empty.display()));
+    let index = read_store(&bytes).unwrap();
+    assert_eq!(index, DbIndex::build(&SequenceDb::new(), &IndexConfig::default()));
 }

@@ -11,8 +11,9 @@ use crate::finish::finish_query;
 use crate::kernels::{db_interleaved, mublastp, null_ctx, query_indexed};
 use crate::results::{QueryResult, Seed, StageCounts};
 use crate::scratch::Scratch;
+use crate::topk::{QueryPruner, TopKSet, TopKShared, TopKStats};
 use bioseq::{Sequence, SequenceDb};
-use dbindex::DbIndex;
+use dbindex::{BlockBound, DbIndex};
 use memsim::NullTracer;
 use obsv::{Stage, StageObs, Trace, TraceSession, NO_BLOCK};
 use parallel::{parallel_map_dynamic, parallel_map_dynamic_with_state};
@@ -68,6 +69,15 @@ pub struct SearchConfig {
     /// [`crate::sharded::FAULT_SHARD`]). [`faultfn::Faults::none`] — the
     /// default — injects nothing at the cost of one branch per shard.
     pub faults: faultfn::Faults,
+    /// Report only the best `K` subjects per query and let the
+    /// database-indexed engines *prune*: blocks whose stored score bound
+    /// provably cannot beat the current k-th-best E-value are skipped
+    /// before seeding (out-of-core: before they are even fetched). Output
+    /// is bit-identical to an exhaustive search with
+    /// `params.max_reported = min(max_reported, K)` — the invariant
+    /// `tests/topk_oracle.rs` pins. `None` (the default) searches
+    /// exhaustively.
+    pub top_k: Option<u32>,
 }
 
 impl SearchConfig {
@@ -85,7 +95,14 @@ impl SearchConfig {
             longest_first: false,
             deadline: None,
             faults: faultfn::Faults::none(),
+            top_k: None,
         }
+    }
+
+    /// Builder: request top-k pruned reporting (see [`SearchConfig::top_k`]).
+    pub fn with_top_k(mut self, k: u32) -> SearchConfig {
+        self.top_k = Some(k);
+        self
     }
 
     /// Builder: set the worker-thread count for the dynamic scheduler.
@@ -138,6 +155,26 @@ pub fn search_batch_traced(
     config: &SearchConfig,
     session: &TraceSession,
 ) -> (Vec<QueryResult>, Trace) {
+    if let Some(k) = config.top_k {
+        if matches!(config.kind, EngineKind::QueryIndexed) {
+            // No blocks to skip in the query-indexed engine: top-k is
+            // just a cap on the reported subjects.
+            let mut cfg = config.clone();
+            cfg.top_k = None;
+            cfg.params.max_reported = cfg.params.max_reported.min(k as usize);
+            return search_batch_traced(db, index, neighbors, queries, &cfg, session);
+        }
+        let Some(index) = index else {
+            // lint: allow(panic-reach): contract panic — same contract as
+            // the exhaustive arm below.
+            panic!(
+                "database-indexed engines need a DbIndex (got None for {:?})",
+                config.kind
+            )
+        };
+        let outcome = search_batch_topk_resident(db, index, neighbors, queries, config, None);
+        return (outcome.results, Trace::new());
+    }
     // SEG query masking (`blastp -seg yes`): hard-mask low-complexity
     // query regions to X before any stage, for every engine alike.
     let masked_storage: Vec<Sequence>;
@@ -312,6 +349,16 @@ where
         !matches!(config.kind, EngineKind::QueryIndexed),
         "streamed search is for database-indexed engines"
     );
+    if let Some(k) = config.top_k {
+        // A bare block iterator carries no bounds to prune with; honour
+        // the reporting cap and search exhaustively. Pruned streaming
+        // lives in `blockstore::search_store`, where the store directory
+        // supplies the bounds.
+        let mut cfg = config.clone();
+        cfg.top_k = None;
+        cfg.params.max_reported = cfg.params.max_reported.min(k as usize);
+        return search_batch_streamed(db, blocks, neighbors, queries, &cfg);
+    }
     let masked_storage: Vec<Sequence>;
     let queries: &[Sequence] = if config.params.seg_filter {
         masked_storage = queries
@@ -392,6 +439,283 @@ where
         &TraceSession::disabled(),
         &mut trace,
     )
+}
+
+/// Outcome of one pruned top-k batch search.
+#[derive(Debug)]
+pub struct TopKOutcome {
+    /// Per-query results — bit-identical to the exhaustive path run with
+    /// `params.max_reported = min(max_reported, K)`.
+    pub results: Vec<QueryResult>,
+    /// Block pruning counters.
+    pub stats: TopKStats,
+    /// Per-query k-th-best preliminary E-value established by this search
+    /// (`+∞` when fewer than `K` subjects were admitted). A sharded
+    /// driver publishes these to the shared watermark after the task
+    /// completes successfully.
+    pub kth_evalues: Vec<f64>,
+}
+
+/// Top-k pruned batch search over an abstract block source — the one
+/// implementation behind the resident and out-of-core pruned paths.
+///
+/// `bounds[i]` is block `i`'s stored [`BlockBound`] (`None` = no bound
+/// recorded, e.g. a v3 store: the block is always scanned). `fetch`
+/// materialises a block on demand; a *skipped block is never fetched*,
+/// which is where the out-of-core path saves I/O. `shared`, when present,
+/// carries cross-shard per-query thresholds that tighten pruning further
+/// (this function never publishes to it — its caller does, on success).
+///
+/// The search runs in two phases. Phase A walks blocks (unprunable ones
+/// first, then bounded ones best-first so the threshold drops early);
+/// each scanned whole-subject block feeds its subjects' preliminary
+/// E-values — computed by exactly the candidate pipeline the finish stage
+/// ranks by ([`crate::finish::subject_candidates`]) — into a per-query
+/// [`TopKSet`]. A block is skipped only when, for **every** query, its
+/// best-case E-value is strictly worse than
+/// `min(evalue_cutoff, local k-th, shared k-th)`. Phase B is the
+/// unchanged finish pass over all surviving seeds, so bit-identity with
+/// the exhaustive oracle holds by construction (skipped blocks provably
+/// contribute no reported subject; see `DESIGN.md` §3.7).
+///
+/// # Panics
+/// Panics if `config.top_k` is `None` or the engine is query-indexed.
+#[allow(clippy::too_many_arguments)]
+pub fn search_batch_topk_blocks<B, E, F>(
+    db: &SequenceDb,
+    n_blocks: usize,
+    bounds: &[Option<BlockBound>],
+    mut fetch: F,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    shared: Option<&TopKShared>,
+) -> Result<TopKOutcome, E>
+where
+    B: std::borrow::Borrow<dbindex::IndexBlock>,
+    F: FnMut(usize) -> Result<B, E>,
+{
+    assert!(
+        !matches!(config.kind, EngineKind::QueryIndexed),
+        "top-k pruning is for database-indexed engines"
+    );
+    let Some(requested_k) = config.top_k else {
+        // lint: allow(panic-reach): contract panic — every caller routes
+        // here only when a top-k was requested.
+        panic!("search_batch_topk_blocks requires config.top_k")
+    };
+    // Normalise: top-k caps the reported subject count, and the effective
+    // k (what the watermark tracks) is that cap.
+    let mut config = config.clone();
+    config.params.max_reported = config.params.max_reported.min(requested_k as usize);
+    let k = config.params.max_reported;
+    let config = &config;
+    let masked_storage: Vec<Sequence>;
+    let queries: &[Sequence] = if config.params.seg_filter {
+        masked_storage = queries
+            .iter()
+            .map(|q| {
+                Sequence::from_encoded(
+                    q.id.clone(),
+                    bioseq::seg_mask(q.residues(), &bioseq::SegParams::default()),
+                )
+            })
+            .collect();
+        &masked_storage
+    } else {
+        queries
+    };
+    let (db_residues, db_seqs) = config
+        .effective_db
+        .unwrap_or((db.total_residues(), db.len()));
+    let evalue_model = &config.params.gapped_stats;
+    let cutoff = config.params.evalue_cutoff;
+    let mut stats = TopKStats::default();
+    let mut all: Vec<(Vec<Seed>, StageCounts)> = (0..queries.len())
+        .map(|_| (Vec::new(), StageCounts::default()))
+        .collect();
+    if queries.is_empty() {
+        return Ok(TopKOutcome {
+            results: Vec::new(),
+            stats,
+            kth_evalues: Vec::new(),
+        });
+    }
+    let pruners: Vec<QueryPruner> = queries
+        .iter()
+        .map(|q| QueryPruner::new(q.residues(), &config.params.matrix))
+        .collect();
+    let mut sets: Vec<TopKSet> = (0..queries.len()).map(|_| TopKSet::new(k)).collect();
+
+    // Visit order: blocks that can never be pruned first (they must be
+    // scanned anyway and tighten the watermark for free), then bounded
+    // blocks in descending best-possible-score order so strong subjects
+    // are admitted early and the threshold drops fast. Purely a
+    // heuristic: the output is order-independent because a skip decision
+    // is only ever taken when provably harmless.
+    let eligible =
+        |i: usize| bounds.get(i).and_then(|b| b.as_ref()).is_some_and(|b| b.whole_only);
+    let best_bound: Vec<i32> = (0..n_blocks)
+        .map(|i| match bounds.get(i).and_then(|b| b.as_ref()) {
+            Some(b) => pruners.iter().map(|p| p.bound_raw(b)).max().unwrap_or(0),
+            None => i32::MAX,
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..n_blocks).collect();
+    order.sort_by_key(|&i| (eligible(i), std::cmp::Reverse(best_bound[i]), i));
+
+    for block_id in order {
+        let bound = bounds.get(block_id).and_then(|b| b.as_ref());
+        // Per-query skip decision. Strict `>`: a subject *tying* the k-th
+        // E-value can still displace it on the subject-id tie-break.
+        let prunable: Vec<bool> = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| match bound {
+                Some(b) if b.whole_only => {
+                    let cap = pruners[qi].bound_raw(b);
+                    let best_ev = evalue_model.evalue_effective(cap, q.len(), db_residues, db_seqs);
+                    let threshold = cutoff
+                        .min(sets[qi].kth())
+                        .min(shared.map_or(f64::INFINITY, |s| s.load(qi)));
+                    best_ev > threshold
+                }
+                _ => false,
+            })
+            .collect();
+        if prunable.iter().all(|&p| p) {
+            stats.blocks_skipped += 1;
+            continue;
+        }
+        let fetched = fetch(block_id)?;
+        let block = fetched.borrow();
+        stats.blocks_scanned += 1;
+        // Admission runs only for whole-subject blocks: there, a
+        // subject's entire seed set comes from this one block, so the
+        // admission score equals the score the finish stage will rank the
+        // subject by — no slack in the watermark.
+        let admit_here = bound.is_some_and(|b| b.whole_only);
+        let per_query = parallel_map_dynamic(
+            config.threads,
+            queries.len(),
+            config.chunk,
+            Scratch::new,
+            |scratch, qi| {
+                if prunable[qi] {
+                    // This block cannot affect query qi's top-k; skip its
+                    // seeding entirely.
+                    return (Vec::new(), StageCounts::default(), Vec::new());
+                }
+                let query = queries[qi].residues();
+                let mut counts = StageCounts::default();
+                scratch.seeds.clear();
+                let mut nt = NullTracer;
+                let mut ctx = null_ctx(&mut nt);
+                match config.kind {
+                    EngineKind::DbInterleaved => db_interleaved::search_block(
+                        query,
+                        block,
+                        neighbors,
+                        &config.params,
+                        scratch,
+                        &mut counts,
+                        &mut ctx,
+                        &mut obsv::NoObs,
+                    ),
+                    EngineKind::MuBlastp => mublastp::search_block(
+                        query,
+                        block,
+                        neighbors,
+                        &config.params,
+                        scratch,
+                        &mut counts,
+                        &mut ctx,
+                        &mut obsv::NoObs,
+                        config.sort,
+                        config.prefilter,
+                    ),
+                    // lint: allow(panic-reach): rejected by the assertion
+                    // at function entry.
+                    EngineKind::QueryIndexed => unreachable!(),
+                }
+                let seeds = std::mem::take(&mut scratch.seeds);
+                let mut admitted: Vec<f64> = Vec::new();
+                if admit_here && !seeds.is_empty() && !query.is_empty() {
+                    let (per_subject, _) =
+                        crate::finish::subject_candidates(query, db, seeds.clone(), &config.params);
+                    for (_, cands) in &per_subject {
+                        let ev = evalue_model.evalue_effective(
+                            cands[0].score,
+                            query.len(),
+                            db_residues,
+                            db_seqs,
+                        );
+                        // Only subjects the cutoff would report may
+                        // tighten the threshold.
+                        if ev <= cutoff {
+                            admitted.push(ev);
+                        }
+                    }
+                }
+                (seeds, counts, admitted)
+            },
+        );
+        for (qi, (seeds, counts, admitted)) in per_query.into_iter().enumerate() {
+            all[qi].0.extend(seeds);
+            all[qi].1.add(&counts);
+            for ev in admitted {
+                sets[qi].admit(ev);
+            }
+        }
+    }
+    let kth_evalues: Vec<f64> = sets.iter().map(|s| s.kth()).collect();
+    let mut trace = Trace::new();
+    let results = finish_all(
+        db,
+        queries,
+        all,
+        config,
+        db_residues,
+        db_seqs,
+        &TraceSession::disabled(),
+        &mut trace,
+    );
+    Ok(TopKOutcome { results, stats, kth_evalues })
+}
+
+/// Top-k pruned search over a resident [`DbIndex`]: block bounds are
+/// recomputed from the in-memory blocks (no store file needed), then the
+/// search runs through [`search_batch_topk_blocks`]. `shared` threads the
+/// cross-shard watermark when this index is one shard of a sharded
+/// search.
+///
+/// # Panics
+/// Panics if `config.top_k` is `None` or the engine is query-indexed.
+pub fn search_batch_topk_resident(
+    db: &SequenceDb,
+    index: &DbIndex,
+    neighbors: &NeighborTable,
+    queries: &[Sequence],
+    config: &SearchConfig,
+    shared: Option<&TopKShared>,
+) -> TopKOutcome {
+    let blocks = index.blocks();
+    let bounds: Vec<Option<BlockBound>> =
+        blocks.iter().map(|b| Some(BlockBound::from_block(b))).collect();
+    let outcome = search_batch_topk_blocks(
+        db,
+        blocks.len(),
+        &bounds,
+        |i| Ok::<&dbindex::IndexBlock, std::convert::Infallible>(&blocks[i]),
+        neighbors,
+        queries,
+        config,
+        shared,
+    );
+    match outcome {
+        Ok(o) => o,
+        Err(e) => match e {},
+    }
 }
 
 /// Second parallel pass: gapped extension, ranking, traceback per query.
@@ -610,6 +934,68 @@ mod tests {
                     .count();
                 assert_eq!(seed_count, queries.len() * index.blocks().len());
             }
+        }
+    }
+
+    /// Pruned top-k output is bit-identical to the exhaustive oracle
+    /// truncated at k subjects, for both database-indexed engines (the
+    /// full matrix lives in `tests/topk_oracle.rs`; this is the smoke
+    /// version that keeps the invariant close to the implementation).
+    #[test]
+    fn topk_matches_exhaustive_truncation() {
+        let (db, index, queries) = small_world();
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        for kind in [EngineKind::DbInterleaved, EngineKind::MuBlastp] {
+            for k in [1u32, 2, 10, 100] {
+                let mut oracle_cfg = SearchConfig::new(kind).with_params(params.clone());
+                oracle_cfg.params.max_reported = oracle_cfg.params.max_reported.min(k as usize);
+                let oracle = search_batch(&db, Some(&index), neighbors(), &queries, &oracle_cfg);
+                let cfg = SearchConfig::new(kind).with_params(params.clone()).with_top_k(k);
+                let pruned = search_batch(&db, Some(&index), neighbors(), &queries, &cfg);
+                for (a, b) in oracle.iter().zip(&pruned) {
+                    assert_eq!(a.alignments, b.alignments, "{kind:?} k={k}");
+                }
+            }
+        }
+    }
+
+    /// With many small blocks and k=1, the bound check must actually
+    /// skip blocks — pruning is observable, not just correct.
+    #[test]
+    fn topk_skips_blocks_on_fragmented_indexes() {
+        let db = datagen_like_db();
+        let index = DbIndex::build(
+            &db,
+            &IndexConfig { block_bytes: 128, offset_bits: 15, frag_overlap: 16 },
+        );
+        let queries: Vec<Sequence> = vec![Sequence::from_encoded(
+            "q0",
+            db.get(0).residues().to_vec(),
+        )];
+        let mut params = SearchParams::blastp_defaults();
+        params.evalue_cutoff = 1e9;
+        let cfg = SearchConfig::new(EngineKind::MuBlastp)
+            .with_params(params.clone())
+            .with_top_k(1);
+        let out = search_batch_topk_resident(&db, &index, neighbors(), &queries, &cfg, None);
+        assert!(index.blocks().len() > 3, "want a multi-block index");
+        assert_eq!(
+            out.stats.blocks_scanned + out.stats.blocks_skipped,
+            index.blocks().len() as u64
+        );
+        assert!(
+            out.stats.blocks_skipped > 0,
+            "k=1 over {} blocks should skip some: {:?}",
+            index.blocks().len(),
+            out.stats
+        );
+        // And still match the oracle.
+        let mut oracle_cfg = SearchConfig::new(EngineKind::MuBlastp).with_params(params);
+        oracle_cfg.params.max_reported = 1;
+        let oracle = search_batch(&db, Some(&index), neighbors(), &queries, &oracle_cfg);
+        for (a, b) in oracle.iter().zip(&out.results) {
+            assert_eq!(a.alignments, b.alignments);
         }
     }
 

@@ -24,7 +24,7 @@ use scoring::SearchParams;
 pub fn finish_query<O: StageObs>(
     query: &[u8],
     db: &SequenceDb,
-    mut seeds: Vec<Seed>,
+    seeds: Vec<Seed>,
     params: &SearchParams,
     db_residues: usize,
     db_seqs: usize,
@@ -33,9 +33,71 @@ pub fn finish_query<O: StageObs>(
     if query.is_empty() || seeds.is_empty() {
         return (Vec::new(), 0);
     }
-    let mut gapped_count = 0u64;
     let span = obs.start();
+    let (mut per_subject, gapped_count) = subject_candidates(query, db, seeds, params);
+    obs.record(Stage::Gapped, span);
 
+    // Rank subjects by best gapped score; apply the E-value cutoff.
+    let qlen = query.len();
+    let stats = &params.gapped_stats;
+    per_subject.retain(|(_, cands)| {
+        let best = cands[0].score;
+        stats.evalue_effective(best, qlen, db_residues, db_seqs) <= params.evalue_cutoff
+    });
+    per_subject
+        .sort_by_key(|(subject, cands)| (std::cmp::Reverse(cands[0].score), *subject));
+    per_subject.truncate(params.max_reported);
+
+    // Traceback (stage 4) for every reported alignment.
+    let mut out: Vec<Alignment> = Vec::new();
+    for (subject, cands) in per_subject {
+        let subject_res = db.get(subject).residues();
+        for c in cands {
+            let ev = stats.evalue_effective(c.score, qlen, db_residues, db_seqs);
+            if ev > params.evalue_cutoff {
+                continue;
+            }
+            // Traceback restarts from the original ungapped seed with the
+            // larger final x-drop, as NCBI's stage 4 does.
+            let g = gapped_extend_traceback(
+                &params.matrix,
+                query,
+                subject_res,
+                c.seed_q.min(qlen as u32 - 1),
+                c.seed_s.min(subject_res.len() as u32 - 1),
+                params.gap_open,
+                params.gap_extend,
+                params.final_xdrop,
+            );
+            let final_ev = stats.evalue_effective(g.score, qlen, db_residues, db_seqs);
+            out.push(Alignment {
+                subject,
+                bit_score: stats.bit_score(g.score),
+                evalue: final_ev,
+                aln: g,
+            });
+        }
+    }
+    // Best first, fully deterministic (total order — see compare_alignments).
+    out.sort_by(crate::results::compare_alignments);
+    (out, gapped_count)
+}
+
+/// Assembly + gapped extension + per-subject candidate ranking for one
+/// query's seeds — the shared front half of [`finish_query`], split out so
+/// the top-k pruner's admission pass (`driver::search_batch_topk_blocks`)
+/// scores a whole-subject block with *exactly* the pipeline the finish
+/// stage will rank it by. Returns `(per-subject candidates, gapped
+/// extension count)`; each subject's candidates are sorted strongest
+/// first, so `cands[0].score` is the score the finish stage ranks the
+/// subject by.
+pub(crate) fn subject_candidates(
+    query: &[u8],
+    db: &SequenceDb,
+    mut seeds: Vec<Seed>,
+    params: &SearchParams,
+) -> (Vec<(SequenceId, Vec<GappedCandidate>)>, u64) {
+    let mut gapped_count = 0u64;
     // Group seeds by subject (deterministically).
     seeds.sort_by_key(|s| (s.subject, s.frag_offset, s.aln));
     let mut per_subject: Vec<(SequenceId, Vec<GappedCandidate>)> = Vec::new();
@@ -96,62 +158,17 @@ pub fn finish_query<O: StageObs>(
             per_subject.push((subject, cands));
         }
     }
-    obs.record(Stage::Gapped, span);
-
-    // Rank subjects by best gapped score; apply the E-value cutoff.
-    let qlen = query.len();
-    let stats = &params.gapped_stats;
-    per_subject.retain(|(_, cands)| {
-        let best = cands[0].score;
-        stats.evalue_effective(best, qlen, db_residues, db_seqs) <= params.evalue_cutoff
-    });
-    per_subject
-        .sort_by_key(|(subject, cands)| (std::cmp::Reverse(cands[0].score), *subject));
-    per_subject.truncate(params.max_reported);
-
-    // Traceback (stage 4) for every reported alignment.
-    let mut out: Vec<Alignment> = Vec::new();
-    for (subject, cands) in per_subject {
-        let subject_res = db.get(subject).residues();
-        for c in cands {
-            let ev = stats.evalue_effective(c.score, qlen, db_residues, db_seqs);
-            if ev > params.evalue_cutoff {
-                continue;
-            }
-            // Traceback restarts from the original ungapped seed with the
-            // larger final x-drop, as NCBI's stage 4 does.
-            let g = gapped_extend_traceback(
-                &params.matrix,
-                query,
-                subject_res,
-                c.seed_q.min(qlen as u32 - 1),
-                c.seed_s.min(subject_res.len() as u32 - 1),
-                params.gap_open,
-                params.gap_extend,
-                params.final_xdrop,
-            );
-            let final_ev = stats.evalue_effective(g.score, qlen, db_residues, db_seqs);
-            out.push(Alignment {
-                subject,
-                bit_score: stats.bit_score(g.score),
-                evalue: final_ev,
-                aln: g,
-            });
-        }
-    }
-    // Best first, fully deterministic (total order — see compare_alignments).
-    out.sort_by(crate::results::compare_alignments);
-    (out, gapped_count)
+    (per_subject, gapped_count)
 }
 
 /// A preliminary (score-only) gapped alignment.
 #[derive(Clone, Copy, Debug)]
-struct GappedCandidate {
+pub(crate) struct GappedCandidate {
     q_start: u32,
     q_end: u32,
     s_start: u32,
     s_end: u32,
-    score: i32,
+    pub(crate) score: i32,
     /// Original ungapped seed, reused by the traceback stage.
     seed_q: u32,
     seed_s: u32,

@@ -42,11 +42,13 @@ pub mod report;
 pub mod results;
 pub mod scratch;
 pub mod sharded;
+pub mod topk;
 pub mod twohit;
 pub mod verify;
 
 pub use driver::{
-    search_batch, search_batch_streamed, search_batch_traced, EngineKind, SearchConfig, SortAlgo,
+    search_batch, search_batch_streamed, search_batch_topk_blocks, search_batch_topk_resident,
+    search_batch_traced, EngineKind, SearchConfig, SortAlgo, TopKOutcome,
 };
 pub use hit::{HitPair, KeySpec};
 pub use instrument::{trace_engine, trace_engine_multicore, TraceReport};
@@ -58,4 +60,5 @@ pub use sharded::{
     search_batch_sharded_traced, ShardBackend, ShardFailCause, ShardFailure, ShardTiming,
     ShardedOutput, FAULT_SHARD,
 };
+pub use topk::{QueryPruner, TopKShared, TopKStats, Watermark};
 pub use verify::results_identical;

@@ -28,8 +28,9 @@
 //! per-alignment E-value check already ran against the global search
 //! space inside the shard.
 
-use crate::driver::{search_batch_traced, SearchConfig};
+use crate::driver::{search_batch_topk_resident, search_batch_traced, SearchConfig, TopKOutcome};
 use crate::results::{compare_alignments, Alignment, QueryResult, StageCounts};
+use crate::topk::{TopKShared, TopKStats};
 use bioseq::{Sequence, SequenceId};
 use dbindex::ShardedIndex;
 use obsv::{Stage, Trace, TraceSession, NO_QUERY};
@@ -106,6 +107,41 @@ pub trait ShardBackend: Sync {
         inner: &SearchConfig,
         session: &TraceSession,
     ) -> Result<(Vec<QueryResult>, Trace), ShardFailCause>;
+
+    /// Run a *pruned top-k* batch against shard `s` (`inner.top_k` is
+    /// set). `shared` carries the cross-shard per-query thresholds: an
+    /// implementation may **consult** it to skip blocks but must not
+    /// publish to it — the driver publishes the returned
+    /// [`TopKOutcome::kth_evalues`] only after the task completes, so a
+    /// shard that later fails never influenced the survivors' output
+    /// (the degraded-mode contract the chaos suite pins).
+    ///
+    /// The default implementation falls back to the exhaustive
+    /// [`ShardBackend::search_shard`] with the reporting cap applied —
+    /// exact, just unpruned — and reports no thresholds.
+    fn search_shard_topk(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        _shared: &TopKShared,
+        session: &TraceSession,
+    ) -> Result<(TopKOutcome, Trace), ShardFailCause> {
+        let mut cfg = inner.clone();
+        if let Some(k) = cfg.top_k.take() {
+            cfg.params.max_reported = cfg.params.max_reported.min(k as usize);
+        }
+        let (results, trace) = self.search_shard(s, neighbors, queries, &cfg, session)?;
+        Ok((
+            TopKOutcome {
+                results,
+                stats: TopKStats::default(),
+                kth_evalues: vec![f64::INFINITY; queries.len()],
+            },
+            trace,
+        ))
+    }
 }
 
 impl ShardBackend for ShardedIndex {
@@ -139,6 +175,34 @@ impl ShardBackend for ShardedIndex {
             }
         }
         Ok((results, shard_trace))
+    }
+
+    fn search_shard_topk(
+        &self,
+        s: usize,
+        neighbors: &NeighborTable,
+        queries: &[Sequence],
+        inner: &SearchConfig,
+        shared: &TopKShared,
+        _session: &TraceSession,
+    ) -> Result<(TopKOutcome, Trace), ShardFailCause> {
+        let shard = &self.shards()[s];
+        let mut out = search_batch_topk_resident(
+            &shard.db,
+            &shard.index,
+            neighbors,
+            queries,
+            inner,
+            Some(shared),
+        );
+        for qr in &mut out.results {
+            for a in &mut qr.alignments {
+                a.subject = shard.ids[a.subject as usize];
+            }
+        }
+        // The pruned path records no engine spans (like the streamed
+        // exhaustive path); the driver's Shard span still covers the task.
+        Ok((out, Trace::new()))
     }
 }
 
@@ -187,6 +251,9 @@ pub struct ShardedOutput {
     pub covered_residues: usize,
     /// Residues in the whole sharded database.
     pub total_residues: usize,
+    /// Top-k pruning counters summed over surviving shards. All zero for
+    /// exhaustive searches and for backends without pruning support.
+    pub topk: TopKStats,
 }
 
 /// Search a query batch against a sharded database index.
@@ -233,7 +300,22 @@ pub fn search_batch_backend_traced<B: ShardBackend + ?Sized>(
     session: &TraceSession,
 ) -> ShardedOutput {
     let k = backend.num_shards();
+    // Normalise top-k up front: the reporting cap must be consistent
+    // between the per-shard searches and the merge truncation below.
+    let normalized: SearchConfig;
+    let config = if let Some(top) = config.top_k {
+        let mut c = config.clone();
+        c.params.max_reported = c.params.max_reported.min(top as usize);
+        normalized = c;
+        &normalized
+    } else {
+        config
+    };
     let global = config.effective_db.unwrap_or_else(|| backend.global_db());
+    // Cross-shard pruning thresholds, one watermark per query. A shard's
+    // k-th-best E-values are published only after its task succeeds, so a
+    // failed shard never influences the survivors' pruning decisions.
+    let shared = TopKShared::new(queries.len());
     // LPT dispatch: largest shard first.
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by_key(|&s| std::cmp::Reverse(backend.shard_residues(s)));
@@ -261,7 +343,21 @@ pub fn search_batch_backend_traced<B: ShardBackend + ?Sized>(
                 let mut inner = config.clone();
                 inner.threads = 1;
                 inner.effective_db = Some(global);
-                backend.search_shard(s, neighbors, queries, &inner, session)
+                if config.top_k.is_some() {
+                    backend
+                        .search_shard_topk(s, neighbors, queries, &inner, &shared, session)
+                        .map(|(tk, trace)| {
+                            // Publish on success only (degraded contract).
+                            for (qi, &ev) in tk.kth_evalues.iter().enumerate() {
+                                shared.publish(qi, ev);
+                            }
+                            (tk.results, trace, tk.stats)
+                        })
+                } else {
+                    backend
+                        .search_shard(s, neighbors, queries, &inner, session)
+                        .map(|(r, t)| (r, t, TopKStats::default()))
+                }
             };
             let done = Instant::now();
             rec.set_ctx(0, NO_QUERY, s as u32);
@@ -287,11 +383,13 @@ pub fn search_batch_backend_traced<B: ShardBackend + ?Sized>(
     let total_residues = backend.global_db().0;
     let mut covered_residues = total_residues;
     let mut failed: Vec<ShardFailure> = Vec::new();
+    let mut topk = TopKStats::default();
     for (s, outcome, timing) in per_shard {
         timings[s] = timing;
         match outcome {
-            Ok((results, shard_trace)) => {
+            Ok((results, shard_trace, shard_topk)) => {
                 trace.merge(shard_trace);
+                topk.add(&shard_topk);
                 for qr in results {
                     let slot = &mut merged[qr.query_index];
                     slot.alignments.extend(qr.alignments);
@@ -315,7 +413,7 @@ pub fn search_batch_backend_traced<B: ShardBackend + ?Sized>(
         qr.counts.reported = qr.alignments.len() as u64;
     }
     trace.normalize();
-    ShardedOutput { results: merged, trace, timings, failed, covered_residues, total_residues }
+    ShardedOutput { results: merged, trace, timings, failed, covered_residues, total_residues, topk }
 }
 
 /// Merge the concatenated alignments of independent database partitions

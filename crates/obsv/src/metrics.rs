@@ -130,6 +130,12 @@ pub mod names {
     pub const SHARD_SEARCH_US: &str = crate::series!(engine.shard.search_us);
     /// Dispatched batch sizes (requests per batch).
     pub const BATCH_SIZE: &str = crate::series!(serve.batch.size);
+    /// Requests that asked for top-k pruned reporting.
+    pub const TOPK_REQUESTS: &str = crate::series!(engine.topk.requests);
+    /// Index blocks fetched and searched by pruned top-k searches.
+    pub const TOPK_BLOCKS_SCANNED: &str = crate::series!(engine.topk.blocks_scanned);
+    /// Index blocks the score bound excused from scanning.
+    pub const TOPK_BLOCKS_SKIPPED: &str = crate::series!(engine.topk.blocks_skipped);
 }
 
 /// The label values of the `cause` label, in wire order. Matches
@@ -177,6 +183,9 @@ fn declare_all(r: &Registry) {
     r.def_hist_per_shard(names::SHARD_QUEUED_US);
     r.def_hist_per_shard(names::SHARD_SEARCH_US);
     r.def_hist_linear(names::BATCH_SIZE);
+    r.def_counter(names::TOPK_REQUESTS);
+    r.def_counter(names::TOPK_BLOCKS_SCANNED);
+    r.def_counter(names::TOPK_BLOCKS_SKIPPED);
 }
 
 // ---------------------------------------------------------------------

@@ -128,6 +128,10 @@ pub struct ConfigSig {
     evalue_bits: u64,
     max_reported: u32,
     seg: bool,
+    /// Requested top-k, if any: a top-k request must never share a batch
+    /// with an exhaustive one (or a different k) — the pruning threshold
+    /// is part of the effective configuration.
+    top_k: Option<u32>,
 }
 
 impl SearchContext {
@@ -144,6 +148,7 @@ impl SearchContext {
                 .max_reported
                 .unwrap_or(self.base.params.max_reported as u32),
             seg: overrides.seg_filter.unwrap_or(self.base.params.seg_filter),
+            top_k: overrides.top_k.or(self.base.top_k),
         }
     }
 
@@ -157,6 +162,7 @@ impl SearchContext {
         c.params.evalue_cutoff = f64::from_bits(sig.evalue_bits);
         c.params.max_reported = sig.max_reported as usize;
         c.params.seg_filter = sig.seg;
+        c.top_k = sig.top_k;
         c
     }
 }
@@ -223,6 +229,11 @@ pub struct BatchOutput {
     /// never re-scored — per-shard E-values use global statistics — so
     /// present rows are byte-identical to a fault-free run's.
     pub degraded: Option<Degraded>,
+    /// Index blocks this request's batch fetched and searched (0 for
+    /// exhaustive dispatches, which do not count blocks).
+    pub blocks_scanned: u64,
+    /// Index blocks the batch's top-k bound check pruned without a fetch.
+    pub blocks_skipped: u64,
 }
 
 /// What a submitter eventually receives: per-query results in submission
@@ -598,12 +609,13 @@ fn absorb_sharded(
     Vec<QueryResult>,
     Trace,
     Option<(Vec<engine::ShardFailure>, usize, usize, usize)>,
+    engine::TopKStats,
 ) {
     shared.stats.on_shard_batch(&out.timings);
     shared.stats.on_shard_failures(&out.failed);
     let loss = (!out.failed.is_empty())
         .then(|| (out.failed, out.covered_residues, out.total_residues, shard_count));
-    (out.results, out.trace, loss)
+    (out.results, out.trace, loss, out.topk)
 }
 
 fn dispatch(shared: &Shared, mut live: Vec<Job>) {
@@ -649,17 +661,31 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     };
     let evictions_before = cache.as_ref().map_or(0, |c| c.counters().snapshot().evictions);
     let searched_at = Instant::now();
-    let (results, mut trace, shard_loss) = match &shared.ctx.index {
+    let (results, mut trace, shard_loss, topk) = match &shared.ctx.index {
         ResidentIndex::Single(index) => {
-            let (results, trace) = engine::search_batch_traced(
-                &shared.ctx.db,
-                Some(index),
-                &shared.ctx.neighbors,
-                &all_queries,
-                &config,
-                &session,
-            );
-            (results, trace, None)
+            if config.top_k.is_some() && config.kind != EngineKind::QueryIndexed {
+                // Pruned top-k over the resident block index; spans are
+                // not recorded on this path (the pruner disables them).
+                let out = engine::search_batch_topk_resident(
+                    &shared.ctx.db,
+                    index,
+                    &shared.ctx.neighbors,
+                    &all_queries,
+                    &config,
+                    None,
+                );
+                (out.results, Trace::new(), None, out.stats)
+            } else {
+                let (results, trace) = engine::search_batch_traced(
+                    &shared.ctx.db,
+                    Some(index),
+                    &shared.ctx.neighbors,
+                    &all_queries,
+                    &config,
+                    &session,
+                );
+                (results, trace, None, engine::TopKStats::default())
+            }
         }
         ResidentIndex::Sharded(sharded) => {
             let shard_count = sharded.shards().len();
@@ -692,6 +718,11 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
     shared
         .stats
         .on_batch(live.len(), &waits, search_done - searched_at);
+    if config.top_k.is_some() {
+        shared
+            .stats
+            .on_topk(live.len() as u64, topk.blocks_scanned, topk.blocks_skipped);
+    }
     // One cache-pressure event per dispatch that evicted, attributed to
     // the batch head's trace (members share the dispatch, and therefore
     // the pressure).
@@ -793,6 +824,8 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
             trace_id: job.trace_id,
             trace: if job.want_trace { spans } else { Trace::new() },
             degraded: degraded.clone(),
+            blocks_scanned: topk.blocks_scanned,
+            blocks_skipped: topk.blocks_skipped,
         }));
     }
 }
@@ -1494,5 +1527,81 @@ mod tests {
         // And the materialized config reflects the override.
         let cfg = ctx.config_for(b);
         assert_eq!(cfg.params.evalue_cutoff, 1e-30);
+    }
+
+    /// A top-k request must not coalesce with an exhaustive one, nor with
+    /// a different k — the pruning threshold is part of the effective
+    /// configuration — and the materialized config carries the k through.
+    #[test]
+    fn topk_requests_do_not_share_a_batch_with_exhaustive() {
+        let ctx = context();
+        let a = ctx.sig(EngineKind::MuBlastp, &Default::default());
+        let topk3 = ParamOverrides {
+            top_k: Some(3),
+            ..Default::default()
+        };
+        let b = ctx.sig(EngineKind::MuBlastp, &topk3);
+        assert_ne!(a, b);
+        let topk5 = ParamOverrides {
+            top_k: Some(5),
+            ..Default::default()
+        };
+        assert_ne!(b, ctx.sig(EngineKind::MuBlastp, &topk5));
+        let cfg = ctx.config_for(b);
+        assert_eq!(cfg.top_k, Some(3));
+    }
+
+    /// A top-k dispatch reports the same alignments as an exhaustive
+    /// dispatch truncated to k, and the pruning counters cover every
+    /// index block exactly once.
+    #[test]
+    fn topk_dispatch_matches_truncated_exhaustive_and_reports_counters() {
+        let ctx = context();
+        let n_blocks = ctx.index.as_single().unwrap().blocks().len() as u64;
+        let stats = Arc::new(ServeStats::new());
+        let batcher = Batcher::new(
+            Arc::clone(&ctx),
+            BatchOptions {
+                queue_cap: 8,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                ..BatchOptions::default()
+            },
+            Arc::clone(&stats),
+        );
+        // Oracle: exhaustive with max_reported capped at the same k.
+        let capped = ParamOverrides {
+            max_reported: Some(1),
+            ..Default::default()
+        };
+        let oracle = batcher
+            .submit(query(&ctx, 0), EngineKind::MuBlastp, &capped, None)
+            .unwrap()
+            .recv()
+            .unwrap()
+            .unwrap();
+        let topk = ParamOverrides {
+            top_k: Some(1),
+            ..Default::default()
+        };
+        let out = batcher
+            .submit(query(&ctx, 0), EngineKind::MuBlastp, &topk, None)
+            .unwrap()
+            .recv()
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            out.results[0].alignments, oracle.results[0].alignments,
+            "pruned top-k must report the oracle's rows"
+        );
+        assert_eq!(
+            out.blocks_scanned + out.blocks_skipped,
+            n_blocks,
+            "every block is either scanned or skipped"
+        );
+        let report = stats.snapshot(0, 8);
+        assert_eq!(report.topk_requests, 1);
+        assert_eq!(report.topk_blocks_scanned, out.blocks_scanned);
+        assert_eq!(report.topk_blocks_skipped, out.blocks_skipped);
     }
 }

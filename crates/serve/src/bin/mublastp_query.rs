@@ -3,7 +3,7 @@
 //! ```text
 //! mublastp-query --addr 127.0.0.1:7878 --query q.fasta
 //!                [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
-//!                [--seg yes|no] [--deadline-ms N] [--retries N]
+//!                [--top-k K] [--seg yes|no] [--deadline-ms N] [--retries N]
 //!                [--trace out.json] [--trace-folded out.folded]
 //! mublastp-query --addr 127.0.0.1:7878 --stats
 //! mublastp-query --addr 127.0.0.1:7878 --metrics
@@ -15,6 +15,13 @@
 //! exposition (the same bytes `--metrics-addr` serves over HTTP, shipped
 //! in the protocol v6 stats frame) — both are snapshots of the one
 //! metrics registry inside the daemon.
+//!
+//! `--top-k K` asks the daemon (protocol v7+) for only the K best
+//! alignments per query; the daemon may then prune whole index blocks
+//! whose score bound cannot reach the running k-th-best E-value, and the
+//! reply carries how many blocks were scanned vs skipped (printed on
+//! stderr). Rows are bit-identical to an exhaustive search truncated to
+//! K — only the work saved differs.
 //!
 //! Prints BLAST-style tabular output (one row per alignment).
 //! `--retries N` retries refused or unreachable searches up to N extra
@@ -45,7 +52,7 @@ mublastp-query — query a running mublastpd
 USAGE:
   mublastp-query --addr HOST:PORT --query q.fasta
                  [--engine mublastp|ncbi|ncbi-db] [--evalue X] [--max-hits N]
-                 [--seg yes|no] [--deadline-ms N] [--retries N]
+                 [--top-k K] [--seg yes|no] [--deadline-ms N] [--retries N]
                  [--trace out.json] [--trace-folded out.folded]
   mublastp-query --addr HOST:PORT --stats
   mublastp-query --addr HOST:PORT --metrics
@@ -192,6 +199,12 @@ fn run() -> Result<(), (u8, String)> {
                 s.events_logged, s.events_dropped
             );
         }
+        if s.topk_requests > 0 {
+            println!(
+                "topk            requests={} blocks_scanned={} blocks_skipped={}",
+                s.topk_requests, s.topk_blocks_scanned, s.topk_blocks_skipped
+            );
+        }
         if s.shard_fail_injected + s.shard_fail_deadline + s.shard_fail_storage > 0 {
             println!(
                 "shard_failures  injected={} deadline={} storage={}",
@@ -272,6 +285,18 @@ fn run() -> Result<(), (u8, String)> {
             Some(other) => return Err(usage(format!("bad value for --seg: '{other}'"))),
             None => None,
         },
+        top_k: match flags.get("--top-k") {
+            Some(v) => {
+                let k: u32 = v
+                    .parse()
+                    .map_err(|_| usage(format!("bad value for --top-k: '{v}'")))?;
+                if k == 0 {
+                    return Err(usage("--top-k must be at least 1".to_string()));
+                }
+                Some(k)
+            }
+            None => None,
+        },
     };
     let deadline_ms: u32 = flags.parse("--deadline-ms", 0u32).map_err(usage)?;
     let retries: u32 = flags.parse("--retries", 0u32).map_err(usage)?;
@@ -326,6 +351,14 @@ fn run() -> Result<(), (u8, String)> {
             "mublastp-query: WARNING: degraded results — shard(s) {:?} failed; \
              {}/{} residues searched ({pct:.1}% coverage)",
             d.failed_shards, d.coverage_residues, d.total_residues
+        );
+    }
+
+    if overrides.top_k.is_some() && response.blocks_scanned + response.blocks_skipped > 0 {
+        let total = response.blocks_scanned + response.blocks_skipped;
+        eprintln!(
+            "mublastp-query: top-k pruning scanned {}/{} blocks ({} skipped)",
+            response.blocks_scanned, total, response.blocks_skipped
         );
     }
 

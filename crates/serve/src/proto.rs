@@ -32,7 +32,10 @@
 //! snapshot of the unified metrics registry: shard failures by cause,
 //! slow-query / retry / event-log counters, the cache fetch-and-decode
 //! counters, and the rendered Prometheus exposition text (so
-//! `mublastp-query --metrics` needs no second endpoint). The protocol
+//! `mublastp-query --metrics` needs no second endpoint). Version 7
+//! added top-k search: an optional requested `k` on the search request,
+//! blocks-scanned / blocks-skipped pruning counters on results, and the
+//! `engine.topk.*` counters on stats. The protocol
 //! stays backward compatible: a peer may speak any
 //! version in `MIN_PROTO_VERSION..=PROTO_VERSION`, new fields are
 //! *appended* to older payloads and simply omitted when encoding for an
@@ -52,8 +55,9 @@ pub const MAGIC: &[u8; 4] = b"MUBQ";
 /// index-attributable memory and block-cache counters to stats; v6 added
 /// the unified-registry stats fields (failures by cause, slow-query /
 /// retry / event counters, cache fetch-and-decode counters, Prometheus
-/// exposition text).
-pub const PROTO_VERSION: u32 = 6;
+/// exposition text); v7 added top-k search (requested `k` on Search,
+/// block-pruning counters on Results and Stats).
+pub const PROTO_VERSION: u32 = 7;
 /// Oldest protocol version still accepted. Older frames decode with the
 /// newer fields at their defaults (no trace requested, no stage digests,
 /// no shard rows).
@@ -157,6 +161,10 @@ pub struct ParamOverrides {
     pub evalue_cutoff: Option<f64>,
     pub max_reported: Option<u32>,
     pub seg_filter: Option<bool>,
+    /// Top-k reporting mode: report the best `k` alignments per query,
+    /// letting the engine prune blocks that provably cannot contribute
+    /// (v7+; dropped — exhaustive search — on older wires).
+    pub top_k: Option<u32>,
 }
 
 /// A search request: FASTA text plus engine/parameter selection.
@@ -217,6 +225,13 @@ pub struct SearchResponse {
     /// on older wires — old clients see a plain, silently partial
     /// response, exactly what they'd see from a v3 server).
     pub degraded: Option<Degraded>,
+    /// Index blocks actually fetched and searched for this request
+    /// (v7+ only; decodes as 0 on older wires). 0 for exhaustive
+    /// (non-top-k) searches, which do not count blocks.
+    pub blocks_scanned: u64,
+    /// Index blocks proven irrelevant by their stored score bound and
+    /// skipped without a fetch (v7+ only; decodes as 0 on older wires).
+    pub blocks_skipped: u64,
 }
 
 impl SearchResponse {
@@ -228,6 +243,8 @@ impl SearchResponse {
             trace_id: 0,
             trace: None,
             degraded: None,
+            blocks_scanned: 0,
+            blocks_skipped: 0,
         }
     }
 }
@@ -322,6 +339,13 @@ pub struct StatsReport {
     /// The daemon's full Prometheus text exposition, rendered from the
     /// same registry the scalar fields above are read from.
     pub metrics_text: String,
+    /// Requests that ran in top-k mode (v7+ only; this field and the two
+    /// below decode as 0 on older wires).
+    pub topk_requests: u64,
+    /// Index blocks fetched and searched by top-k requests.
+    pub topk_blocks_scanned: u64,
+    /// Index blocks pruned by their stored score bound.
+    pub topk_blocks_skipped: u64,
 }
 
 /// Latency digest for one traced pipeline stage.
@@ -499,6 +523,7 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
     let v4 = version >= 4;
     let v5 = version >= 5;
     let v6 = version >= 6;
+    let v7 = version >= 7;
     let mut p = Vec::new();
     match frame {
         Frame::Search(req) => {
@@ -530,6 +555,15 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                 put_u64(&mut p, req.trace_id);
                 put_u8(&mut p, u8::from(req.want_trace));
             }
+            if v7 {
+                match req.overrides.top_k {
+                    Some(k) => {
+                        put_u8(&mut p, 1);
+                        put_u32(&mut p, k);
+                    }
+                    None => put_u8(&mut p, 0),
+                }
+            }
         }
         Frame::Results(resp) => {
             put_u32(&mut p, resp.replies.len() as u32);
@@ -559,6 +593,10 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                     }
                     None => put_u8(&mut p, 0),
                 }
+            }
+            if v7 {
+                put_u64(&mut p, resp.blocks_scanned);
+                put_u64(&mut p, resp.blocks_skipped);
             }
         }
         Frame::Error(e) => {
@@ -628,6 +666,11 @@ fn encode_payload(frame: &Frame, version: u32) -> Vec<u8> {
                 put_u64(&mut p, s.cache_decode_ns);
                 put_u64(&mut p, s.cache_decoded_postings);
                 put_str(&mut p, &s.metrics_text);
+            }
+            if v7 {
+                put_u64(&mut p, s.topk_requests);
+                put_u64(&mut p, s.topk_blocks_scanned);
+                put_u64(&mut p, s.topk_blocks_skipped);
             }
         }
     }
@@ -826,6 +869,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
     let v4 = version >= 4;
     let v5 = version >= 5;
     let v6 = version >= 6;
+    let v7 = version >= 7;
     let data = &mut p;
     let frame = match frame_type {
         1 => {
@@ -852,6 +896,11 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             } else {
                 (0, false)
             };
+            let top_k = if v7 && get_u8(data)? != 0 {
+                Some(get_u32(data)?)
+            } else {
+                None
+            };
             Frame::Search(SearchRequest {
                 fasta,
                 engine,
@@ -859,6 +908,7 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                     evalue_cutoff,
                     max_reported,
                     seg_filter,
+                    top_k,
                 },
                 deadline_ms,
                 trace_id,
@@ -896,11 +946,18 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
             } else {
                 None
             };
+            let (blocks_scanned, blocks_skipped) = if v7 {
+                (get_u64(data)?, get_u64(data)?)
+            } else {
+                (0, 0)
+            };
             Frame::Results(SearchResponse {
                 replies,
                 trace_id,
                 trace,
                 degraded,
+                blocks_scanned,
+                blocks_skipped,
             })
         }
         3 => {
@@ -992,6 +1049,11 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 }
                 metrics_text = get_str(data)?;
             }
+            let (topk_requests, topk_blocks_scanned, topk_blocks_skipped) = if v7 {
+                (get_u64(data)?, get_u64(data)?, get_u64(data)?)
+            } else {
+                (0, 0, 0)
+            };
             let [shard_fail_injected, shard_fail_deadline, shard_fail_storage, slow_queries, retry_attempts, retry_exhausted, events_logged, events_dropped, cache_fetched_blocks, cache_fetched_bytes, cache_decode_ns, cache_decoded_postings] =
                 v6_counters;
             Frame::Stats(Box::new(StatsReport {
@@ -1029,6 +1091,9 @@ fn decode_payload(frame_type: u8, mut p: &[u8], version: u32) -> Result<Frame, P
                 cache_decode_ns,
                 cache_decoded_postings,
                 metrics_text,
+                topk_requests,
+                topk_blocks_scanned,
+                topk_blocks_skipped,
             }))
         }
         6 => Frame::Shutdown,
@@ -1102,6 +1167,7 @@ mod tests {
                 evalue_cutoff: Some(1e-3),
                 max_reported: None,
                 seg_filter: Some(true),
+                top_k: Some(10),
             },
             deadline_ms: 250,
             trace_id: 0xDEAD_BEEF,
@@ -1141,10 +1207,9 @@ mod tests {
     #[test]
     fn v2_results_roundtrip_the_trace() {
         let f = Frame::Results(SearchResponse {
-            replies: Vec::new(),
             trace_id: 77,
             trace: Some(sample_trace(77)),
-            degraded: None,
+            ..SearchResponse::untraced(Vec::new())
         });
         assert_eq!(decode_frame(&encode_frame(&f)), Ok(f));
     }
@@ -1172,10 +1237,9 @@ mod tests {
         }
         // Same for a traced response.
         let resp = Frame::Results(SearchResponse {
-            replies: Vec::new(),
             trace_id: 42,
             trace: Some(sample_trace(42)),
-            degraded: None,
+            ..SearchResponse::untraced(Vec::new())
         });
         match decode_frame(&encode_frame_v(&resp, 1)) {
             Ok(Frame::Results(got)) => {
@@ -1259,14 +1323,13 @@ mod tests {
     #[test]
     fn v4_degraded_metadata_roundtrips_and_vanishes_on_v3() {
         let f = Frame::Results(SearchResponse {
-            replies: Vec::new(),
             trace_id: 9,
-            trace: None,
             degraded: Some(Degraded {
                 failed_shards: vec![1, 3],
                 coverage_residues: 700,
                 total_residues: 1000,
             }),
+            ..SearchResponse::untraced(Vec::new())
         });
         assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
         // Older peers never see the block — append-only versioning: a v3
@@ -1375,12 +1438,77 @@ mod tests {
     }
 
     #[test]
+    fn v7_top_k_roundtrips_and_vanishes_on_v6() {
+        let req = SearchRequest {
+            fasta: ">q\nMKVLAW\n".to_string(),
+            engine: engine::EngineKind::MuBlastp,
+            overrides: ParamOverrides {
+                top_k: Some(25),
+                ..ParamOverrides::default()
+            },
+            deadline_ms: 0,
+            trace_id: 0,
+            want_trace: false,
+        };
+        let f = Frame::Search(req);
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        // A v6 peer never sees the k — the request decodes as exhaustive.
+        match decode_frame(&encode_frame_v(&f, 6)) {
+            Ok(Frame::Search(got)) => {
+                assert_eq!(got.overrides.top_k, None, "v6 wire carries no top-k");
+                assert_eq!(got.fasta, ">q\nMKVLAW\n");
+            }
+            other => panic!("expected Search, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v7_pruning_counters_roundtrip_and_vanish_on_v6() {
+        let f = Frame::Results(SearchResponse {
+            trace_id: 3,
+            blocks_scanned: 12,
+            blocks_skipped: 30,
+            ..SearchResponse::untraced(Vec::new())
+        });
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 6)) {
+            Ok(Frame::Results(got)) => {
+                assert_eq!(got.blocks_scanned, 0, "v6 wire carries no pruning counters");
+                assert_eq!(got.blocks_skipped, 0);
+                assert_eq!(got.trace_id, 3, "v2 field still survives");
+            }
+            other => panic!("expected Results, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v7_stats_topk_counters_roundtrip_and_vanish_on_v6() {
+        let report = StatsReport {
+            cache_hits: 17,
+            topk_requests: 4,
+            topk_blocks_scanned: 40,
+            topk_blocks_skipped: 160,
+            ..StatsReport::default()
+        };
+        let f = Frame::Stats(Box::new(report));
+        assert_eq!(decode_frame(&encode_frame(&f)), Ok(f.clone()));
+        match decode_frame(&encode_frame_v(&f, 6)) {
+            Ok(Frame::Stats(got)) => {
+                assert_eq!(got.cache_hits, 17, "v6 field survives a v6 wire");
+                assert_eq!(got.topk_requests, 0, "v6 wire carries no top-k stats");
+                assert_eq!(got.topk_blocks_scanned, 0);
+                assert_eq!(got.topk_blocks_skipped, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn unknown_stage_code_is_malformed_not_a_panic() {
         let f = Frame::Results(SearchResponse {
-            replies: Vec::new(),
             trace_id: 1,
             trace: Some(sample_trace(1)),
-            degraded: None,
+            ..SearchResponse::untraced(Vec::new())
         });
         let mut bytes = encode_frame(&f);
         // Payload: count u32 (=0 replies), trace_id u64, has_trace u8,

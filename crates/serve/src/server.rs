@@ -270,6 +270,8 @@ fn handle_search(req: SearchRequest, ctx: &SearchContext, batcher: &Batcher) -> 
                 trace_id: out.trace_id,
                 trace: req.want_trace.then_some(out.trace),
                 degraded: out.degraded,
+                blocks_scanned: out.blocks_scanned,
+                blocks_skipped: out.blocks_skipped,
             })
         }
         Ok(Err(wire_error)) => Frame::Error(wire_error),

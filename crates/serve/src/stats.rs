@@ -78,6 +78,9 @@ pub struct ServeStats {
     queue_cap: Gauge,
     max_depth: Gauge,
     index_pinned: Gauge,
+    topk_requests: Counter,
+    topk_scanned: Counter,
+    topk_skipped: Counter,
     stage_lat: [Histogram; obsv::Stage::ALL.len()],
     by_cause: [Counter; obsv::metrics::CAUSES.len()],
     meta: Mutex<Meta>,
@@ -116,6 +119,9 @@ impl ServeStats {
             queue_cap: registry.gauge(names::QUEUE_CAP),
             max_depth: registry.gauge(names::QUEUE_MAX_DEPTH),
             index_pinned: registry.gauge(names::INDEX_PINNED_BYTES),
+            topk_requests: registry.counter(names::TOPK_REQUESTS),
+            topk_scanned: registry.counter(names::TOPK_BLOCKS_SCANNED),
+            topk_skipped: registry.counter(names::TOPK_BLOCKS_SKIPPED),
             stage_lat: std::array::from_fn(|i| {
                 registry.hist_for_stage(names::LATENCY_STAGE, obsv::Stage::ALL[i])
             }),
@@ -177,6 +183,15 @@ impl ServeStats {
     /// A request crossed the slow-query threshold.
     pub fn on_slow_query(&self) {
         self.slow_queries.inc();
+    }
+
+    /// A top-k batch of `requests` requests was dispatched: `scanned`
+    /// blocks were fetched and searched, `skipped` blocks were pruned by
+    /// their stored score bound.
+    pub fn on_topk(&self, requests: u64, scanned: u64, skipped: u64) {
+        self.topk_requests.add(requests);
+        self.topk_scanned.add(scanned);
+        self.topk_skipped.add(skipped);
     }
 
     /// Declare how many bytes of decoded index stay resident for the
@@ -337,6 +352,9 @@ impl ServeStats {
             cache_decode_ns: cs(|c| c.decode_ns),
             cache_decoded_postings: cs(|c| c.decoded_postings),
             metrics_text: self.registry.render_prometheus(),
+            topk_requests: self.topk_requests.value(),
+            topk_blocks_scanned: self.topk_scanned.value(),
+            topk_blocks_skipped: self.topk_skipped.value(),
         }
     }
 }
@@ -524,6 +542,21 @@ mod tests {
         assert_eq!(report.max_depth_seen, 2);
         assert_eq!(report.queue_depth, 2);
         assert_eq!(report.queue_cap, 4);
+    }
+
+    /// Top-k counters land in the stats frame and the registry alike.
+    #[test]
+    fn topk_counters_reach_frame_and_registry() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.snapshot(0, 4).topk_requests, 0);
+        stats.on_topk(2, 10, 30);
+        stats.on_topk(1, 5, 0);
+        let report = stats.snapshot(0, 4);
+        assert_eq!(report.topk_requests, 3);
+        assert_eq!(report.topk_blocks_scanned, 15);
+        assert_eq!(report.topk_blocks_skipped, 30);
+        assert_eq!(stats.registry().value(names::TOPK_REQUESTS), 3);
+        assert_eq!(stats.registry().value(names::TOPK_BLOCKS_SKIPPED), 30);
     }
 
     /// The stats frame and the Prometheus exposition are snapshots of

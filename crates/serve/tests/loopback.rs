@@ -361,6 +361,83 @@ fn different_overrides_are_honored_per_request() {
     handle.shutdown();
 }
 
+/// The v7 top-k path end-to-end: a `--top-k K` request answers with rows
+/// bit-identical to an exhaustive search truncated to K (the pruning is
+/// invisible in the output), the reply accounts for every index block as
+/// either scanned or skipped, and the daemon's stats frame counts the
+/// request. Runs against both the single-index and the sharded daemon.
+#[test]
+fn top_k_request_matches_truncated_exhaustive_and_accounts_for_blocks() {
+    const K: u32 = 2;
+    let plain_ctx = context(1);
+    let sharded_ctx = sharded_context(2, 3);
+    let (mut plain_handle, plain_conn) = start(&plain_ctx, BatchOptions::default());
+    let (mut sharded_handle, sharded_conn) = start(&sharded_ctx, BatchOptions::default());
+
+    // Oracle: the same query, exhaustive, truncated to K via max_reported.
+    let mut oracle_client = Client::new(plain_conn.connect().expect("connect"));
+    let oracle = oracle_client
+        .search(
+            &fasta_for(0),
+            EngineKind::MuBlastp,
+            ParamOverrides {
+                max_reported: Some(K),
+                ..Default::default()
+            },
+            0,
+        )
+        .expect("oracle search");
+    assert_eq!(oracle.replies[0].result.alignments.len(), K as usize);
+    assert_eq!(
+        oracle.blocks_scanned + oracle.blocks_skipped,
+        0,
+        "exhaustive searches report no pruning counters"
+    );
+    let oracle_rows: Vec<_> = oracle.replies.iter().map(|r| r.result.clone()).collect();
+
+    for (what, connector, handle) in [
+        ("single", &plain_conn, &plain_handle),
+        ("sharded", &sharded_conn, &sharded_handle),
+    ] {
+        let mut client = Client::new(connector.connect().expect("connect"));
+        let resp = client
+            .search(
+                &fasta_for(0),
+                EngineKind::MuBlastp,
+                ParamOverrides {
+                    top_k: Some(K),
+                    ..Default::default()
+                },
+                0,
+            )
+            .expect("top-k search");
+        let rows: Vec<_> = resp.replies.iter().map(|r| r.result.clone()).collect();
+        if let Err(diff) = results_identical(&oracle_rows, &rows) {
+            panic!("{what}: top-k results differ from truncated exhaustive: {diff}");
+        }
+        let total_blocks: u64 = match (what, &plain_ctx.index, &sharded_ctx.index) {
+            ("single", ResidentIndex::Single(index), _) => index.blocks().len() as u64,
+            (_, _, ResidentIndex::Sharded(sharded)) => sharded
+                .shards()
+                .iter()
+                .map(|s| s.index.blocks().len() as u64)
+                .sum(),
+            _ => unreachable!("contexts built above"),
+        };
+        assert_eq!(
+            resp.blocks_scanned + resp.blocks_skipped,
+            total_blocks,
+            "{what}: every block must be accounted for"
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.topk_requests, 1, "{what}");
+        assert_eq!(stats.topk_blocks_scanned, resp.blocks_scanned, "{what}");
+        assert_eq!(stats.topk_blocks_skipped, resp.blocks_skipped, "{what}");
+    }
+    plain_handle.shutdown();
+    sharded_handle.shutdown();
+}
+
 #[test]
 fn bad_fasta_is_a_typed_bad_request() {
     let ctx = context(1);

@@ -137,6 +137,7 @@ fn random_frame(rng: &mut Rng) -> Frame {
                 evalue_cutoff: rng.bool().then(|| rng.f64()),
                 max_reported: rng.bool().then(|| rng.below(1 << 16) as u32),
                 seg_filter: rng.bool().then(|| rng.bool()),
+                top_k: rng.bool().then(|| rng.below(1 << 10) as u32),
             },
             deadline_ms: rng.below(1 << 20) as u32,
             trace_id: rng.below(1 << 48),
@@ -170,6 +171,8 @@ fn random_frame(rng: &mut Rng) -> Frame {
                 trace_id,
                 trace,
                 degraded,
+                blocks_scanned: rng.below(1 << 20),
+                blocks_skipped: rng.below(1 << 20),
             })
         }
         2 => Frame::Error(WireError {
@@ -235,6 +238,9 @@ fn random_frame(rng: &mut Rng) -> Frame {
             cache_decode_ns: rng.below(1 << 40),
             cache_decoded_postings: rng.below(1 << 32),
             metrics_text: rng.string(120),
+            topk_requests: rng.below(1 << 20),
+            topk_blocks_scanned: rng.below(1 << 24),
+            topk_blocks_skipped: rng.below(1 << 24),
         })),
         5 => Frame::Shutdown,
         _ => Frame::ShutdownAck,
@@ -293,6 +299,29 @@ fn strip_v5(s: &mut StatsReport) {
     s.cache_evictions = 0;
 }
 
+/// Zero every stats field a pre-v7 wire cannot carry.
+fn strip_v7(s: &mut StatsReport) {
+    s.topk_requests = 0;
+    s.topk_blocks_scanned = 0;
+    s.topk_blocks_skipped = 0;
+}
+
+/// Drop every field a pre-v7 wire cannot carry, across frame kinds: the
+/// requested k on Search, the pruning counters on Results and Stats.
+fn strip_v7_frame(f: &Frame) -> Frame {
+    let mut f = f.clone();
+    match &mut f {
+        Frame::Search(req) => req.overrides.top_k = None,
+        Frame::Results(resp) => {
+            resp.blocks_scanned = 0;
+            resp.blocks_skipped = 0;
+        }
+        Frame::Stats(s) => strip_v7(s),
+        _ => {}
+    }
+    f
+}
+
 /// Zero every stats field a pre-v6 wire cannot carry.
 fn strip_v6(s: &mut StatsReport) {
     s.shard_fail_injected = 0;
@@ -333,12 +362,13 @@ fn v3_encodings_strip_only_the_v4_fields() {
                 for s in &mut expect.shards {
                     s.failures = 0;
                 }
-                // The v5 and v6 fields vanish on a v3 wire too.
+                // The v5, v6, and v7 fields vanish on a v3 wire too.
                 strip_v5(&mut expect);
                 strip_v6(&mut expect);
+                strip_v7(&mut expect);
                 assert_eq!(*got, expect, "case {case}");
             }
-            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Ok(got), sent) => assert_eq!(got, strip_v7_frame(sent), "case {case}"),
             (Err(e), _) => panic!("case {case}: v3 encoding failed to decode: {e}"),
         }
     }
@@ -357,9 +387,10 @@ fn v4_encodings_strip_only_the_v5_fields() {
                 let mut expect = (**sent).clone();
                 strip_v5(&mut expect);
                 strip_v6(&mut expect);
+                strip_v7(&mut expect);
                 assert_eq!(*got, expect, "case {case}");
             }
-            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Ok(got), sent) => assert_eq!(got, strip_v7_frame(sent), "case {case}"),
             (Err(e), _) => panic!("case {case}: v4 encoding failed to decode: {e}"),
         }
     }
@@ -378,10 +409,27 @@ fn v5_encodings_strip_only_the_v6_fields() {
             (Ok(Frame::Stats(got)), Frame::Stats(sent)) => {
                 let mut expect = (**sent).clone();
                 strip_v6(&mut expect);
+                strip_v7(&mut expect);
                 assert_eq!(*got, expect, "case {case}");
             }
-            (Ok(got), sent) => assert_eq!(&got, sent, "case {case}"),
+            (Ok(got), sent) => assert_eq!(got, strip_v7_frame(sent), "case {case}"),
             (Err(e), _) => panic!("case {case}: v5 encoding failed to decode: {e}"),
+        }
+    }
+}
+
+/// v6 encodings strip exactly the v7 additions — the requested k on
+/// search requests and the block-pruning counters on results and stats —
+/// while every v6 field survives.
+#[test]
+fn v6_encodings_strip_only_the_v7_fields() {
+    let mut rng = Rng(0x5EED_000A);
+    for case in 0..300 {
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_v(&frame, 6);
+        match decode_frame(&bytes) {
+            Ok(got) => assert_eq!(got, strip_v7_frame(&frame), "case {case}"),
+            Err(e) => panic!("case {case}: v6 encoding failed to decode: {e}"),
         }
     }
 }
@@ -487,6 +535,24 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                     coverage_residues: 70_000,
                     total_residues: 100_000,
                 }),
+                blocks_scanned: 6,
+                blocks_skipped: 18,
+            }),
+        ),
+        (
+            "search_topk",
+            Frame::Search(SearchRequest {
+                fasta: ">q1\nMKVLAWCHW\n".to_string(),
+                engine: engine::EngineKind::MuBlastp,
+                overrides: ParamOverrides {
+                    evalue_cutoff: Some(0.125),
+                    max_reported: None,
+                    seg_filter: None,
+                    top_k: Some(10),
+                },
+                deadline_ms: 500,
+                trace_id: 7,
+                want_trace: false,
             }),
         ),
         (
@@ -547,6 +613,9 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
                 cache_decoded_postings: 44_000,
                 metrics_text: "# TYPE serve_batcher_accepted counter\nserve_batcher_accepted 120\n"
                     .to_string(),
+                topk_requests: 9,
+                topk_blocks_scanned: 36,
+                topk_blocks_skipped: 108,
             })),
         ),
         (
@@ -564,11 +633,11 @@ fn golden_frames() -> Vec<(&'static str, Frame)> {
 /// version, and decode back to the expected frames (with each version's
 /// later-version fields stripped).
 #[test]
-fn golden_fixtures_pin_the_v3_through_v6_wire_bytes() {
+fn golden_fixtures_pin_the_v3_through_v7_wire_bytes() {
     let dir = fixtures_dir();
     let bless = std::env::var_os("PROTO_BLESS").is_some();
     for (name, frame) in golden_frames() {
-        for version in [3u32, 4, 5, 6] {
+        for version in [3u32, 4, 5, 6, 7] {
             let bytes = encode_frame_v(&frame, version);
             let path = dir.join(format!("{name}.v{version}.bin"));
             if bless {
@@ -586,20 +655,23 @@ fn golden_fixtures_pin_the_v3_through_v6_wire_bytes() {
             let decoded = decode_frame(&golden)
                 .unwrap_or_else(|e| panic!("{name} v{version}: fixture failed to decode: {e}"));
             match (version, &frame, &decoded) {
-                (6, sent, got) => assert_eq!(got, sent, "{name} v6"),
+                (7, sent, got) => assert_eq!(got, sent, "{name} v7"),
+                (6, sent, got) => assert_eq!(*got, strip_v7_frame(sent), "{name} v6"),
                 (5, Frame::Stats(sent), Frame::Stats(got)) => {
                     let mut expect = (**sent).clone();
                     strip_v6(&mut expect);
+                    strip_v7(&mut expect);
                     assert_eq!(**got, expect, "{name} v5");
                 }
-                (5, sent, got) => assert_eq!(got, sent, "{name} v5"),
+                (5, sent, got) => assert_eq!(*got, strip_v7_frame(sent), "{name} v5"),
                 (4, Frame::Stats(sent), Frame::Stats(got)) => {
                     let mut expect = (**sent).clone();
                     strip_v5(&mut expect);
                     strip_v6(&mut expect);
+                    strip_v7(&mut expect);
                     assert_eq!(**got, expect, "{name} v4");
                 }
-                (4, sent, got) => assert_eq!(got, sent, "{name} v4"),
+                (4, sent, got) => assert_eq!(*got, strip_v7_frame(sent), "{name} v4"),
                 (3, Frame::Results(sent), Frame::Results(got)) => {
                     assert!(got.degraded.is_none(), "{name} v3");
                     assert_eq!(got.replies, sent.replies, "{name} v3");
@@ -609,7 +681,7 @@ fn golden_fixtures_pin_the_v3_through_v6_wire_bytes() {
                     assert!(got.shards.iter().all(|s| s.failures == 0), "{name} v3");
                     assert_eq!(got.shards.len(), sent.shards.len(), "{name} v3");
                 }
-                (3, sent, got) => assert_eq!(got, sent, "{name} v3"),
+                (3, sent, got) => assert_eq!(*got, strip_v7_frame(sent), "{name} v3"),
                 _ => unreachable!(),
             }
         }

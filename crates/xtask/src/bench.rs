@@ -13,7 +13,11 @@
 //!   index amortization argument promises;
 //! * `decode` timings (lower is better) — posting-decode cost on the
 //!   out-of-core path;
-//! * `hit-rate` / `hit_rate` (higher is better) — block-cache locality.
+//! * `hit-rate` / `hit_rate` (higher is better) — block-cache locality;
+//! * `skip_ratio` (higher is better) — the fraction of blocks the top-k
+//!   bound check excuses; deterministic on the resident path, so a drop
+//!   means the bounds themselves got duller, not that the machine was
+//!   busy.
 //!
 //! A guarded measurement that regresses by more than 25% between the two
 //! runs fails the gate (exit 1). Unguarded measurements ride along as
@@ -136,7 +140,11 @@ pub fn cmd_bench(args: &[String]) -> ExitCode {
 /// Whether a measurement id is guarded, and its direction:
 /// `Some(true)` = higher is better, `Some(false)` = lower is better.
 pub fn guarded(id: &str) -> Option<bool> {
-    if id.contains("speedup_ideal") || id.contains("hit-rate") || id.contains("hit_rate") {
+    if id.contains("speedup_ideal")
+        || id.contains("hit-rate")
+        || id.contains("hit_rate")
+        || id.contains("skip_ratio")
+    {
         Some(true)
     } else if id.contains("decode") {
         Some(false)
@@ -449,7 +457,9 @@ mod tests {
         assert_eq!(guarded("shards/k4/speedup_ideal"), Some(true));
         assert_eq!(guarded("oocore/decode/ns_per_posting"), Some(false));
         assert_eq!(guarded("oocore/cache/hit-rate"), Some(true));
+        assert_eq!(guarded("topk/k4/skip_ratio"), Some(true));
         assert_eq!(guarded("shards/k4/wall"), None);
+        assert_eq!(guarded("topk/k4/blocks_skipped"), None);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! mublastp info   --index db.mbi
 //! mublastp search --db db.fasta --query q.fasta [--index db.mbi]
 //!                 [--engine mublastp|ncbi|ncbi-db] [--threads N]
-//!                 [--evalue X] [--max-hits N] [--format report|tsv]
+//!                 [--evalue X] [--max-hits N] [--top-k K] [--format report|tsv]
 //! mublastp distributed --db db.fasta --query q.fasta --ranks N
 //!                 [--threads-per-rank N] [--evalue X] [--max-hits N]
 //! ```
@@ -57,8 +57,8 @@ USAGE:
   mublastp info   --index db.mbi
   mublastp search --db db.fasta --query q.fasta [--index db.mbi]
                   [--engine mublastp|ncbi|ncbi-db] [--threads N]
-                  [--evalue X] [--max-hits N] [--format report|tsv|tsv6|tsv7]
-                  [--seg yes]
+                  [--evalue X] [--max-hits N] [--top-k K]
+                  [--format report|tsv|tsv6|tsv7] [--seg yes]
   mublastp distributed --db db.fasta --query q.fasta --ranks N
                   [--threads-per-rank N] [--evalue X] [--max-hits N]";
 
@@ -174,6 +174,16 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let threads: usize = flags.parse("--threads", parallel::default_threads())?;
     let evalue: f64 = flags.parse("--evalue", 10.0f64)?;
     let max_hits: usize = flags.parse("--max-hits", 25usize)?;
+    let top_k: Option<u32> = match flags.get("--top-k") {
+        Some(v) => {
+            let k: u32 = v.parse().map_err(|_| format!("bad value for --top-k: '{v}'"))?;
+            if k == 0 {
+                return Err("--top-k must be at least 1".into());
+            }
+            Some(k)
+        }
+        None => None,
+    };
     let format = flags.get("--format").unwrap_or("report");
     let seg = matches!(flags.get("--seg"), Some("yes"));
 
@@ -198,7 +208,23 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     config.params.evalue_cutoff = evalue;
     config.params.max_reported = max_hits;
     config.params.seg_filter = seg;
-    let results = search_batch(&db, index.as_ref(), &neighbors, &queries, &config);
+    config.top_k = top_k;
+    // The pruned path reports how much of the index it proved skippable;
+    // go through the counting entry point so the savings are visible.
+    let results = match (top_k, index.as_ref()) {
+        (Some(_), Some(index)) => {
+            let outcome =
+                engine::search_batch_topk_resident(&db, index, &neighbors, &queries, &config, None);
+            let scanned = outcome.stats.blocks_scanned;
+            let skipped = outcome.stats.blocks_skipped;
+            eprintln!(
+                "top-k pruning: scanned {scanned}/{} blocks ({skipped} skipped)",
+                scanned + skipped
+            );
+            outcome.results
+        }
+        _ => search_batch(&db, index.as_ref(), &neighbors, &queries, &config),
+    };
 
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());

@@ -731,6 +731,126 @@ fn seeded_block_corruption_degrades_exactly_the_shards_holding_that_block() {
     );
 }
 
+/// Fault-free *top-k* ground truth restricted to the surviving shards:
+/// exhaustive per-survivor search under global statistics, merged with
+/// the same effective cap `min(max_reported, K)` the pruned path
+/// normalises to — the bytes a degraded top-k run must reproduce.
+fn streaming_survivor_topk_reference(
+    streaming: &StreamingShards<std::fs::File>,
+    global: (usize, usize),
+    nbrs: &NeighborTable,
+    queries: &[Sequence],
+    cfg: &SearchConfig,
+    k: u32,
+    dead: &[usize],
+) -> Vec<QueryResult> {
+    let mut inner = cfg.clone();
+    inner.top_k = None;
+    inner.params.max_reported = inner.params.max_reported.min(k as usize);
+    streaming_survivor_reference(streaming, global, nbrs, queries, &inner, dead)
+}
+
+/// Top-k under seeded `blockstore.fetch.*` faults. Under pruning the
+/// dead set cannot be predicted from block depths — a skipped block is
+/// never fetched, so its fault never fires — so the invariants are
+/// pinned against the run's own typed failure report: every failure has
+/// a `Storage` cause, residue-coverage arithmetic is exact over the
+/// observed dead set, no surviving row points into a dead shard, and the
+/// survivors are bit-equal to a fault-free top-k merge of exactly those
+/// shards (the dead shard never influenced them through the watermark —
+/// thresholds publish only on shard success).
+#[test]
+fn topk_under_block_fetch_faults_stays_exact_over_surviving_shards() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let nbrs = neighbors();
+    let mut saw_dead = false;
+    let mut saw_survivor_rows = false;
+    let rounds: [(usize, u32, &str, Option<Schedule>); 3] = [
+        // Every fetch poisoned: any shard that fetches at all dies.
+        (3, 1, FAULT_FETCH_SHORT, Some(Schedule::Always)),
+        // Odd block ids poisoned: shards die iff pruning lets them reach one.
+        (3, 8, FAULT_FETCH_FLIP, Some(Schedule::EveryNth(2))),
+        // `None`: probe the fault-free depths and poison the deepest
+        // shard's last block. K past the report cap keeps the threshold
+        // at the cutoff (no block prunable), so the dead set is exactly
+        // the depth-based one and shallow shards survive with rows.
+        (4, 64, FAULT_FETCH_SHORT, None),
+    ];
+    for (round, (shards, k, site, schedule)) in rounds.into_iter().enumerate() {
+        let r = mix64(seed, 0x70F0 ^ round as u64);
+        let cfg = {
+            let mut c = config().with_top_k(k);
+            c.threads = 1 + round % 3;
+            c
+        };
+        let dir = store_dir(&format!("topk-{round}"));
+        let (db, schedule) = match schedule {
+            Some(s) => (toy_db(33 + 4 * round, seed ^ r), s),
+            None => [33usize, 37, 41, 45, 29]
+                .into_iter()
+                .find_map(|n| {
+                    let db = toy_db(n, seed ^ r);
+                    let probe = build_streaming(&db, shards, &dir, &Faults::none());
+                    let depths: Vec<usize> =
+                        probe.shards().iter().map(|s| s.store.num_blocks()).collect();
+                    let deepest = *depths.iter().max()?;
+                    (deepest >= 2 && depths.iter().any(|&d| d < deepest))
+                        .then(|| (db, Schedule::Nth((deepest - 1) as u64)))
+                })
+                .unwrap_or_else(|| {
+                    panic!("CHAOS_SEED={seed}: no scanned db size gave uneven shard depths")
+                }),
+        };
+        let queries = queries_from(&db, 4, r);
+        let faults = FaultPlan::new(r).with(site, schedule).build();
+        let streaming = build_streaming(&db, shards, &dir, &faults);
+        let out = engine::search_batch_backend_traced(
+            &streaming,
+            &nbrs,
+            &queries,
+            &cfg,
+            &TraceSession::disabled(),
+        );
+        let label = format!("round {round} ({site}, k={k}, shards={shards})");
+        let mut dead: Vec<usize> = out.failed.iter().map(|f| f.shard).collect();
+        dead.sort_unstable();
+        for f in &out.failed {
+            assert_eq!(f.cause, engine::ShardFailCause::Storage, "{label}: shard {}", f.shard);
+        }
+        let lost: usize = dead.iter().map(|&s| streaming.shards()[s].db.total_residues()).sum();
+        assert_eq!(out.total_residues, db.total_residues(), "{label}");
+        assert_eq!(out.covered_residues, out.total_residues - lost, "{label}: coverage");
+        let dead_ids: std::collections::HashSet<_> = dead
+            .iter()
+            .flat_map(|&s| streaming.shards()[s].ids.iter().copied())
+            .collect();
+        for qr in &out.results {
+            for a in &qr.alignments {
+                assert!(!dead_ids.contains(&a.subject), "{label}: row from dead shard");
+            }
+        }
+        let reference = streaming_survivor_topk_reference(
+            &streaming,
+            (db.total_residues(), db.len()),
+            &nbrs,
+            &queries,
+            &cfg,
+            k,
+            &dead,
+        );
+        assert_bits_equal(&label, &reference, &out.results);
+        saw_dead |= !dead.is_empty();
+        saw_survivor_rows |= out.results.iter().any(|r| !r.alignments.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(saw_dead, "CHAOS_SEED={seed}: no round killed a shard — the sweep tested nothing");
+    assert!(
+        saw_survivor_rows,
+        "CHAOS_SEED={seed}: no round kept survivor rows — pick schedules that spare a shard"
+    );
+}
+
 /// Every fetch failing — the disk is gone — degrades every shard with a
 /// typed `Storage` cause: zero coverage, zero rows, no panic.
 #[test]
