@@ -257,7 +257,7 @@ pub fn global_align(
     anchored_traceback(matrix, q, s, open, extend)
 }
 
-fn anchored_traceback(
+pub(crate) fn anchored_traceback(
     matrix: &Matrix,
     q: &[u8],
     s: &[u8],

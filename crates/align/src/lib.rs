@@ -16,6 +16,11 @@
 //!   (paper Sec. IV-A, following Orion).
 //! * [`pretty`] — human-readable rendering of gapped alignments for the
 //!   example binaries.
+//! * [`striped`] — profile-driven SWAR twins of the stage-2/3/4 kernels
+//!   (DESIGN.md §3.8), bit-identical to the scalar oracles above and
+//!   selected at runtime through `scoring::KernelKind`.
+//! * [`swar`] — the packed-u64 lane arithmetic the striped kernels build
+//!   on (safe Rust, no intrinsics).
 //!
 //! Every engine (query-indexed, database-indexed interleaved, muBLASTP)
 //! calls *these same kernels*, which is what makes their outputs
@@ -25,11 +30,17 @@
 pub mod assembly;
 pub mod gapped;
 pub mod pretty;
+pub mod striped;
 pub mod sw;
+pub mod swar;
 pub mod types;
 pub mod ungapped;
 
 pub use gapped::{gapped_extend_score, gapped_extend_traceback, xdrop_half, GappedExtension};
+pub use striped::{
+    extend_two_hit_striped, gapped_extend_score_striped, gapped_extend_traceback_striped,
+    gapped_rescues, xdrop_half_striped,
+};
 pub use sw::{smith_waterman, smith_waterman_traceback};
 pub use types::{AlignOp, GappedAlignment, UngappedAlignment};
 pub use ungapped::{extend_two_hit, TwoHitOutcome};

@@ -9,7 +9,10 @@
 
 use crate::results::{Alignment, Seed};
 use align::assembly::assemble_ungapped;
-use align::{gapped_extend_score, gapped_extend_traceback};
+use align::{
+    gapped_extend_score, gapped_extend_score_striped, gapped_extend_traceback,
+    gapped_extend_traceback_striped,
+};
 use bioseq::{SequenceDb, SequenceId};
 use obsv::{Stage, StageObs};
 use scoring::SearchParams;
@@ -58,8 +61,14 @@ pub fn finish_query<O: StageObs>(
                 continue;
             }
             // Traceback restarts from the original ungapped seed with the
-            // larger final x-drop, as NCBI's stage 4 does.
-            let g = gapped_extend_traceback(
+            // larger final x-drop, as NCBI's stage 4 does. Kernel choice
+            // cannot change the result (tests/kernel_conformance.rs).
+            let tb = if params.kernel.use_striped() {
+                gapped_extend_traceback_striped
+            } else {
+                gapped_extend_traceback
+            };
+            let g = tb(
                 &params.matrix,
                 query,
                 subject_res,
@@ -98,6 +107,11 @@ pub(crate) fn subject_candidates(
     params: &SearchParams,
 ) -> (Vec<(SequenceId, Vec<GappedCandidate>)>, u64) {
     let mut gapped_count = 0u64;
+    let gx = if params.kernel.use_striped() {
+        gapped_extend_score_striped
+    } else {
+        gapped_extend_score
+    };
     // Group seeds by subject (deterministically).
     seeds.sort_by_key(|s| (s.subject, s.frag_offset, s.aln));
     let mut per_subject: Vec<(SequenceId, Vec<GappedCandidate>)> = Vec::new();
@@ -122,7 +136,7 @@ pub(crate) fn subject_candidates(
             }
             let (seed_q, seed_s) = ua.seed();
             gapped_count += 1;
-            let g = gapped_extend_score(
+            let g = gx(
                 &params.matrix,
                 query,
                 subject_res,

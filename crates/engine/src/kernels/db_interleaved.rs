@@ -13,7 +13,6 @@
 use crate::kernels::TraceCtx;
 use crate::results::{Seed, StageCounts};
 use crate::scratch::Scratch;
-use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use dbindex::IndexBlock;
 use memsim::Tracer;
@@ -46,6 +45,12 @@ pub fn search_block<T: Tracer, O: StageObs>(
         scratch.compute_diag_bases(block.seqs().iter().map(|s| s.len), qlen);
     scratch.finder.reset(total_cells, params.two_hit_window);
     scratch.coverage.reset(total_cells);
+    // Striped only when configured AND nothing is tracing (the striped
+    // kernel is untraced; see kernels::extend_dispatch).
+    let use_striped = T::PASSIVE && params.kernel.use_striped();
+    if use_striped {
+        scratch.profile.ensure(&params.matrix, query);
+    }
 
     for (q_off, qword) in WordIter::new(query) {
         ctx.tracer.touch(ctx.regions.query + q_off as u64, 1);
@@ -75,16 +80,15 @@ pub fn search_block<T: Tracer, O: StageObs>(
                 let subject = block.seq_residues(ls);
                 let sbase = ctx.regions.subject + seq.start as u64;
                 let first_q_end = q_off - dist + WORD_LEN as u32;
-                let out = extend_two_hit(
-                    &params.matrix,
+                let out = crate::kernels::extend_dispatch(
+                    if use_striped { scratch.profile.get() } else { None },
+                    params,
                     query,
                     subject,
                     Some(first_q_end),
                     q_off,
                     s_off,
-                    params.ungapped_xdrop,
-                    ctx.tracer,
-                    ctx.regions.query,
+                    ctx,
                     sbase,
                 );
                 if let Some(aln) = out.alignment {

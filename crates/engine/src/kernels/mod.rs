@@ -51,3 +51,46 @@ impl<'a, T: Tracer> TraceCtx<'a, T> {
 pub fn null_ctx(tracer: &mut memsim::NullTracer) -> TraceCtx<'_, memsim::NullTracer> {
     TraceCtx { tracer, regions: Regions::default() }
 }
+
+/// Shared stage-2 dispatch: the striped profile-driven kernel when a
+/// profile is supplied, the instrumented scalar kernel otherwise. The
+/// two are bit-identical (tests/kernel_conformance.rs), so callers pick
+/// purely on configuration: a profile is only ever passed when
+/// `T::PASSIVE` (no trace events to lose) and the [`scoring::KernelKind`]
+/// asks for striped execution.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn extend_dispatch<T: Tracer>(
+    profile: Option<&scoring::ScoreProfile>,
+    params: &scoring::SearchParams,
+    query: &[u8],
+    subject: &[u8],
+    first_q_end: Option<u32>,
+    q2: u32,
+    s2: u32,
+    ctx: &mut TraceCtx<'_, T>,
+    sbase: u64,
+) -> align::TwoHitOutcome {
+    match profile {
+        Some(p) => align::extend_two_hit_striped(
+            p,
+            subject,
+            first_q_end,
+            q2,
+            s2,
+            params.ungapped_xdrop,
+        ),
+        None => align::extend_two_hit(
+            &params.matrix,
+            query,
+            subject,
+            first_q_end,
+            q2,
+            s2,
+            params.ungapped_xdrop,
+            ctx.tracer,
+            ctx.regions.query,
+            sbase,
+        ),
+    }
+}

@@ -26,7 +26,6 @@ use crate::kernels::TraceCtx;
 use crate::results::{Seed, StageCounts};
 use crate::scratch::Scratch;
 use crate::twohit::{forms_pair, ExtensionGate};
-use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use dbindex::IndexBlock;
 use memsim::Tracer;
@@ -135,6 +134,12 @@ pub fn search_block<T: Tracer, O: StageObs>(
     obs.record(Stage::Reorder, span);
 
     // ---- Phase 3: ungapped extension in sorted order -------------------
+    // Striped only when configured AND nothing is tracing (the striped
+    // kernel is untraced; see kernels::extend_dispatch).
+    let use_striped = T::PASSIVE && params.kernel.use_striped();
+    if use_striped {
+        scratch.profile.ensure(&params.matrix, query);
+    }
     let mut gate = ExtensionGate::new();
     let pairs = std::mem::take(&mut scratch.pairs);
     if prefilter {
@@ -149,6 +154,7 @@ pub fn search_block<T: Tracer, O: StageObs>(
             ctx,
             &spec,
             &mut gate,
+            if use_striped { scratch.profile.get() } else { None },
         );
         obs.record(Stage::Ungapped, span);
     } else {
@@ -188,6 +194,7 @@ pub fn search_block<T: Tracer, O: StageObs>(
             ctx,
             &spec,
             &mut gate,
+            if use_striped { scratch.profile.get() } else { None },
         );
         obs.record(Stage::Ungapped, span);
     }
@@ -206,6 +213,7 @@ fn extend_pairs<T: Tracer>(
     ctx: &mut TraceCtx<'_, T>,
     spec: &KeySpec,
     gate: &mut ExtensionGate,
+    profile: Option<&scoring::ScoreProfile>,
 ) {
     for pair in pairs {
         if !gate.admits(pair.key, pair.q_off) {
@@ -218,16 +226,15 @@ fn extend_pairs<T: Tracer>(
         let subject = block.seq_residues(ls);
         let sbase = ctx.regions.subject + seq.start as u64;
         let first_q_end = pair.q_off - pair.dist + WORD_LEN as u32;
-        let out = extend_two_hit(
-            &params.matrix,
+        let out = crate::kernels::extend_dispatch(
+            profile,
+            params,
             query,
             subject,
             Some(first_q_end),
             pair.q_off,
             s_off,
-            params.ungapped_xdrop,
-            ctx.tracer,
-            ctx.regions.query,
+            ctx,
             sbase,
         );
         if let Some(aln) = out.alignment {

@@ -11,7 +11,6 @@
 use crate::kernels::TraceCtx;
 use crate::results::{Seed, StageCounts};
 use crate::scratch::Scratch;
-use align::extend_two_hit;
 use bioseq::alphabet::{WordIter, WORD_LEN};
 use bioseq::SequenceDb;
 use memsim::Tracer;
@@ -69,6 +68,12 @@ pub fn search_db_range<T: Tracer, O: StageObs>(
 ) {
     let span = obs.start();
     let qlen = query.len();
+    // Striped only when configured AND nothing is tracing (the striped
+    // kernel is untraced; see kernels::extend_dispatch).
+    let use_striped = T::PASSIVE && params.kernel.use_striped();
+    if use_striped {
+        scratch.profile.ensure(&params.matrix, query);
+    }
     for sid in range {
         let subject_seq = db.get(sid);
         let subject = subject_seq.residues();
@@ -104,16 +109,15 @@ pub fn search_db_range<T: Tracer, O: StageObs>(
                 }
                 counts.extensions += 1;
                 let first_q_end = q_off - dist + WORD_LEN as u32;
-                let out = extend_two_hit(
-                    &params.matrix,
+                let out = crate::kernels::extend_dispatch(
+                    if use_striped { scratch.profile.get() } else { None },
+                    params,
                     query,
                     subject,
                     Some(first_q_end),
                     q_off,
                     s_off,
-                    params.ungapped_xdrop,
-                    ctx.tracer,
-                    ctx.regions.query,
+                    ctx,
                     sbase,
                 );
                 if let Some(aln) = out.alignment {

@@ -9,6 +9,7 @@
 use crate::hit::HitPair;
 use crate::results::Seed;
 use crate::twohit::PairFinder;
+use scoring::{Matrix, ScoreProfile};
 
 /// Per-`(sequence, diagonal)` extension-coverage array for the interleaved
 /// engines (the second half of the paper's "last hit array is twice the
@@ -73,6 +74,36 @@ impl CoverageArray {
     }
 }
 
+/// Cached per-query [`ScoreProfile`] for the striped ungapped kernel
+/// (DESIGN.md §3.8). The engines search one query against many blocks;
+/// [`ProfileCache::ensure`] rebuilds only when the query bytes change,
+/// so the profile is built once per query even though it is requested
+/// once per `(block, query)` pair.
+#[derive(Default)]
+pub struct ProfileCache {
+    query: Vec<u8>,
+    profile: Option<ScoreProfile>,
+}
+
+impl ProfileCache {
+    /// Make the cache hold the profile of `query`; no-op if it already
+    /// does. Comparison is by content, so a reallocated-but-identical
+    /// query still hits.
+    pub fn ensure(&mut self, matrix: &Matrix, query: &[u8]) {
+        if self.profile.is_none() || self.query != query {
+            self.query.clear();
+            self.query.extend_from_slice(query);
+            self.profile = Some(ScoreProfile::for_query(matrix, query));
+        }
+    }
+
+    /// The cached profile, if `ensure` has run for some query.
+    #[inline]
+    pub fn get(&self) -> Option<&ScoreProfile> {
+        self.profile.as_ref()
+    }
+}
+
 /// All per-thread state for one worker.
 pub struct Scratch {
     /// Last-hit pair finder (detection / pre-filter).
@@ -86,6 +117,8 @@ pub struct Scratch {
     pub diag_bases: Vec<u32>,
     /// Seeds produced for the current (block, query).
     pub seeds: Vec<Seed>,
+    /// Per-query score profile for the striped extension kernel.
+    pub profile: ProfileCache,
 }
 
 impl Default for Scratch {
@@ -104,6 +137,7 @@ impl Scratch {
             pairs: Vec::new(),
             diag_bases: Vec::new(),
             seeds: Vec::new(),
+            profile: ProfileCache::default(),
         }
     }
 
@@ -160,6 +194,19 @@ mod tests {
         let total = s.compute_diag_bases([10u32, 20, 5].into_iter(), 100);
         assert_eq!(s.diag_bases, vec![0, 111, 232]);
         assert_eq!(total, 111 + 121 + 106);
+    }
+
+    #[test]
+    fn profile_cache_rebuilds_only_on_query_change() {
+        let mut c = ProfileCache::default();
+        assert!(c.get().is_none());
+        c.ensure(&scoring::BLOSUM62, &[0, 1, 2]);
+        let built: *const i8 = c.get().map(|p| p.row(0).as_ptr()).unwrap_or(std::ptr::null());
+        c.ensure(&scoring::BLOSUM62, &[0, 1, 2]);
+        let again: *const i8 = c.get().map(|p| p.row(0).as_ptr()).unwrap_or(std::ptr::null());
+        assert_eq!(built, again, "same query must not rebuild");
+        c.ensure(&scoring::BLOSUM62, &[3, 4, 5]);
+        assert_eq!(c.get().map(|p| p.score(3, 0)), Some(scoring::BLOSUM62.score(3, 3)));
     }
 
     #[test]

@@ -136,6 +136,14 @@ pub mod names {
     pub const TOPK_BLOCKS_SCANNED: &str = crate::series!(engine.topk.blocks_scanned);
     /// Index blocks the score bound excused from scanning.
     pub const TOPK_BLOCKS_SKIPPED: &str = crate::series!(engine.topk.blocks_skipped);
+    /// Requests the daemon searched with the striped extension kernels.
+    pub const KERNEL_STRIPED_REQUESTS: &str = crate::series!(engine.kernel.striped_requests);
+    /// Requests the daemon searched with the scalar extension kernels.
+    pub const KERNEL_SCALAR_REQUESTS: &str = crate::series!(engine.kernel.scalar_requests);
+    /// Process-wide total of gapped halves the striped kernel re-ran
+    /// scalar after an i16 saturation guard fired (DESIGN.md §3.8);
+    /// a monotone gauge mirroring `align::gapped_rescues()`.
+    pub const KERNEL_GAPPED_RESCUES: &str = crate::series!(engine.kernel.gapped_rescues);
 }
 
 /// The label values of the `cause` label, in wire order. Matches
@@ -186,6 +194,9 @@ fn declare_all(r: &Registry) {
     r.def_counter(names::TOPK_REQUESTS);
     r.def_counter(names::TOPK_BLOCKS_SCANNED);
     r.def_counter(names::TOPK_BLOCKS_SKIPPED);
+    r.def_counter(names::KERNEL_STRIPED_REQUESTS);
+    r.def_counter(names::KERNEL_SCALAR_REQUESTS);
+    r.def_gauge(names::KERNEL_GAPPED_RESCUES);
 }
 
 // ---------------------------------------------------------------------

@@ -12,13 +12,19 @@
 //!   E-values.
 //! * [`params`] — the bundle of BLASTP search parameters (word threshold,
 //!   two-hit window, x-drop values, gap penalties) with NCBI defaults.
+//! * [`profile`] — per-sequence score profiles: the substitution matrix
+//!   re-laid-out so extension inner loops read scores sequentially
+//!   instead of gathering `matrix[q[i]][s[j]]` cell by cell (the paper's
+//!   irregularity-elimination move applied to extension).
 
 pub mod karlin;
 pub mod matrix;
 pub mod neighbors;
 pub mod params;
+pub mod profile;
 
 pub use karlin::{bit_score, evalue, KarlinParams};
 pub use matrix::{Matrix, MatrixParseError, BLOSUM62};
 pub use neighbors::NeighborTable;
-pub use params::SearchParams;
+pub use params::{KernelKind, SearchParams};
+pub use profile::ScoreProfile;

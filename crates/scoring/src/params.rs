@@ -8,6 +8,50 @@
 use crate::karlin::KarlinParams;
 use crate::matrix::{Matrix, BLOSUM62};
 
+/// Which extension-kernel implementation the pipeline should run.
+///
+/// Both kernels are bit-for-bit identical by construction (the striped
+/// kernels fall back to the scalar oracle whenever their i16 lanes could
+/// saturate), so the choice is purely a performance knob. `Auto` resolves
+/// to striped, which carries its own scalar rescue path internally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Pick the fastest safe kernel (currently: striped with rescue).
+    #[default]
+    Auto,
+    /// The reference scalar kernels — the oracle every suite compares to.
+    Scalar,
+    /// Profile-driven SWAR/chunked kernels (DESIGN.md §3.8).
+    Striped,
+}
+
+impl KernelKind {
+    /// Whether this choice resolves to the striped kernels.
+    #[inline]
+    pub fn use_striped(self) -> bool {
+        !matches!(self, KernelKind::Scalar)
+    }
+
+    /// Parse a CLI spelling (`auto` / `scalar` / `striped`).
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "auto" => Some(KernelKind::Auto),
+            "scalar" => Some(KernelKind::Scalar),
+            "striped" => Some(KernelKind::Striped),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Auto => "auto",
+            KernelKind::Scalar => "scalar",
+            KernelKind::Striped => "striped",
+        }
+    }
+}
+
 /// Complete parameter set for a BLASTP search.
 #[derive(Clone, Debug)]
 pub struct SearchParams {
@@ -40,6 +84,8 @@ pub struct SearchParams {
     /// Mask low-complexity query regions with SEG before searching
     /// (`blastp -seg yes`; off by default like modern blastp).
     pub seg_filter: bool,
+    /// Extension-kernel implementation (scores are identical either way).
+    pub kernel: KernelKind,
     /// Ungapped Karlin–Altschul parameters.
     pub ungapped_stats: KarlinParams,
     /// Gapped Karlin–Altschul parameters.
@@ -65,6 +111,7 @@ impl SearchParams {
             evalue_cutoff: 10.0,
             max_reported: 500,
             seg_filter: false,
+            kernel: KernelKind::Auto,
             ungapped_stats: ungapped,
             gapped_stats: gapped,
         }
@@ -117,6 +164,19 @@ mod tests {
         // 15-bit gapped x-drop ≈ raw 39 under λ = 0.267.
         assert!((38..=40).contains(&p.gapped_xdrop), "{}", p.gapped_xdrop);
         assert_eq!(p.matrix.name, "BLOSUM62");
+    }
+
+    #[test]
+    fn kernel_kind_round_trips_and_resolves() {
+        for k in [KernelKind::Auto, KernelKind::Scalar, KernelKind::Striped] {
+            assert_eq!(KernelKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(KernelKind::parse("fast"), None);
+        assert_eq!(KernelKind::default(), KernelKind::Auto);
+        assert!(KernelKind::Auto.use_striped());
+        assert!(KernelKind::Striped.use_striped());
+        assert!(!KernelKind::Scalar.use_striped());
+        assert_eq!(SearchParams::blastp_defaults().kernel, KernelKind::Auto);
     }
 
     #[test]

@@ -723,6 +723,11 @@ fn dispatch(shared: &Shared, mut live: Vec<Job>) {
             .stats
             .on_topk(live.len() as u64, topk.blocks_scanned, topk.blocks_skipped);
     }
+    shared.stats.on_kernel(
+        config.params.kernel.use_striped(),
+        live.len() as u64,
+        align::gapped_rescues(),
+    );
     // One cache-pressure event per dispatch that evicted, attributed to
     // the batch head's trace (members share the dispatch, and therefore
     // the pressure).

@@ -6,6 +6,7 @@
 //!           [--listen 127.0.0.1:7878]
 //!           [--metrics-addr 127.0.0.1:9100] [--event-log events.jsonl]
 //!           [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
+//!           [--kernel auto|scalar|striped]
 //!           [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]
 //! ```
 //!
@@ -50,7 +51,7 @@ use std::time::Duration;
 use bioseq::{read_fasta, Sequence, SequenceDb};
 use dbindex::{DbIndex, IndexConfig, LoadOutcome, ShardedIndex};
 use engine::{EngineKind, SearchConfig};
-use scoring::{NeighborTable, BLOSUM62};
+use scoring::{KernelKind, NeighborTable, BLOSUM62};
 use serve::{BatchOptions, ResidentIndex, SearchContext, TcpTransport};
 
 const USAGE: &str = "\
@@ -62,6 +63,7 @@ USAGE:
             [--listen 127.0.0.1:7878]
             [--metrics-addr 127.0.0.1:9100] [--event-log events.jsonl]
             [--threads N] [--queue-cap N] [--max-batch N] [--max-delay-us N]
+            [--kernel auto|scalar|striped]
             [--evalue X] [--max-hits N] [--trace] [--slow-query-us N]";
 
 // Exit codes (documented, stable):
@@ -122,6 +124,11 @@ fn run() -> Result<(), (u8, String)> {
     let max_delay_us: u64 = flags.parse("--max-delay-us", 2000u64).map_err(usage)?;
     let evalue: f64 = flags.parse("--evalue", 10.0f64).map_err(usage)?;
     let max_hits: usize = flags.parse("--max-hits", 25usize).map_err(usage)?;
+    let kernel = match flags.get("--kernel") {
+        None => KernelKind::Auto,
+        Some(v) => KernelKind::parse(v)
+            .ok_or_else(|| usage(format!("unknown kernel '{v}' (auto|scalar|striped)")))?,
+    };
     let trace_on = args.iter().any(|a| a == "--trace");
     let slow_query_us: u64 = flags.parse("--slow-query-us", 0u64).map_err(usage)?;
     let shards: usize = flags.parse("--shards", 1usize).map_err(usage)?;
@@ -226,6 +233,7 @@ fn run() -> Result<(), (u8, String)> {
     let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
     base.params.evalue_cutoff = evalue;
     base.params.max_reported = max_hits;
+    base.params.kernel = kernel;
     match &index {
         ResidentIndex::Single(index) => eprintln!(
             "mublastpd: loaded {} sequences / {} residues, {} index blocks, {} threads",

@@ -81,6 +81,9 @@ pub struct ServeStats {
     topk_requests: Counter,
     topk_scanned: Counter,
     topk_skipped: Counter,
+    kernel_striped: Counter,
+    kernel_scalar: Counter,
+    kernel_rescues: Gauge,
     stage_lat: [Histogram; obsv::Stage::ALL.len()],
     by_cause: [Counter; obsv::metrics::CAUSES.len()],
     meta: Mutex<Meta>,
@@ -122,6 +125,9 @@ impl ServeStats {
             topk_requests: registry.counter(names::TOPK_REQUESTS),
             topk_scanned: registry.counter(names::TOPK_BLOCKS_SCANNED),
             topk_skipped: registry.counter(names::TOPK_BLOCKS_SKIPPED),
+            kernel_striped: registry.counter(names::KERNEL_STRIPED_REQUESTS),
+            kernel_scalar: registry.counter(names::KERNEL_SCALAR_REQUESTS),
+            kernel_rescues: registry.gauge(names::KERNEL_GAPPED_RESCUES),
             stage_lat: std::array::from_fn(|i| {
                 registry.hist_for_stage(names::LATENCY_STAGE, obsv::Stage::ALL[i])
             }),
@@ -192,6 +198,19 @@ impl ServeStats {
         self.topk_requests.add(requests);
         self.topk_scanned.add(scanned);
         self.topk_skipped.add(skipped);
+    }
+
+    /// A batch of `requests` requests finished under the given kernel
+    /// configuration. `rescues_total` is the process-wide cumulative
+    /// value of `align::gapped_rescues()`; the gauge mirrors it
+    /// absolutely, so concurrent batches can race without drift.
+    pub fn on_kernel(&self, striped: bool, requests: u64, rescues_total: u64) {
+        if striped {
+            self.kernel_striped.add(requests);
+        } else {
+            self.kernel_scalar.add(requests);
+        }
+        self.kernel_rescues.set_max(rescues_total);
     }
 
     /// Declare how many bytes of decoded index stay resident for the
@@ -557,6 +576,21 @@ mod tests {
         assert_eq!(report.topk_blocks_skipped, 30);
         assert_eq!(stats.registry().value(names::TOPK_REQUESTS), 3);
         assert_eq!(stats.registry().value(names::TOPK_BLOCKS_SKIPPED), 30);
+    }
+
+    /// Kernel counters split by configuration; the rescue gauge mirrors
+    /// the process-wide cumulative total monotonically.
+    #[test]
+    fn kernel_counters_reach_registry() {
+        let stats = ServeStats::new();
+        stats.on_kernel(true, 3, 0);
+        stats.on_kernel(false, 2, 5);
+        stats.on_kernel(true, 1, 4); // stale total must not lower the gauge
+        let r = stats.registry();
+        assert_eq!(r.value(names::KERNEL_STRIPED_REQUESTS), 4);
+        assert_eq!(r.value(names::KERNEL_SCALAR_REQUESTS), 2);
+        assert_eq!(r.value(names::KERNEL_GAPPED_RESCUES), 5);
+        assert!(r.render_prometheus().contains("engine_kernel_striped_requests"));
     }
 
     /// The stats frame and the Prometheus exposition are snapshots of

@@ -1,0 +1,22 @@
+//! Fixture: must trip `kernel-parity` (and nothing else).
+//!
+//! Three drifts the pass must convict: a `_striped` entry point whose
+//! scalar oracle was renamed away, a twin pair whose shared `open`
+//! parameter changed type on one side only, and a scalar kernel that
+//! grew a `band` parameter its striped twin never learned.
+
+pub fn xdrop_half_renamed(matrix: &Matrix, q: &[u8], open: i32) -> Ext {
+    walk(matrix, q, open)
+}
+
+pub fn xdrop_half_striped(matrix: &Matrix, q: &[u8], open: i16) -> Ext {
+    walk(matrix, q, open)
+}
+
+pub fn xdrop_half(matrix: &Matrix, q: &[u8], open: i32, band: usize) -> Ext {
+    walk(matrix, q, open, band)
+}
+
+pub fn orphan_striped(profile: &ScoreProfile, s: &[u8]) -> Out {
+    walk(profile, s)
+}

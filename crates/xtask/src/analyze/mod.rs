@@ -13,12 +13,16 @@
 //!   `dbindex/src/store.rs` and `crates/dbindex/store.schema`.
 //! * [`metrics`] — the exported-metrics surface ratchet over
 //!   `obsv/src/metrics.rs` and `crates/obsv/metrics.schema`.
+//! * [`kernels`] — striped/scalar kernel signature parity over the
+//!   `align` crate (every `_striped` entry point shadows its scalar
+//!   oracle with a matching shape).
 //!
 //! All passes reuse the lint engine's suppression machinery: inline
 //! `// lint: allow(<rule>)` annotations and the `lint.allow` budget file.
 //! Soundness caveats of the underlying approximate call graph are
 //! documented in DESIGN.md §"Static analysis architecture".
 
+pub mod kernels;
 pub mod locks;
 pub mod metrics;
 pub mod panics;

@@ -144,9 +144,10 @@ pub fn guarded(id: &str) -> Option<bool> {
         || id.contains("hit-rate")
         || id.contains("hit_rate")
         || id.contains("skip_ratio")
+        || id.contains("kernel_speedup")
     {
         Some(true)
-    } else if id.contains("decode") {
+    } else if id.contains("decode") || id.contains("ns_per_cell") {
         Some(false)
     } else {
         None
@@ -458,6 +459,8 @@ mod tests {
         assert_eq!(guarded("oocore/decode/ns_per_posting"), Some(false));
         assert_eq!(guarded("oocore/cache/hit-rate"), Some(true));
         assert_eq!(guarded("topk/k4/skip_ratio"), Some(true));
+        assert_eq!(guarded("extension/ungapped/striped/ns_per_cell"), Some(false));
+        assert_eq!(guarded("extension/stage/kernel_speedup"), Some(true));
         assert_eq!(guarded("shards/k4/wall"), None);
         assert_eq!(guarded("topk/k4/blocks_skipped"), None);
     }

@@ -71,6 +71,7 @@ fn cmd_rules() -> ExitCode {
         (analyze::store::RULE_DRIFT, "shipped store layouts match the pinned store.schema"),
         (analyze::metrics::RULE_DECL, "every named metrics series is declared exactly once"),
         (analyze::metrics::RULE_DRIFT, "exported series match the pinned metrics.schema"),
+        (analyze::kernels::RULE, "striped kernels shadow their scalar oracles, same shape"),
     ] {
         println!("{name:<18} {desc}");
     }
@@ -315,7 +316,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             findings.extend(f);
         }
     }
-    eprintln!("xtask analyze: {} files, 5 passes", files.len());
+    findings.extend(analyze::kernels::check(&units));
+    eprintln!("xtask analyze: {} files, 6 passes", files.len());
     report("analyze", findings, Vec::new(), opts.json.as_deref())
 }
 
@@ -355,6 +357,7 @@ enum FixtureKind {
     Proto,
     Store,
     Metrics,
+    Kernels,
 }
 
 fn fixture_kind(stem: &str) -> FixtureKind {
@@ -364,6 +367,7 @@ fn fixture_kind(stem: &str) -> FixtureKind {
         s if s.starts_with("proto_") => FixtureKind::Proto,
         s if s.starts_with("store_") => FixtureKind::Store,
         s if s.starts_with("metrics_") => FixtureKind::Metrics,
+        s if s.starts_with("kernel_parity") => FixtureKind::Kernels,
         _ => FixtureKind::Lint,
     }
 }
@@ -430,6 +434,10 @@ fn cmd_fixtures() -> ExitCode {
             FixtureKind::Metrics => {
                 let units = analyze::build_units(&[(rel.clone(), src)]);
                 analyze::metrics::check(&units, None)
+            }
+            FixtureKind::Kernels => {
+                let units = analyze::build_units(&[(rel.clone(), src)]);
+                analyze::kernels::check(&units)
             }
         };
         let hits = findings.iter().filter(|f| f.rule == expected).count();

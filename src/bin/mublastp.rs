@@ -6,6 +6,7 @@
 //! mublastp info   --index db.mbi
 //! mublastp search --db db.fasta --query q.fasta [--index db.mbi]
 //!                 [--engine mublastp|ncbi|ncbi-db] [--threads N]
+//!                 [--kernel auto|scalar|striped]
 //!                 [--evalue X] [--max-hits N] [--top-k K] [--format report|tsv]
 //! mublastp distributed --db db.fasta --query q.fasta --ranks N
 //!                 [--threads-per-rank N] [--evalue X] [--max-hits N]
@@ -57,10 +58,20 @@ USAGE:
   mublastp info   --index db.mbi
   mublastp search --db db.fasta --query q.fasta [--index db.mbi]
                   [--engine mublastp|ncbi|ncbi-db] [--threads N]
+                  [--kernel auto|scalar|striped]
                   [--evalue X] [--max-hits N] [--top-k K]
                   [--format report|tsv|tsv6|tsv7] [--seg yes]
   mublastp distributed --db db.fasta --query q.fasta --ranks N
                   [--threads-per-rank N] [--evalue X] [--max-hits N]";
+
+/// Parse the shared `--kernel auto|scalar|striped` flag.
+fn parse_kernel(flags: &Flags) -> Result<KernelKind, String> {
+    match flags.get("--kernel") {
+        None => Ok(KernelKind::Auto),
+        Some(v) => KernelKind::parse(v)
+            .ok_or_else(|| format!("unknown kernel '{v}' (auto|scalar|striped)")),
+    }
+}
 
 /// Minimal `--flag value` parser.
 struct Flags<'a>(&'a [String]);
@@ -172,6 +183,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown engine '{other}' (mublastp|ncbi|ncbi-db)")),
     };
     let threads: usize = flags.parse("--threads", parallel::default_threads())?;
+    let kernel = parse_kernel(&flags)?;
     let evalue: f64 = flags.parse("--evalue", 10.0f64)?;
     let max_hits: usize = flags.parse("--max-hits", 25usize)?;
     let top_k: Option<u32> = match flags.get("--top-k") {
@@ -208,6 +220,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     config.params.evalue_cutoff = evalue;
     config.params.max_reported = max_hits;
     config.params.seg_filter = seg;
+    config.params.kernel = kernel;
     config.top_k = top_k;
     // The pruned path reports how much of the index it proved skippable;
     // go through the counting entry point so the savings are visible.
@@ -302,6 +315,7 @@ fn cmd_distributed(args: &[String]) -> Result<(), String> {
     let query_path = flags.require("--query")?;
     let ranks: usize = flags.parse("--ranks", 4usize)?;
     let threads: usize = flags.parse("--threads-per-rank", 1usize)?;
+    let kernel = parse_kernel(&flags)?;
     let evalue: f64 = flags.parse("--evalue", 10.0f64)?;
     let max_hits: usize = flags.parse("--max-hits", 25usize)?;
     if ranks == 0 {
@@ -314,6 +328,7 @@ fn cmd_distributed(args: &[String]) -> Result<(), String> {
     let mut config = SearchConfig::new(EngineKind::MuBlastp).with_threads(threads);
     config.params.evalue_cutoff = evalue;
     config.params.max_reported = max_hits;
+    config.params.kernel = kernel;
     let out = cluster::distributed_search(
         &db,
         &queries,

@@ -74,5 +74,5 @@ pub mod prelude {
         results_identical, search_batch, search_batch_streamed, Alignment, EngineKind,
         QueryResult, SearchConfig, SortAlgo,
     };
-    pub use scoring::{NeighborTable, SearchParams, BLOSUM62};
+    pub use scoring::{KernelKind, NeighborTable, SearchParams, BLOSUM62};
 }

@@ -25,7 +25,7 @@ use engine::{
     EngineKind, QueryResult, SearchConfig, FAULT_SHARD,
 };
 use faultfn::{mix64, FaultPlan, Faults, Schedule};
-use scoring::{NeighborTable, BLOSUM62};
+use scoring::{KernelKind, NeighborTable, BLOSUM62};
 use serve::{
     loopback, serve, BatchOptions, Client, ClientError, FaultyConn, ParamOverrides, ResidentIndex,
     SearchContext,
@@ -73,9 +73,21 @@ fn neighbors() -> NeighborTable {
     NeighborTable::build(&BLOSUM62, 11)
 }
 
+/// Extension kernel the whole suite runs under: `KERNEL=scalar|striped|
+/// auto` (default `auto`). CI runs the chaos matrix once per kernel —
+/// fault handling must be byte-identical whichever kernel extends.
+fn kernel_under_test() -> KernelKind {
+    match std::env::var("KERNEL") {
+        Ok(v) => KernelKind::parse(&v)
+            .unwrap_or_else(|| panic!("KERNEL must be auto|scalar|striped, got '{v}'")),
+        Err(_) => KernelKind::Auto,
+    }
+}
+
 fn config() -> SearchConfig {
     let mut c = SearchConfig::new(EngineKind::MuBlastp);
     c.params.evalue_cutoff = 1e9; // keep every hit: more rows under test
+    c.params.kernel = kernel_under_test();
     c
 }
 
@@ -309,6 +321,7 @@ fn sharded_context(db: &SequenceDb) -> Arc<SearchContext> {
     let index = ResidentIndex::Sharded(ShardedIndex::build(db, &IndexConfig::default(), SHARDS));
     let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(2);
     base.params.evalue_cutoff = 1e9;
+    base.params.kernel = kernel_under_test();
     Arc::new(SearchContext {
         db: db.clone(),
         index,
@@ -927,6 +940,7 @@ fn served_streaming_storage_faults_keep_registry_and_wire_books_equal() {
     let streaming = build_streaming(&db, 3, &dir, &faults);
     let mut base = SearchConfig::new(EngineKind::MuBlastp).with_threads(2);
     base.params.evalue_cutoff = 1e9;
+    base.params.kernel = kernel_under_test();
     let ctx = Arc::new(SearchContext {
         db: db.clone(),
         index: ResidentIndex::Streaming(streaming),

@@ -12,7 +12,10 @@
 //!   affine gap model reproduces `score` exactly;
 //! * the `align::sw` Smith–Waterman reference bounds it from above, both
 //!   on the reported rectangle and on the whole sequence pair — the
-//!   heuristic may stop early, but it may never overclaim.
+//!   heuristic may stop early, but it may never overclaim;
+//! * the whole matrix holds under both extension kernels: each engine's
+//!   `KernelKind::Striped` run is bit-identical (E-value and bit-score
+//!   through `to_bits`) to its `KernelKind::Scalar` run.
 
 use datagen::{sample_mixed_queries, sample_queries, synthesize_db, DbSpec};
 use dbindex::ShardedIndex;
@@ -100,14 +103,48 @@ fn check_world(spec: &DbSpec, residues: usize, seed: u64) -> usize {
     let (db, queries) = world(spec, residues, seed);
     let neighbors = neighbors();
     let index = DbIndex::build(&db, &IndexConfig::default());
-    let run = |kind| search_batch(&db, Some(&index), &neighbors, &queries, &config(kind));
+    let run = |kind, kernel| {
+        let mut c = config(kind);
+        c.params.kernel = kernel;
+        search_batch(&db, Some(&index), &neighbors, &queries, &c)
+    };
 
-    // 1. The three engines agree exactly.
-    let ncbi = run(EngineKind::QueryIndexed);
-    let ncbi_db = run(EngineKind::DbInterleaved);
-    let mu = run(EngineKind::MuBlastp);
+    // 1. The three engines agree exactly (on the scalar oracle kernels).
+    let ncbi = run(EngineKind::QueryIndexed, KernelKind::Scalar);
+    let ncbi_db = run(EngineKind::DbInterleaved, KernelKind::Scalar);
+    let mu = run(EngineKind::MuBlastp, KernelKind::Scalar);
     results_identical(&ncbi, &ncbi_db).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     results_identical(&ncbi_db, &mu).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+    // 1b. The striped extension kernels are invisible in the bytes:
+    // every engine re-run under `KernelKind::Striped` reproduces its
+    // scalar run exactly, E-values and bit scores compared through
+    // `to_bits` (bit-identity, not approximate agreement).
+    for (kind, scalar) in [
+        (EngineKind::QueryIndexed, &ncbi),
+        (EngineKind::DbInterleaved, &ncbi_db),
+        (EngineKind::MuBlastp, &mu),
+    ] {
+        let striped = run(kind, KernelKind::Striped);
+        results_identical(scalar, &striped)
+            .unwrap_or_else(|e| panic!("seed {seed} {kind:?} striped kernel: {e}"));
+        for (sr, tr) in scalar.iter().zip(&striped) {
+            for (i, (sa, ta)) in sr.alignments.iter().zip(&tr.alignments).enumerate() {
+                assert_eq!(
+                    sa.evalue.to_bits(),
+                    ta.evalue.to_bits(),
+                    "seed {seed} {kind:?} query {} alignment {i}: E-value bits drift                      between kernels",
+                    sr.query_index
+                );
+                assert_eq!(
+                    sa.bit_score.to_bits(),
+                    ta.bit_score.to_bits(),
+                    "seed {seed} {kind:?} query {} alignment {i}: bit-score bits drift                      between kernels",
+                    sr.query_index
+                );
+            }
+        }
+    }
 
     // 2. The sharded driver merges to the same bytes as the unsharded run.
     let sharded = ShardedIndex::build(&db, &IndexConfig::default(), 3);
@@ -196,8 +233,14 @@ fn fourth_seed_long_queries() {
     let neighbors = neighbors();
     let queries = sample_queries(&db, 256, 2, 405);
     let index = DbIndex::build(&db, &IndexConfig::default());
-    let run = |kind| search_batch(&db, Some(&index), &neighbors, &queries, &config(kind));
-    let a = run(EngineKind::QueryIndexed);
-    let b = run(EngineKind::MuBlastp);
+    let run = |kind, kernel| {
+        let mut c = config(kind);
+        c.params.kernel = kernel;
+        search_batch(&db, Some(&index), &neighbors, &queries, &c)
+    };
+    // Cross-engine *and* cross-kernel in one comparison: the reference
+    // engine on the scalar kernels against muBLASTP on the striped ones.
+    let a = run(EngineKind::QueryIndexed, KernelKind::Scalar);
+    let b = run(EngineKind::MuBlastp, KernelKind::Striped);
     results_identical(&a, &b).unwrap();
 }

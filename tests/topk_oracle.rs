@@ -13,6 +13,9 @@
 //!   (block store + LRU cache) at several cache budgets;
 //! * pruning must be *observable* (blocks skipped > 0 somewhere in every
 //!   sweep) and *accounted* (scanned + skipped = total blocks);
+//! * both extension kernels answer identically: the pruned path under
+//!   `KernelKind::Striped` and under `KernelKind::Scalar` are bit-equal
+//!   to the scalar-kernel oracle across the K sweep;
 //! * under injected shard loss the degraded top-k answer is exact over
 //!   the covered fraction: bit-equal to a fault-free top-k merge of the
 //!   surviving shards, with exact coverage arithmetic.
@@ -28,7 +31,7 @@ use engine::{
     search_batch_topk_resident, EngineKind, QueryResult, SearchConfig, FAULT_SHARD,
 };
 use faultfn::{mix64, FaultPlan, Faults, Schedule};
-use scoring::{NeighborTable, SearchParams, BLOSUM62};
+use scoring::{KernelKind, NeighborTable, SearchParams, BLOSUM62};
 
 const NUM_SEQS: usize = 60;
 
@@ -184,6 +187,32 @@ fn resident_topk_matches_oracle_serial_and_parallel() {
         }
     }
     assert!(total_skipped > 0, "the sweep never skipped a block — pruning is inert");
+}
+
+/// Kernel axis of the matrix: the striped extension kernels must be
+/// invisible in the bytes. For every K, the pruned resident path under
+/// `KernelKind::Striped` is bit-equal (`to_bits` on E-value and
+/// bit-score) to the scalar-kernel exhaustive oracle — and so is the
+/// scalar-kernel pruned run, pinning both kernels to one answer.
+#[test]
+fn topk_is_kernel_invariant_bit_for_bit() {
+    let seed = topk_seed();
+    println!("TOPK_SEED={seed}");
+    let db = seeded_db(seed);
+    let queries = queries_from(&db, seed);
+    let index = DbIndex::build(&db, &index_config());
+    for k in k_values() {
+        let mut scal = base_config();
+        scal.params.kernel = KernelKind::Scalar;
+        scal.params.max_reported = scal.params.max_reported.min(k as usize);
+        let want = search_batch(&db, Some(&index), neighbors(), &queries, &scal);
+        for kernel in [KernelKind::Scalar, KernelKind::Striped] {
+            let mut cfg = base_config().with_top_k(k);
+            cfg.params.kernel = kernel;
+            let out = search_batch_topk_resident(&db, &index, neighbors(), &queries, &cfg, None);
+            assert_bits_equal(&format!("k={k} kernel={}", kernel.name()), &want, &out.results);
+        }
+    }
 }
 
 /// Backend 3: sharded resident with the cross-shard watermark. Output
